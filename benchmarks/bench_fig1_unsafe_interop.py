@@ -1,0 +1,40 @@
+"""FIG1 — Fig. 1: naive unsafe interop is rejected at the boundary.
+
+Regenerates the paper's first example: the ML module and the
+manually-managed client compile separately, but resolving the ``ml.stash``
+import fails because the boundary types disagree.  The benchmark measures the
+full detect-the-violation path (compile both sources + cross-module check).
+"""
+
+import pytest
+
+from repro.core.typing.errors import LinkError
+from repro.ffi import check_link, fig1_unsafe_program
+
+
+def detect_fig1_violation():
+    scenario = fig1_unsafe_program()
+    try:
+        check_link(scenario.modules())
+    except LinkError as error:
+        return str(error)
+    raise AssertionError("Fig. 1 program must be rejected")
+
+
+def test_fig1_is_rejected():
+    message = detect_fig1_violation()
+    assert "stash" in message
+
+
+def test_fig1_modules_are_individually_well_typed():
+    from repro.core.typing import check_module
+
+    scenario = fig1_unsafe_program()
+    check_module(scenario.ml)
+    check_module(scenario.client)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_detection(benchmark):
+    message = benchmark(detect_fig1_violation)
+    assert "stash" in message

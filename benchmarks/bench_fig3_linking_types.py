@@ -1,0 +1,52 @@
+"""FIG3 — Fig. 3: linking types; unsafe variant rejected, safe variant runs.
+
+Reproduces the paper's Fig. 3 shape: with linking types the boundary types
+agree, the unsafe ``stash`` (which duplicates the linear reference) fails the
+RichWasm type check, and the repaired program links and runs.  Benchmarks
+measure the rejection path and the end-to-end safe execution.
+"""
+
+import pytest
+
+from repro.core.syntax import NumType, NumV, UnitV
+from repro.core.typing import check_module
+from repro.core.typing.errors import RichWasmTypeError
+from repro.ffi import Program, fig3_programs
+
+
+def reject_unsafe():
+    unsafe, _ = fig3_programs()
+    try:
+        check_module(unsafe.ml)
+    except RichWasmTypeError as error:
+        return type(error).__name__
+    raise AssertionError("unsafe stash must be rejected")
+
+
+def run_safe(rounds: int = 3):
+    _, safe = fig3_programs()
+    program = Program(safe.modules())
+    instance = program.instantiate()
+    results = []
+    for i in range(rounds):
+        instance.invoke("client", "store", [NumV(NumType.I32, i)])
+        results.append(instance.invoke("client", "take", [UnitV()])[0].value)
+    return results
+
+
+def test_unsafe_variant_rejected():
+    assert reject_unsafe()
+
+
+def test_safe_variant_round_trips_values():
+    assert run_safe(4) == [0, 1, 2, 3]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_rejection(benchmark):
+    assert benchmark(reject_unsafe)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_safe_execution(benchmark):
+    assert benchmark(run_safe, 3) == [0, 1, 2]

@@ -1,0 +1,89 @@
+"""RUN — execution throughput: RichWasm interpreter vs lowered Wasm.
+
+Not a table in the paper, but the natural companion series for §6: the same
+computation executed on the RichWasm interpreter (structured heap values,
+typed semantics) and after lowering to Wasm (flat memory, erased types).
+"""
+
+import pytest
+
+from repro.core.semantics import Interpreter
+from repro.core.syntax import (
+    Block,
+    Br,
+    BrIf,
+    Function,
+    GetLocal,
+    IntBinop,
+    Loop,
+    NumBinop,
+    NumConst,
+    NumTestop,
+    NumType,
+    NumV,
+    Return,
+    SetLocal,
+    SizeConst,
+    arrow,
+    funtype,
+    i32,
+    make_module,
+)
+from repro.core.typing import check_module
+from repro.lower import lower_module
+from repro.wasm import WasmInterpreter, validate_module
+
+N = 2000
+
+
+def loop_module():
+    body = (
+        NumConst(NumType.I32, 0), SetLocal(1),
+        Block(arrow([], []), (), (
+            Loop(arrow([], []), (
+                GetLocal(0), NumTestop(NumType.I32), BrIf(1),
+                GetLocal(1), GetLocal(0), NumBinop(NumType.I32, IntBinop.ADD), SetLocal(1),
+                GetLocal(0), NumConst(NumType.I32, 1), NumBinop(NumType.I32, IntBinop.SUB), SetLocal(0),
+                Br(0),
+            )),
+        )),
+        GetLocal(1), Return(),
+    )
+    return make_module(functions=[
+        Function(funtype([i32()], [i32()]), (SizeConst(32),), body, ("sum",))
+    ])
+
+
+EXPECTED = N * (N + 1) // 2
+
+
+def test_backends_agree_on_sum():
+    module = loop_module()
+    check_module(module)
+    interp = Interpreter()
+    idx = interp.instantiate(module)
+    rw = interp.invoke_export(idx, "sum", [NumV(NumType.I32, N)]).values[0].value
+    lowered = lower_module(module)
+    validate_module(lowered.wasm)
+    wi = WasmInterpreter()
+    inst = wi.instantiate(lowered.wasm)
+    assert rw == wi.invoke(inst, "sum", [N])[0] == EXPECTED
+
+
+@pytest.mark.benchmark(group="execution")
+def test_bench_richwasm_interpreter(benchmark):
+    module = loop_module()
+    interp = Interpreter()
+    idx = interp.instantiate(module)
+    result = benchmark(lambda: interp.invoke_export(idx, "sum", [NumV(NumType.I32, N)]).values[0].value)
+    assert result == EXPECTED
+
+
+@pytest.mark.benchmark(group="execution")
+def test_bench_lowered_wasm(benchmark):
+    module = loop_module()
+    lowered = lower_module(module)
+    wi = WasmInterpreter()
+    inst = wi.instantiate(lowered.wasm)
+    result = benchmark(lambda: wi.invoke(inst, "sum", [N])[0])
+    assert result == EXPECTED

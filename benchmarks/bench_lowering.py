@@ -1,0 +1,78 @@
+"""LOWER — §6: RichWasm → Wasm compilation characteristics.
+
+For a corpus of modules of increasing size this harness reports the series
+the paper's compilation section implies: instruction-count expansion, the
+share of type-level instructions that are erased (capabilities have zero
+runtime cost), and the number of boxing coercions, and benchmarks lowering
+throughput.
+"""
+
+import pytest
+
+from repro.core.typing import check_module
+from repro.ffi import counter_program
+from repro.ffi.link import link_modules
+from repro.lower import lower_module
+from repro.ml import (
+    App,
+    BinOp,
+    IntLit,
+    Lam,
+    Let,
+    MLFunction,
+    TInt,
+    Var,
+    compile_ml_module,
+    ml_module,
+)
+
+
+def synthetic_ml_module(functions: int):
+    """An ML module with ``functions`` closure-using functions."""
+
+    defs = []
+    for i in range(functions):
+        defs.append(
+            MLFunction(
+                f"f{i}", "x", TInt(), TInt(),
+                Let("g", Lam("y", TInt(), BinOp("+", Var("y"), IntLit(i))),
+                    App(Var("g"), App(Var("g"), Var("x")))),
+            )
+        )
+    return ml_module("synthetic", functions=defs)
+
+
+CORPUS = {
+    "counter (linked ML+L3)": lambda: link_modules(counter_program().modules()),
+    "ml closures x4": lambda: compile_ml_module(synthetic_ml_module(4)),
+    "ml closures x16": lambda: compile_ml_module(synthetic_ml_module(16)),
+}
+
+
+@pytest.mark.parametrize("name", list(CORPUS))
+def test_lowering_shape(name):
+    module = CORPUS[name]()
+    check_module(module)
+    lowered = lower_module(module)
+    stats = lowered.stats
+    # Erasure: type-level instructions never survive to Wasm.
+    assert stats.erased_instructions >= 0
+    # Expansion from locals splitting / allocator calls is bounded but real.
+    assert stats.wasm_instructions > stats.richwasm_instructions - stats.erased_instructions
+    expansion = stats.wasm_instructions / max(stats.richwasm_instructions, 1)
+    assert expansion < 12, f"unexpectedly large expansion for {name}: {expansion:.1f}x"
+
+
+def test_erasure_share_reported():
+    module = link_modules(counter_program().modules())
+    lowered = lower_module(module)
+    share = lowered.stats.erased_instructions / lowered.stats.richwasm_instructions
+    assert 0.0 <= share < 0.6
+
+
+@pytest.mark.benchmark(group="lowering")
+@pytest.mark.parametrize("name", list(CORPUS))
+def test_bench_lowering_throughput(benchmark, name):
+    module = CORPUS[name]()
+    lowered = benchmark(lower_module, module)
+    assert lowered.stats.wasm_instructions > 0

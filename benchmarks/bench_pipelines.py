@@ -1,0 +1,105 @@
+"""PIPE — §5: the ML and L3 compiler pipelines.
+
+Measures end-to-end source → RichWasm → type check → execute times for
+representative ML and L3 programs, and checks the pass-rate properties the
+paper's compilers provide (every compiled module type checks).
+"""
+
+import pytest
+
+from repro.core.semantics import Interpreter
+from repro.core.syntax import NumType, NumV
+from repro.core.typing import check_module
+from repro.l3 import (
+    L3Function,
+    LBinOp,
+    LFree,
+    LInt,
+    LIntLit,
+    LLet,
+    LLetPair,
+    LNew,
+    LSwap,
+    LVar,
+    compile_l3_module,
+    l3_module,
+)
+from repro.ml import (
+    App,
+    BinOp,
+    Case,
+    If,
+    Inl,
+    Inr,
+    IntLit,
+    Lam,
+    Let,
+    MLFunction,
+    TInt,
+    TSum,
+    TUnit,
+    Unit,
+    Var,
+    compile_ml_module,
+    ml_module,
+)
+
+
+def ml_workload():
+    sum_ty = TSum(TUnit(), TInt())
+    return ml_module("work", functions=[
+        MLFunction("pipeline", "x", TInt(), TInt(),
+                   Let("double", Lam("y", TInt(), BinOp("*", Var("y"), IntLit(2))),
+                       Case(If(BinOp("<", Var("x"), IntLit(0)), Inl(Unit(), sum_ty), Inr(Var("x"), sum_ty)),
+                            "n", IntLit(0),
+                            "p", App(Var("double"), Var("p"))))),
+    ])
+
+
+def l3_workload():
+    return l3_module("work", functions=[
+        L3Function("churn", "x", LInt(), LInt(),
+                   LLet("o", LNew(LVar("x")),
+                        LLetPair("old", "o2", LSwap(LVar("o"), LIntLit(1)),
+                                 LBinOp("+", LVar("old"), LFree(LVar("o2")))))),
+    ])
+
+
+def ml_pipeline():
+    module = compile_ml_module(ml_workload())
+    check_module(module)
+    interp = Interpreter()
+    idx = interp.instantiate(module)
+    return interp.invoke_export(idx, "pipeline", [NumV(NumType.I32, 21)]).values[0].value
+
+
+def l3_pipeline():
+    module = compile_l3_module(l3_workload())
+    check_module(module)
+    interp = Interpreter()
+    idx = interp.instantiate(module)
+    return interp.invoke_export(idx, "churn", [NumV(NumType.I32, 9)]).values[0].value
+
+
+def test_ml_pipeline_result():
+    assert ml_pipeline() == 42
+
+
+def test_l3_pipeline_result():
+    assert l3_pipeline() == 10
+
+
+def test_every_compiled_module_type_checks():
+    # Type-preserving compilation: no compiled output is rejected.
+    check_module(compile_ml_module(ml_workload()))
+    check_module(compile_l3_module(l3_workload()))
+
+
+@pytest.mark.benchmark(group="pipelines")
+def test_bench_ml_pipeline(benchmark):
+    assert benchmark(ml_pipeline) == 42
+
+
+@pytest.mark.benchmark(group="pipelines")
+def test_bench_l3_pipeline(benchmark):
+    assert benchmark(l3_pipeline) == 10

@@ -1,0 +1,85 @@
+"""CHECK — type-checker throughput and the strict/relaxed capability ablation.
+
+Measures how the RichWasm type checker scales with program size (synthetic
+modules with growing instruction counts) and compares the strict rule (no
+capabilities anywhere on the heap) with the relaxed §5 rule (capabilities
+allowed in the linear memory) — the ablation called out in DESIGN.md.
+"""
+
+import pytest
+
+from repro.core.syntax import (
+    Block,
+    Function,
+    GetLocal,
+    IntBinop,
+    LIN,
+    MemUnpack,
+    NumBinop,
+    NumConst,
+    NumType,
+    Return,
+    SetLocal,
+    SizeConst,
+    StructFree,
+    StructGet,
+    StructMalloc,
+    arrow,
+    funtype,
+    i32,
+    make_module,
+)
+from repro.core.typing import check_module
+
+
+def synthetic_module(blocks: int):
+    """A function with ``blocks`` repeated allocate/read/free regions."""
+
+    body = []
+    for _ in range(blocks):
+        body.extend([
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            MemUnpack(arrow([], [i32()]), (), (
+                StructGet(0),
+                SetLocal(0),
+                StructFree(),
+                GetLocal(0),
+            )),
+            NumConst(NumType.I32, 1),
+            NumBinop(NumType.I32, IntBinop.ADD),
+            SetLocal(0),
+        ])
+    body.append(GetLocal(0))
+    body.append(Return())
+    return make_module(functions=[
+        Function(funtype([], [i32()]), (SizeConst(32),), tuple(body), ("main",))
+    ])
+
+
+@pytest.mark.parametrize("blocks", [1, 10, 50])
+def test_scaling_corpus_is_well_typed(blocks):
+    result = check_module(synthetic_module(blocks))
+    assert result.instructions_checked > blocks * 8
+
+
+def test_strict_and_relaxed_rules_agree_on_cap_free_code():
+    module = synthetic_module(5)
+    check_module(module, allow_caps_in_linear_memory=True)
+    check_module(module, allow_caps_in_linear_memory=False)
+
+
+@pytest.mark.benchmark(group="typechecker")
+@pytest.mark.parametrize("blocks", [10, 50, 200])
+def test_bench_typechecker_scaling(benchmark, blocks):
+    module = synthetic_module(blocks)
+    result = benchmark(check_module, module)
+    assert result.functions_checked == 1
+
+
+@pytest.mark.benchmark(group="typechecker-ablation")
+@pytest.mark.parametrize("relaxed", [True, False])
+def test_bench_capability_rule_ablation(benchmark, relaxed):
+    module = synthetic_module(50)
+    result = benchmark(check_module, module, allow_caps_in_linear_memory=relaxed)
+    assert result.functions_checked == 1

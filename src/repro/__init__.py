@@ -1,0 +1,17 @@
+"""RichWasm reproduction.
+
+A Python implementation of RichWasm (PLDI 2024): a richly typed intermediate
+language built on WebAssembly that supports safe, fine-grained, shared-memory
+interoperability between garbage-collected and manually-managed languages.
+
+Subpackages:
+
+* :mod:`repro.core` — the RichWasm IL: syntax, type system, dynamic semantics.
+* :mod:`repro.wasm` — a WebAssembly 1.0 (+ multi-value) substrate.
+* :mod:`repro.lower` — the RichWasm → Wasm compiler.
+* :mod:`repro.ml` / :mod:`repro.l3` — source-language frontends.
+* :mod:`repro.ffi` — multi-module linking and the ML/L3 FFI.
+* :mod:`repro.analysis` — metrics and the empirical type-safety harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Analysis utilities: implementation-size metrics and the empirical
+type-safety (progress/preservation) harness."""
+
+from .metrics import (
+    CategoryStats,
+    FileStats,
+    analyze_file,
+    count_typing_rules,
+    format_report,
+    gather_metrics,
+    repository_root,
+)
+from .safety import SafetyHarness, SafetyReport, SafetyViolation, check_store_invariants
+
+__all__ = [name for name in dir() if not name.startswith("_")]

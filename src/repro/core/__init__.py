@@ -1,0 +1,5 @@
+"""The RichWasm intermediate language: syntax, type system, and semantics."""
+
+from . import semantics, syntax, typing  # noqa: F401
+
+__all__ = ["syntax", "typing", "semantics"]

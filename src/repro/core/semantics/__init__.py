@@ -1,0 +1,14 @@
+"""RichWasm dynamic semantics (paper Fig. 4 and §3).
+
+* :class:`Store` / :class:`MemorySpace` — the two-memory runtime store.
+* :class:`Interpreter` — executes RichWasm modules (the reduction relation).
+* :func:`run_gc` / :class:`GcPolicy` — the garbage-collection rule for the
+  unrestricted memory, including finalization of linear cells it owns.
+"""
+
+from .gc import GcPolicy, GcStats, collect_roots, reachable_locations, run_gc
+from .numerics import NumericTrap
+from .reduction import ExecutionResult, Frame, FuelExhausted, Interpreter, Trap, value_size
+from .store import Closure, MemoryCell, MemoryFault, MemorySpace, ModuleInstance, Store
+
+__all__ = [name for name in dir() if not name.startswith("_")]

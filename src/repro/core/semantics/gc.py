@@ -1,0 +1,128 @@
+"""Garbage collection of the unrestricted memory (paper §3, "Garbage collection").
+
+The reduction relation may at any point collect unrestricted locations that
+are no longer reachable from the configuration's roots: the locations
+appearing in the instructions being evaluated, the local values, and the
+module instances.  Additionally, when a reference to *linear* memory is
+stored in garbage-collected memory, the collector owns that linear memory:
+if the unrestricted cell holding the only reference is collected, the linear
+cell is freed too (the lowering to Wasm realizes this with finalizers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..syntax.locations import ConcreteLoc, MemKind
+from ..syntax.values import HeapValue, Value, heap_value_locations, value_locations
+from .store import Store
+
+
+@dataclass
+class GcStats:
+    """Statistics from one collection cycle."""
+
+    roots: int = 0
+    reachable_unrestricted: int = 0
+    collected_unrestricted: int = 0
+    finalized_linear: int = 0
+
+
+def collect_roots(values: Iterable[Value]) -> set[ConcreteLoc]:
+    """All concrete locations mentioned by a set of root values."""
+
+    roots: set[ConcreteLoc] = set()
+    for value in values:
+        roots |= value_locations(value)
+    return roots
+
+
+def reachable_locations(store: Store, roots: Iterable[ConcreteLoc]) -> set[ConcreteLoc]:
+    """Transitively reachable locations, traversing both memories."""
+
+    seen: set[ConcreteLoc] = set()
+    worklist = [loc for loc in roots]
+    while worklist:
+        loc = worklist.pop()
+        if loc in seen:
+            continue
+        seen.add(loc)
+        space = store.memory(loc.mem)
+        if not space.contains(loc):
+            # A dangling root (e.g. an already-freed linear location) has no
+            # outgoing edges; type safety rules these out for well-typed
+            # programs but the collector stays defensive.
+            continue
+        cell = space.lookup(loc)
+        for successor in heap_value_locations(cell.value):
+            if successor not in seen:
+                worklist.append(successor)
+    return seen
+
+
+def run_gc(store: Store, root_values: Iterable[Value]) -> GcStats:
+    """Collect unreachable unrestricted cells (and finalize owned linear cells).
+
+    ``root_values`` must include every value reachable from the current
+    configuration: operand stacks, local variables and instance globals.
+    """
+
+    stats = GcStats()
+    roots = collect_roots(root_values)
+    for instance in store.instances:
+        roots |= collect_roots(instance.globals)
+    stats.roots = len(roots)
+
+    reachable = reachable_locations(store, roots)
+    stats.reachable_unrestricted = sum(1 for loc in reachable if loc.mem is MemKind.UNR)
+
+    # Identify unreachable unrestricted cells.
+    dead_unrestricted = [
+        loc for loc in store.unrestricted.locations() if loc not in reachable
+    ]
+
+    # Linear cells owned by dead unrestricted cells get finalized, unless they
+    # are still reachable through some live path.
+    owned_linear: set[ConcreteLoc] = set()
+    for loc in dead_unrestricted:
+        cell = store.unrestricted.lookup(loc)
+        for successor in heap_value_locations(cell.value):
+            if successor.mem is MemKind.LIN and successor not in reachable:
+                owned_linear.add(successor)
+
+    for loc in dead_unrestricted:
+        store.unrestricted.free(loc)
+        stats.collected_unrestricted += 1
+    for loc in owned_linear:
+        if store.linear.contains(loc):
+            store.linear.free(loc)
+            stats.finalized_linear += 1
+    return stats
+
+
+@dataclass
+class GcPolicy:
+    """When the interpreter triggers a collection.
+
+    ``allocation_threshold`` — run a collection every N unrestricted
+    allocations (``0`` disables automatic collection; an explicit call to
+    :func:`run_gc` is always possible since the reduction rule may fire at
+    any time).
+    """
+
+    allocation_threshold: int = 256
+    collections: int = 0
+    _since_last: int = field(default=0, repr=False)
+
+    def should_collect(self) -> bool:
+        if self.allocation_threshold <= 0:
+            return False
+        return self._since_last >= self.allocation_threshold
+
+    def note_allocation(self) -> None:
+        self._since_last += 1
+
+    def note_collection(self) -> None:
+        self.collections += 1
+        self._since_last = 0

@@ -1,0 +1,991 @@
+"""The RichWasm dynamic semantics (paper Fig. 4 and §3).
+
+The interpreter executes RichWasm instruction sequences over the two-memory
+store.  It follows the paper's reduction relation rule-for-rule: every heap
+instruction family reduces through an (implicit) ``malloc``/``free``
+administrative step, ``variant.case`` / ``exist.unpack`` with a linear
+qualifier free the scrutinised cell, locals holding linear values are
+strongly updated to ``unit`` when read, and the garbage-collection rule may
+fire between any two steps (here: driven by :class:`~repro.core.semantics.gc.GcPolicy`).
+
+Block structure is executed with Python-level control signals standing in for
+the paper's ``label``/``local`` administrative instructions; a configurable
+``on_step`` hook observes every reduction step, which the empirical
+type-safety harness uses to re-check store invariants after each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..syntax.instructions import (
+    ArrayFree,
+    ArrayGet,
+    ArrayMalloc,
+    ArraySet,
+    Block,
+    Br,
+    BrIf,
+    BrTable,
+    Call,
+    CallIndirect,
+    CapJoin,
+    CapSplit,
+    CodeRefI,
+    Drop,
+    ExistPack,
+    ExistUnpack,
+    FloatBinop,
+    FloatRelop,
+    FloatUnop,
+    GetGlobal,
+    GetLocal,
+    If,
+    Inst,
+    Instr,
+    IntBinop,
+    IntRelop,
+    IntUnop,
+    Loop,
+    MemPack,
+    MemUnpack,
+    Nop,
+    NumBinop,
+    NumConst,
+    NumCvtop,
+    NumRelop,
+    NumTestop,
+    NumUnop,
+    Qualify,
+    RecFold,
+    RecUnfold,
+    RefDemote,
+    RefJoin,
+    RefSplit,
+    Return,
+    Select,
+    SeqGroup,
+    SeqUngroup,
+    SetGlobal,
+    SetLocal,
+    StructFree,
+    StructGet,
+    StructMalloc,
+    StructSet,
+    StructSwap,
+    TeeLocal,
+    Unreachable,
+    VariantCase,
+    VariantMalloc,
+    CvtOp,
+)
+from ..syntax.locations import ConcreteLoc, LocVar, MemKind
+from ..syntax.qualifiers import LIN, Qual, QualConst, QualVar
+from ..syntax.sizes import Size, eval_size
+from ..syntax.types import (
+    Index,
+    LocIndex,
+    LocQuant,
+    NumType,
+    PretypeIndex,
+    QualIndex,
+    QualQuant,
+    SizeIndex,
+    SizeQuant,
+    TypeQuant,
+)
+from ..syntax.modules import Function, ImportedFunction, Module
+from ..syntax.values import (
+    ArrayHV,
+    CapV,
+    CoderefV,
+    FoldV,
+    MempackV,
+    NumV,
+    OwnV,
+    PackHV,
+    ProdV,
+    PtrV,
+    RefV,
+    StructHV,
+    UnitV,
+    Value,
+    VariantHV,
+)
+from ..typing.errors import RichWasmError
+from . import numerics
+from .gc import GcPolicy, run_gc
+from .store import Closure, MemoryFault, ModuleInstance, Store
+
+
+class Trap(RichWasmError):
+    """A runtime trap (unreachable, out-of-bounds access, division by zero)."""
+
+
+class FuelExhausted(RichWasmError):
+    """The step budget given to the interpreter ran out."""
+
+
+class _BranchSignal(Exception):
+    """Internal signal implementing ``br``: unwind ``depth`` labels."""
+
+    def __init__(self, depth: int, values: list[Value]):
+        super().__init__(depth)
+        self.depth = depth
+        self.values = values
+
+
+class _ReturnSignal(Exception):
+    """Internal signal implementing ``return``."""
+
+    def __init__(self, values: list[Value]):
+        super().__init__()
+        self.values = values
+
+
+@dataclass
+class Frame:
+    """One function activation: locals, the defining instance and the
+    concrete instantiation of the function's polymorphic indices."""
+
+    inst_index: int
+    locals: list[Value]
+    local_sizes: list[int]
+    size_env: dict[int, int] = field(default_factory=dict)
+    qual_env: dict[int, QualConst] = field(default_factory=dict)
+    loc_bindings: list[ConcreteLoc] = field(default_factory=list)
+
+    def resolve_qual(self, qual: Qual) -> QualConst:
+        if isinstance(qual, QualVar):
+            return self.qual_env.get(qual.index, QualConst.UNR)
+        return qual
+
+    def resolve_size(self, size: Size) -> int:
+        return eval_size(size, self.size_env)
+
+    def resolve_loc(self, loc) -> ConcreteLoc:
+        if isinstance(loc, LocVar):
+            if loc.index >= len(self.loc_bindings):
+                raise Trap(f"unbound location variable {loc} at runtime")
+            return self.loc_bindings[loc.index]
+        return loc
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of invoking an exported function."""
+
+    values: list[Value]
+    steps: int
+    gc_collections: int
+
+
+def value_size(value: Value) -> int:
+    """The runtime representation size of a value (paper's ``size(v)``)."""
+
+    if isinstance(value, (UnitV, CapV, OwnV)):
+        return 0
+    if isinstance(value, NumV):
+        return value.numtype.bit_width
+    if isinstance(value, ProdV):
+        return sum(value_size(component) for component in value.components)
+    if isinstance(value, (RefV, PtrV)):
+        return 32
+    if isinstance(value, CoderefV):
+        return 64
+    if isinstance(value, (FoldV, MempackV)):
+        return value_size(value.value)
+    raise Trap(f"cannot size value {value!r}")
+
+
+class Interpreter:
+    """Executes RichWasm modules against a two-memory store."""
+
+    def __init__(
+        self,
+        store: Optional[Store] = None,
+        *,
+        gc_policy: Optional[GcPolicy] = None,
+        max_steps: Optional[int] = None,
+        on_step: Optional[Callable[[Instr, Store], None]] = None,
+    ) -> None:
+        self.store = store if store is not None else Store()
+        self.gc_policy = gc_policy if gc_policy is not None else GcPolicy()
+        self.max_steps = max_steps
+        self.on_step = on_step
+        self.steps = 0
+        self._live_stacks: list[list[Value]] = []
+        self._live_frames: list[Frame] = []
+
+    # -- instantiation --------------------------------------------------------
+
+    def instantiate(
+        self,
+        module: Module,
+        imports: Optional[dict[str, "ModuleInstance"]] = None,
+    ) -> int:
+        """Create a module instance, resolving imports by module/export name.
+
+        Returns the new instance's index in the store.
+        """
+
+        imports = imports or {}
+        instance = ModuleInstance(module=module)
+        inst_index = len(self.store.instances)
+        self.store.instances.append(instance)
+
+        for func in module.functions:
+            if isinstance(func, ImportedFunction):
+                source = imports.get(func.import_ref.module)
+                if source is None:
+                    raise RichWasmError(
+                        f"unresolved import module {func.import_ref.module!r}"
+                    )
+                export_index = source.exports.get(func.import_ref.name)
+                if export_index is None:
+                    raise RichWasmError(
+                        f"module {func.import_ref.module!r} does not export"
+                        f" {func.import_ref.name!r}"
+                    )
+                instance.funcs.append(source.funcs[export_index])
+            else:
+                instance.funcs.append(Closure(inst_index, func))
+
+        for index, func in enumerate(module.functions):
+            for export in func.exports:
+                instance.exports[export] = index
+
+        for table_entry in module.table.entries:
+            instance.table.append(instance.funcs[table_entry])
+
+        for global_index, global_decl in enumerate(module.globals):
+            if getattr(global_decl, "is_import", False):
+                source = imports.get(global_decl.import_ref.module)
+                if source is None:
+                    raise RichWasmError(
+                        f"unresolved import module {global_decl.import_ref.module!r}"
+                    )
+                export_index = source.global_exports.get(global_decl.import_ref.name)
+                if export_index is None:
+                    raise RichWasmError(
+                        f"module {global_decl.import_ref.module!r} does not export global"
+                        f" {global_decl.import_ref.name!r}"
+                    )
+                instance.globals.append(source.globals[export_index])
+            else:
+                frame = Frame(inst_index, [], [])
+                stack: list[Value] = []
+                self.exec_seq(list(global_decl.init), stack, frame)
+                instance.globals.append(stack[-1] if stack else UnitV())
+            for export in global_decl.exports:
+                instance.global_exports[export] = global_index
+        return inst_index
+
+    # -- invocation -----------------------------------------------------------
+
+    def invoke_export(self, inst_index: int, name: str, args: Sequence[Value] = (),
+                      indices: Sequence[Index] = ()) -> ExecutionResult:
+        """Invoke an exported function by name."""
+
+        instance = self.store.instance(inst_index)
+        if name not in instance.exports:
+            raise RichWasmError(f"instance {inst_index} has no export {name!r}")
+        closure = instance.funcs[instance.exports[name]]
+        start_collections = self.gc_policy.collections
+        values = self.call_closure(closure, list(args), list(indices))
+        return ExecutionResult(
+            values=values,
+            steps=self.steps,
+            gc_collections=self.gc_policy.collections - start_collections,
+        )
+
+    def call_closure(self, closure: Closure, args: list[Value], indices: list[Index]) -> list[Value]:
+        function = closure.function
+        if isinstance(function, ImportedFunction):  # pragma: no cover - resolved at instantiation
+            raise RichWasmError("cannot call an unresolved imported function")
+
+        frame = Frame(closure.inst_index, [], [])
+        self._bind_indices(frame, function, indices)
+
+        # Parameters become the first locals; declared locals start as unit.
+        frame.locals = list(args)
+        frame.local_sizes = [value_size(v) for v in args]
+        for size in function.locals_sizes:
+            frame.locals.append(UnitV())
+            frame.local_sizes.append(frame.resolve_size(size))
+
+        stack: list[Value] = []
+        self._live_frames.append(frame)
+        try:
+            try:
+                self.exec_seq(list(function.body), stack, frame)
+                result_count = len(function.funtype.arrow.results)
+                results = stack[len(stack) - result_count:] if result_count else []
+            except _ReturnSignal as signal:
+                results = signal.values
+        finally:
+            self._live_frames.pop()
+        return list(results)
+
+    def _bind_indices(self, frame: Frame, function: Function, indices: Sequence[Index]) -> None:
+        quants = function.funtype.quants
+        if len(indices) != len(quants):
+            raise RichWasmError(
+                f"call provides {len(indices)} indices for {len(quants)} quantifiers"
+            )
+        # de Bruijn index 0 refers to the innermost (last) quantifier.
+        size_i = qual_i = 0
+        loc_bindings: list[ConcreteLoc] = []
+        for quant, index in zip(reversed(quants), reversed(list(indices))):
+            if isinstance(quant, SizeQuant) and isinstance(index, SizeIndex):
+                frame.size_env[size_i] = eval_size(index.size, frame.size_env)
+                size_i += 1
+            elif isinstance(quant, QualQuant) and isinstance(index, QualIndex):
+                qual = index.qual
+                frame.qual_env[qual_i] = qual if isinstance(qual, QualConst) else QualConst.UNR
+                qual_i += 1
+            elif isinstance(quant, LocQuant) and isinstance(index, LocIndex):
+                loc = index.loc
+                if isinstance(loc, ConcreteLoc):
+                    loc_bindings.append(loc)
+                else:
+                    loc_bindings.append(ConcreteLoc(0, MemKind.UNR))
+            elif isinstance(quant, TypeQuant) and isinstance(index, PretypeIndex):
+                continue
+            else:
+                raise RichWasmError(f"index {index!r} does not match quantifier {quant!r}")
+        frame.loc_bindings = loc_bindings + frame.loc_bindings
+
+    # -- execution ------------------------------------------------------------
+
+    def exec_seq(self, instrs: Sequence[Instr], stack: list[Value], frame: Frame) -> None:
+        """Execute a sequence of instructions against ``stack`` in ``frame``."""
+
+        self._live_stacks.append(stack)
+        try:
+            for instr in instrs:
+                self._step(instr, stack, frame)
+        finally:
+            self._live_stacks.pop()
+
+    def _step(self, instr: Instr, stack: list[Value], frame: Frame) -> None:
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise FuelExhausted(f"exceeded the step budget of {self.max_steps}")
+        handler = getattr(self, f"_exec_{type(instr).__name__}", None)
+        if handler is None:
+            # Values may appear directly in instruction sequences (Fig. 2:
+            # e ::= v | ...); executing a value pushes it onto the stack.
+            from ..syntax.values import is_value
+
+            if is_value(instr):
+                stack.append(instr)  # type: ignore[arg-type]
+                if self.on_step is not None:
+                    self.on_step(instr, self.store)
+                return
+            raise RichWasmError(f"no execution rule for instruction {instr!r}")
+        handler(instr, stack, frame)
+        if self.on_step is not None:
+            self.on_step(instr, self.store)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _pop(self, stack: list[Value], what: str = "operand") -> Value:
+        if not stack:
+            raise Trap(f"operand stack underflow while looking for {what}")
+        return stack.pop()
+
+    def _pop_num(self, stack: list[Value], what: str = "number") -> NumV:
+        value = self._pop(stack, what)
+        if not isinstance(value, NumV):
+            raise Trap(f"expected a numeric value for {what}, found {value}")
+        return value
+
+    def _pop_ref(self, stack: list[Value], what: str = "reference") -> RefV:
+        value = self._pop(stack, what)
+        if not isinstance(value, RefV):
+            raise Trap(f"expected a reference for {what}, found {value}")
+        return value
+
+    def _maybe_collect(self, stack: list[Value], frame: Frame) -> None:
+        if not self.gc_policy.should_collect():
+            return
+        roots: list[Value] = []
+        for live_stack in self._live_stacks:
+            roots.extend(live_stack)
+        roots.extend(stack)
+        for live_frame in self._live_frames:
+            roots.extend(live_frame.locals)
+        roots.extend(frame.locals)
+        run_gc(self.store, roots)
+        self.gc_policy.note_collection()
+
+    def collect_now(self, extra_roots: Sequence[Value] = ()) -> None:
+        """Explicitly run the garbage-collection rule."""
+
+        roots: list[Value] = list(extra_roots)
+        for live_stack in self._live_stacks:
+            roots.extend(live_stack)
+        for live_frame in self._live_frames:
+            roots.extend(live_frame.locals)
+        run_gc(self.store, roots)
+        self.gc_policy.note_collection()
+
+    def _allocate(self, qual: QualConst, heap_value, size: int, stack: list[Value], frame: Frame) -> None:
+        kind = MemKind.LIN if qual is QualConst.LIN else MemKind.UNR
+        loc = self.store.allocate(kind, heap_value, size)
+        if kind is MemKind.UNR:
+            self.gc_policy.note_allocation()
+            self._maybe_collect(stack, frame)
+        stack.append(MempackV(loc, RefV(loc)))
+
+    # -- numeric instructions ---------------------------------------------------
+
+    def _exec_NumConst(self, instr: NumConst, stack: list[Value], frame: Frame) -> None:
+        value = instr.value
+        if instr.numtype.is_integer:
+            value = numerics.wrap(int(value), instr.numtype.bit_width)
+        else:
+            value = numerics.float_canon(float(value), instr.numtype.bit_width)
+        stack.append(NumV(instr.numtype, value))
+
+    def _exec_NumUnop(self, instr: NumUnop, stack: list[Value], frame: Frame) -> None:
+        operand = self._pop_num(stack, "unop operand")
+        width = instr.numtype.bit_width
+        try:
+            if instr.numtype.is_integer:
+                op = instr.op
+                if op is IntUnop.CLZ:
+                    result = numerics.int_clz(int(operand.value), width)
+                elif op is IntUnop.CTZ:
+                    result = numerics.int_ctz(int(operand.value), width)
+                else:
+                    result = numerics.int_popcnt(int(operand.value), width)
+                stack.append(NumV(instr.numtype, result))
+            else:
+                result = numerics.float_unop(instr.op.value, float(operand.value), width)
+                stack.append(NumV(instr.numtype, result))
+        except numerics.NumericTrap as exc:
+            raise Trap(str(exc)) from exc
+
+    def _exec_NumBinop(self, instr: NumBinop, stack: list[Value], frame: Frame) -> None:
+        rhs = self._pop_num(stack, "binop rhs")
+        lhs = self._pop_num(stack, "binop lhs")
+        width = instr.numtype.bit_width
+        try:
+            if instr.numtype.is_integer:
+                result = self._int_binop(instr.op, int(lhs.value), int(rhs.value), width)
+            else:
+                result = numerics.float_binop(instr.op.value, float(lhs.value), float(rhs.value), width)
+            stack.append(NumV(instr.numtype, result))
+        except numerics.NumericTrap as exc:
+            raise Trap(str(exc)) from exc
+
+    @staticmethod
+    def _int_binop(op: IntBinop, a: int, b: int, width: int) -> int:
+        table = {
+            IntBinop.ADD: numerics.int_add,
+            IntBinop.SUB: numerics.int_sub,
+            IntBinop.MUL: numerics.int_mul,
+            IntBinop.DIV_S: numerics.int_div_s,
+            IntBinop.DIV_U: numerics.int_div_u,
+            IntBinop.REM_S: numerics.int_rem_s,
+            IntBinop.REM_U: numerics.int_rem_u,
+            IntBinop.AND: numerics.int_and,
+            IntBinop.OR: numerics.int_or,
+            IntBinop.XOR: numerics.int_xor,
+            IntBinop.SHL: numerics.int_shl,
+            IntBinop.SHR_S: numerics.int_shr_s,
+            IntBinop.SHR_U: numerics.int_shr_u,
+            IntBinop.ROTL: numerics.int_rotl,
+            IntBinop.ROTR: numerics.int_rotr,
+        }
+        return table[op](a, b, width)
+
+    def _exec_NumTestop(self, instr: NumTestop, stack: list[Value], frame: Frame) -> None:
+        operand = self._pop_num(stack, "testop operand")
+        result = numerics.int_eqz(int(operand.value), instr.numtype.bit_width)
+        stack.append(NumV(NumType.I32, result))
+
+    def _exec_NumRelop(self, instr: NumRelop, stack: list[Value], frame: Frame) -> None:
+        rhs = self._pop_num(stack, "relop rhs")
+        lhs = self._pop_num(stack, "relop lhs")
+        width = instr.numtype.bit_width
+        if instr.numtype.is_integer:
+            op_name = instr.op.value
+            signed = op_name.endswith("_s") or op_name in ("eq", "ne") and instr.numtype.is_signed
+            base = op_name.split("_")[0]
+            result = numerics.int_relop(base, int(lhs.value), int(rhs.value), width, op_name.endswith("_s"))
+        else:
+            result = numerics.float_relop(instr.op.value, float(lhs.value), float(rhs.value))
+        stack.append(NumV(NumType.I32, result))
+
+    def _exec_NumCvtop(self, instr: NumCvtop, stack: list[Value], frame: Frame) -> None:
+        operand = self._pop_num(stack, "conversion operand")
+        source, target = instr.source, instr.target
+        try:
+            if instr.op is CvtOp.REINTERPRET:
+                if source.is_float and target.is_integer:
+                    result = numerics.reinterpret_float_to_int(float(operand.value), source.bit_width)
+                elif source.is_integer and target.is_float:
+                    result = numerics.reinterpret_int_to_float(int(operand.value), target.bit_width)
+                else:
+                    result = operand.value
+            elif instr.op is CvtOp.WRAP:
+                result = numerics.wrap(int(operand.value), target.bit_width)
+            elif instr.op in (CvtOp.EXTEND_S, CvtOp.EXTEND_U):
+                signed = instr.op is CvtOp.EXTEND_S
+                value = numerics.to_signed(int(operand.value), source.bit_width) if signed else int(operand.value)
+                result = numerics.wrap(value, target.bit_width)
+            else:  # CONVERT
+                if source.is_float and target.is_integer:
+                    result = numerics.trunc_float_to_int(
+                        float(operand.value), target.bit_width, target.is_signed
+                    )
+                elif source.is_integer and target.is_float:
+                    result = numerics.convert_int_to_float(
+                        int(operand.value), source.bit_width, source.is_signed, target.bit_width
+                    )
+                elif source.is_float and target.is_float:
+                    result = numerics.float_canon(float(operand.value), target.bit_width)
+                else:
+                    result = numerics.wrap(int(operand.value), target.bit_width)
+        except numerics.NumericTrap as exc:
+            raise Trap(str(exc)) from exc
+        stack.append(NumV(target, result))
+
+    # -- parametric & control -----------------------------------------------------
+
+    def _exec_Unreachable(self, instr: Unreachable, stack: list[Value], frame: Frame) -> None:
+        raise Trap("unreachable executed")
+
+    def _exec_Nop(self, instr: Nop, stack: list[Value], frame: Frame) -> None:
+        return
+
+    def _exec_Drop(self, instr: Drop, stack: list[Value], frame: Frame) -> None:
+        self._pop(stack, "drop operand")
+
+    def _exec_Select(self, instr: Select, stack: list[Value], frame: Frame) -> None:
+        condition = self._pop_num(stack, "select condition")
+        second = self._pop(stack, "select operand")
+        first = self._pop(stack, "select operand")
+        stack.append(first if int(condition.value) != 0 else second)
+
+    def _run_label(
+        self,
+        body: Sequence[Instr],
+        params: list[Value],
+        stack: list[Value],
+        frame: Frame,
+        *,
+        result_count: int,
+        loop_body: Optional[Sequence[Instr]] = None,
+    ) -> None:
+        """Execute a labelled block; ``loop_body`` enables loop semantics."""
+
+        inner: list[Value] = list(params)
+        while True:
+            try:
+                self.exec_seq(list(body), inner, frame)
+                results = inner[len(inner) - result_count:] if result_count else []
+                stack.extend(results)
+                return
+            except _BranchSignal as signal:
+                if signal.depth > 0:
+                    raise _BranchSignal(signal.depth - 1, signal.values)
+                if loop_body is None:
+                    stack.extend(signal.values)
+                    return
+                # A branch to a loop label restarts the loop with the branch
+                # values as the new parameters.
+                inner = list(signal.values)
+                body = loop_body
+
+    def _exec_Block(self, instr: Block, stack: list[Value], frame: Frame) -> None:
+        params = self._pop_params(stack, len(instr.arrow.params))
+        self._run_label(instr.body, params, stack, frame, result_count=len(instr.arrow.results))
+
+    def _exec_Loop(self, instr: Loop, stack: list[Value], frame: Frame) -> None:
+        params = self._pop_params(stack, len(instr.arrow.params))
+        self._run_label(
+            instr.body,
+            params,
+            stack,
+            frame,
+            result_count=len(instr.arrow.results),
+            loop_body=instr.body,
+        )
+
+    def _exec_If(self, instr: If, stack: list[Value], frame: Frame) -> None:
+        condition = self._pop_num(stack, "if condition")
+        params = self._pop_params(stack, len(instr.arrow.params))
+        body = instr.then_body if int(condition.value) != 0 else instr.else_body
+        self._run_label(body, params, stack, frame, result_count=len(instr.arrow.results))
+
+    def _pop_params(self, stack: list[Value], count: int) -> list[Value]:
+        params = [self._pop(stack, "block parameter") for _ in range(count)]
+        params.reverse()
+        return params
+
+    def _exec_Br(self, instr: Br, stack: list[Value], frame: Frame) -> None:
+        raise _BranchSignal(instr.depth, list(stack))
+
+    def _exec_BrIf(self, instr: BrIf, stack: list[Value], frame: Frame) -> None:
+        condition = self._pop_num(stack, "br_if condition")
+        if int(condition.value) != 0:
+            raise _BranchSignal(instr.depth, list(stack))
+
+    def _exec_BrTable(self, instr: BrTable, stack: list[Value], frame: Frame) -> None:
+        index = self._pop_num(stack, "br_table index")
+        i = int(index.value)
+        depth = instr.depths[i] if 0 <= i < len(instr.depths) else instr.default
+        raise _BranchSignal(depth, list(stack))
+
+    def _exec_Return(self, instr: Return, stack: list[Value], frame: Frame) -> None:
+        raise _ReturnSignal(list(stack))
+
+    # -- locals & globals ----------------------------------------------------------
+
+    def _exec_GetLocal(self, instr: GetLocal, stack: list[Value], frame: Frame) -> None:
+        if instr.index >= len(frame.locals):
+            raise Trap(f"local index {instr.index} out of range")
+        value = frame.locals[instr.index]
+        stack.append(value)
+        if frame.resolve_qual(instr.qual) is QualConst.LIN:
+            # Reading a linear local moves the value out: the slot is strongly
+            # updated to unit so the linear value cannot be duplicated.
+            frame.locals[instr.index] = UnitV()
+
+    def _exec_SetLocal(self, instr: SetLocal, stack: list[Value], frame: Frame) -> None:
+        if instr.index >= len(frame.locals):
+            raise Trap(f"local index {instr.index} out of range")
+        frame.locals[instr.index] = self._pop(stack, "set_local operand")
+
+    def _exec_TeeLocal(self, instr: TeeLocal, stack: list[Value], frame: Frame) -> None:
+        if instr.index >= len(frame.locals):
+            raise Trap(f"local index {instr.index} out of range")
+        value = self._pop(stack, "tee_local operand")
+        frame.locals[instr.index] = value
+        stack.append(value)
+
+    def _exec_GetGlobal(self, instr: GetGlobal, stack: list[Value], frame: Frame) -> None:
+        instance = self.store.instance(frame.inst_index)
+        stack.append(instance.globals[instr.index])
+
+    def _exec_SetGlobal(self, instr: SetGlobal, stack: list[Value], frame: Frame) -> None:
+        instance = self.store.instance(frame.inst_index)
+        instance.globals[instr.index] = self._pop(stack, "set_global operand")
+
+    def _exec_Qualify(self, instr: Qualify, stack: list[Value], frame: Frame) -> None:
+        return  # type-level only
+
+    # -- functions -------------------------------------------------------------------
+
+    def _exec_CodeRefI(self, instr: CodeRefI, stack: list[Value], frame: Frame) -> None:
+        stack.append(CoderefV(frame.inst_index, instr.table_index))
+
+    def _exec_Inst(self, instr: Inst, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "inst operand")
+        if not isinstance(value, CoderefV):
+            raise Trap(f"inst expects a coderef, found {value}")
+        stack.append(CoderefV(value.inst_index, value.table_index, value.indices + tuple(instr.indices)))
+
+    def _exec_Call(self, instr: Call, stack: list[Value], frame: Frame) -> None:
+        instance = self.store.instance(frame.inst_index)
+        if instr.func_index >= len(instance.funcs):
+            raise Trap(f"call to unknown function index {instr.func_index}")
+        closure = instance.funcs[instr.func_index]
+        resolved_indices = [self._resolve_index(idx, frame) for idx in instr.indices]
+        args = self._pop_params(stack, len(closure.function.funtype.arrow.params))
+        results = self.call_closure(closure, args, resolved_indices)
+        stack.extend(results)
+
+    def _exec_CallIndirect(self, instr: CallIndirect, stack: list[Value], frame: Frame) -> None:
+        target = self._pop(stack, "call_indirect target")
+        if not isinstance(target, CoderefV):
+            raise Trap(f"call_indirect expects a coderef, found {target}")
+        instance = self.store.instance(target.inst_index)
+        if target.table_index >= len(instance.table):
+            raise Trap(f"call_indirect to unknown table index {target.table_index}")
+        closure = instance.table[target.table_index]
+        resolved_indices = [self._resolve_index(idx, frame) for idx in target.indices]
+        args = self._pop_params(stack, len(closure.function.funtype.arrow.params))
+        results = self.call_closure(closure, args, resolved_indices)
+        stack.extend(results)
+
+    def _resolve_index(self, index: Index, frame: Frame) -> Index:
+        if isinstance(index, SizeIndex):
+            from ..syntax.sizes import SizeConst
+
+            return SizeIndex(SizeConst(frame.resolve_size(index.size)))
+        if isinstance(index, QualIndex):
+            return QualIndex(frame.resolve_qual(index.qual))
+        if isinstance(index, LocIndex) and isinstance(index.loc, LocVar):
+            return LocIndex(frame.resolve_loc(index.loc))
+        return index
+
+    # -- recursive & existential types ------------------------------------------------
+
+    def _exec_RecFold(self, instr: RecFold, stack: list[Value], frame: Frame) -> None:
+        stack.append(FoldV(self._pop(stack, "rec.fold operand")))
+
+    def _exec_RecUnfold(self, instr: RecUnfold, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "rec.unfold operand")
+        if not isinstance(value, FoldV):
+            raise Trap(f"rec.unfold expects a folded value, found {value}")
+        stack.append(value.value)
+
+    def _exec_MemPack(self, instr: MemPack, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "mem.pack operand")
+        loc = frame.resolve_loc(instr.loc)
+        stack.append(MempackV(loc, value))
+
+    def _exec_MemUnpack(self, instr: MemUnpack, stack: list[Value], frame: Frame) -> None:
+        packed = self._pop(stack, "mem.unpack operand")
+        if not isinstance(packed, MempackV):
+            raise Trap(f"mem.unpack expects an existential location package, found {packed}")
+        params = self._pop_params(stack, len(instr.arrow.params))
+        frame.loc_bindings.insert(0, packed.loc if isinstance(packed.loc, ConcreteLoc) else ConcreteLoc(0, MemKind.UNR))
+        try:
+            self._run_label(
+                instr.body,
+                [*params, packed.value],
+                stack,
+                frame,
+                result_count=len(instr.arrow.results),
+            )
+        finally:
+            frame.loc_bindings.pop(0)
+
+    # -- tuples -------------------------------------------------------------------------
+
+    def _exec_SeqGroup(self, instr: SeqGroup, stack: list[Value], frame: Frame) -> None:
+        components = self._pop_params(stack, instr.count)
+        stack.append(ProdV(tuple(components)))
+
+    def _exec_SeqUngroup(self, instr: SeqUngroup, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "seq.ungroup operand")
+        if not isinstance(value, ProdV):
+            raise Trap(f"seq.ungroup expects a tuple, found {value}")
+        stack.extend(value.components)
+
+    # -- capabilities / references ---------------------------------------------------------
+
+    def _exec_CapSplit(self, instr: CapSplit, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "cap.split operand")
+        if not isinstance(value, CapV):
+            raise Trap(f"cap.split expects a capability, found {value}")
+        stack.append(CapV())
+        stack.append(OwnV())
+
+    def _exec_CapJoin(self, instr: CapJoin, stack: list[Value], frame: Frame) -> None:
+        own = self._pop(stack, "cap.join own token")
+        cap = self._pop(stack, "cap.join capability")
+        if not isinstance(own, OwnV) or not isinstance(cap, CapV):
+            raise Trap("cap.join expects a capability and an ownership token")
+        stack.append(CapV())
+
+    def _exec_RefDemote(self, instr: RefDemote, stack: list[Value], frame: Frame) -> None:
+        value = self._pop_ref(stack, "ref.demote operand")
+        stack.append(value)
+
+    def _exec_RefSplit(self, instr: RefSplit, stack: list[Value], frame: Frame) -> None:
+        value = self._pop_ref(stack, "ref.split operand")
+        stack.append(CapV())
+        stack.append(PtrV(value.loc))
+
+    def _exec_RefJoin(self, instr: RefJoin, stack: list[Value], frame: Frame) -> None:
+        pointer = self._pop(stack, "ref.join pointer")
+        cap = self._pop(stack, "ref.join capability")
+        if not isinstance(pointer, PtrV) or not isinstance(cap, CapV):
+            raise Trap("ref.join expects a capability and a pointer")
+        stack.append(RefV(pointer.loc))
+
+    # -- structs -----------------------------------------------------------------------------
+
+    def _exec_StructMalloc(self, instr: StructMalloc, stack: list[Value], frame: Frame) -> None:
+        fields = self._pop_params(stack, len(instr.sizes))
+        total = sum(frame.resolve_size(size) for size in instr.sizes)
+        self._allocate(frame.resolve_qual(instr.qual), StructHV(tuple(fields)), total, stack, frame)
+
+    def _exec_StructFree(self, instr: StructFree, stack: list[Value], frame: Frame) -> None:
+        ref = self._pop_ref(stack, "struct.free operand")
+        loc = frame.resolve_loc(ref.loc)
+        try:
+            self.store.free(loc)
+        except MemoryFault as exc:
+            raise Trap(str(exc)) from exc
+
+    def _struct_at(self, ref: RefV, frame: Frame) -> tuple[ConcreteLoc, StructHV]:
+        loc = frame.resolve_loc(ref.loc)
+        try:
+            cell = self.store.lookup(loc)
+        except MemoryFault as exc:
+            raise Trap(str(exc)) from exc
+        if not isinstance(cell.value, StructHV):
+            raise Trap(f"location {loc} does not hold a struct")
+        return loc, cell.value
+
+    def _exec_StructGet(self, instr: StructGet, stack: list[Value], frame: Frame) -> None:
+        ref = self._pop_ref(stack, "struct.get operand")
+        loc, struct = self._struct_at(ref, frame)
+        if instr.index >= len(struct.fields):
+            raise Trap(f"struct.get index {instr.index} out of range")
+        stack.append(ref)
+        stack.append(struct.fields[instr.index])
+
+    def _exec_StructSet(self, instr: StructSet, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "struct.set value")
+        ref = self._pop_ref(stack, "struct.set operand")
+        loc, struct = self._struct_at(ref, frame)
+        if instr.index >= len(struct.fields):
+            raise Trap(f"struct.set index {instr.index} out of range")
+        fields = list(struct.fields)
+        fields[instr.index] = value
+        self.store.update(loc, StructHV(tuple(fields)))
+        stack.append(ref)
+
+    def _exec_StructSwap(self, instr: StructSwap, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "struct.swap value")
+        ref = self._pop_ref(stack, "struct.swap operand")
+        loc, struct = self._struct_at(ref, frame)
+        if instr.index >= len(struct.fields):
+            raise Trap(f"struct.swap index {instr.index} out of range")
+        old = struct.fields[instr.index]
+        fields = list(struct.fields)
+        fields[instr.index] = value
+        self.store.update(loc, StructHV(tuple(fields)))
+        stack.append(ref)
+        stack.append(old)
+
+    # -- variants -------------------------------------------------------------------------------
+
+    def _exec_VariantMalloc(self, instr: VariantMalloc, stack: list[Value], frame: Frame) -> None:
+        payload = self._pop(stack, "variant.malloc payload")
+        size = 32 + value_size(payload)
+        self._allocate(frame.resolve_qual(instr.qual), VariantHV(instr.tag, payload), size, stack, frame)
+
+    def _exec_VariantCase(self, instr: VariantCase, stack: list[Value], frame: Frame) -> None:
+        params = self._pop_params(stack, len(instr.arrow.params))
+        ref = self._pop_ref(stack, "variant.case scrutinee")
+        loc = frame.resolve_loc(ref.loc)
+        try:
+            cell = self.store.lookup(loc)
+        except MemoryFault as exc:
+            raise Trap(str(exc)) from exc
+        if not isinstance(cell.value, VariantHV):
+            raise Trap(f"location {loc} does not hold a variant")
+        variant = cell.value
+        if variant.tag >= len(instr.branches):
+            raise Trap(f"variant tag {variant.tag} has no branch")
+        linear_flavour = frame.resolve_qual(instr.qual) is QualConst.LIN
+        if linear_flavour:
+            # The linear flavour consumes the reference and frees the cell
+            # (the paper first overwrites it with an empty array, then frees).
+            self.store.update(loc, ArrayHV(0, ()))
+            self.store.free(loc)
+        results: list[Value] = []
+        self._run_label(
+            instr.branches[variant.tag],
+            [*params, variant.value],
+            results,
+            frame,
+            result_count=len(instr.arrow.results),
+        )
+        if not linear_flavour:
+            stack.append(ref)
+        stack.extend(results)
+
+    # -- arrays ---------------------------------------------------------------------------------
+
+    def _exec_ArrayMalloc(self, instr: ArrayMalloc, stack: list[Value], frame: Frame) -> None:
+        length_value = self._pop_num(stack, "array.malloc length")
+        init = self._pop(stack, "array.malloc initial element")
+        length = int(length_value.value)
+        if length < 0:
+            raise Trap("array.malloc with negative length")
+        elements = tuple(init for _ in range(length))
+        size = length * value_size(init)
+        self._allocate(frame.resolve_qual(instr.qual), ArrayHV(length, elements), size, stack, frame)
+
+    def _array_at(self, ref: RefV, frame: Frame) -> tuple[ConcreteLoc, ArrayHV]:
+        loc = frame.resolve_loc(ref.loc)
+        try:
+            cell = self.store.lookup(loc)
+        except MemoryFault as exc:
+            raise Trap(str(exc)) from exc
+        if not isinstance(cell.value, ArrayHV):
+            raise Trap(f"location {loc} does not hold an array")
+        return loc, cell.value
+
+    def _exec_ArrayGet(self, instr: ArrayGet, stack: list[Value], frame: Frame) -> None:
+        index = self._pop_num(stack, "array.get index")
+        ref = self._pop_ref(stack, "array.get operand")
+        loc, array = self._array_at(ref, frame)
+        i = numerics.to_signed(int(index.value), 32)
+        if i < 0 or i >= array.length:
+            raise Trap(f"array.get index {i} out of bounds for length {array.length}")
+        stack.append(ref)
+        stack.append(array.elements[i])
+
+    def _exec_ArraySet(self, instr: ArraySet, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "array.set value")
+        index = self._pop_num(stack, "array.set index")
+        ref = self._pop_ref(stack, "array.set operand")
+        loc, array = self._array_at(ref, frame)
+        i = numerics.to_signed(int(index.value), 32)
+        if i < 0 or i >= array.length:
+            raise Trap(f"array.set index {i} out of bounds for length {array.length}")
+        elements = list(array.elements)
+        elements[i] = value
+        self.store.update(loc, ArrayHV(array.length, tuple(elements)))
+        stack.append(ref)
+
+    def _exec_ArrayFree(self, instr: ArrayFree, stack: list[Value], frame: Frame) -> None:
+        ref = self._pop_ref(stack, "array.free operand")
+        loc = frame.resolve_loc(ref.loc)
+        try:
+            self.store.free(loc)
+        except MemoryFault as exc:
+            raise Trap(str(exc)) from exc
+
+    # -- existential packages ----------------------------------------------------------------------
+
+    def _exec_ExistPack(self, instr: ExistPack, stack: list[Value], frame: Frame) -> None:
+        value = self._pop(stack, "exist.pack payload")
+        size = 64 + value_size(value)
+        self._allocate(
+            frame.resolve_qual(instr.qual),
+            PackHV(instr.pretype, value, instr.heaptype),
+            size,
+            stack,
+            frame,
+        )
+
+    def _exec_ExistUnpack(self, instr: ExistUnpack, stack: list[Value], frame: Frame) -> None:
+        params = self._pop_params(stack, len(instr.arrow.params))
+        ref = self._pop_ref(stack, "exist.unpack scrutinee")
+        loc = frame.resolve_loc(ref.loc)
+        try:
+            cell = self.store.lookup(loc)
+        except MemoryFault as exc:
+            raise Trap(str(exc)) from exc
+        if not isinstance(cell.value, PackHV):
+            raise Trap(f"location {loc} does not hold an existential package")
+        package = cell.value
+        linear_flavour = frame.resolve_qual(instr.qual) is QualConst.LIN
+        if linear_flavour:
+            self.store.update(loc, ArrayHV(0, ()))
+            self.store.free(loc)
+        results: list[Value] = []
+        self._run_label(
+            instr.body,
+            [*params, package.value],
+            results,
+            frame,
+            result_count=len(instr.arrow.results),
+        )
+        if not linear_flavour:
+            stack.append(ref)
+        stack.extend(results)

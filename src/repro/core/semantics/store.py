@@ -1,0 +1,139 @@
+"""The RichWasm runtime store (paper Fig. 4, "Runtime objects").
+
+The store holds the list of module instances and the global memory.  The
+memory has two components: the **linear** memory (manually managed, freed by
+``free`` instructions) and the **unrestricted** memory (garbage collected).
+Both are maps from locations (natural numbers) to structured heap values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..syntax.locations import ConcreteLoc, MemKind, lin_loc, unr_loc
+from ..syntax.modules import Function, FunctionDecl, Module
+from ..syntax.values import HeapValue, Value
+from ..typing.errors import RichWasmError
+
+
+class MemoryFault(RichWasmError):
+    """Access to a freed or never-allocated location (a runtime trap cause)."""
+
+
+@dataclass
+class MemoryCell:
+    """One allocated cell: its heap value and the slot size it was given."""
+
+    value: HeapValue
+    size: int
+
+
+@dataclass
+class MemorySpace:
+    """One of the two flat memories: a map from addresses to cells."""
+
+    kind: MemKind
+    cells: dict[int, MemoryCell] = field(default_factory=dict)
+    next_address: int = 0
+    allocation_count: int = 0
+    free_count: int = 0
+
+    def allocate(self, value: HeapValue, size: int) -> ConcreteLoc:
+        address = self.next_address
+        self.next_address += 1
+        self.cells[address] = MemoryCell(value, size)
+        self.allocation_count += 1
+        return ConcreteLoc(address, self.kind)
+
+    def lookup(self, loc: ConcreteLoc) -> MemoryCell:
+        self._check(loc)
+        if loc.address not in self.cells:
+            raise MemoryFault(f"access to unallocated or freed location {loc}")
+        return self.cells[loc.address]
+
+    def update(self, loc: ConcreteLoc, value: HeapValue) -> None:
+        cell = self.lookup(loc)
+        cell.value = value
+
+    def free(self, loc: ConcreteLoc) -> None:
+        self._check(loc)
+        if loc.address not in self.cells:
+            raise MemoryFault(f"double free of location {loc}")
+        del self.cells[loc.address]
+        self.free_count += 1
+
+    def contains(self, loc: ConcreteLoc) -> bool:
+        return loc.mem is self.kind and loc.address in self.cells
+
+    def _check(self, loc: ConcreteLoc) -> None:
+        if loc.mem is not self.kind:
+            raise MemoryFault(f"location {loc} does not belong to the {self.kind} memory")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def locations(self) -> Iterator[ConcreteLoc]:
+        for address in self.cells:
+            yield ConcreteLoc(address, self.kind)
+
+
+@dataclass
+class Closure:
+    """A closure: a function together with the instance that defines it."""
+
+    inst_index: int
+    function: Function
+
+
+@dataclass
+class ModuleInstance:
+    """A runtime module instance: resolved functions, global values, table."""
+
+    module: Module
+    funcs: list[Closure] = field(default_factory=list)
+    globals: list[Value] = field(default_factory=list)
+    table: list[Closure] = field(default_factory=list)
+    exports: dict[str, int] = field(default_factory=dict)
+    global_exports: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Store:
+    """The runtime store: module instances plus the two memories."""
+
+    instances: list[ModuleInstance] = field(default_factory=list)
+    linear: MemorySpace = field(default_factory=lambda: MemorySpace(MemKind.LIN))
+    unrestricted: MemorySpace = field(default_factory=lambda: MemorySpace(MemKind.UNR))
+
+    def memory(self, kind: MemKind) -> MemorySpace:
+        return self.linear if kind is MemKind.LIN else self.unrestricted
+
+    def allocate(self, kind: MemKind, value: HeapValue, size: int) -> ConcreteLoc:
+        return self.memory(kind).allocate(value, size)
+
+    def lookup(self, loc: ConcreteLoc) -> MemoryCell:
+        return self.memory(loc.mem).lookup(loc)
+
+    def update(self, loc: ConcreteLoc, value: HeapValue) -> None:
+        self.memory(loc.mem).update(loc, value)
+
+    def free(self, loc: ConcreteLoc) -> None:
+        self.memory(loc.mem).free(loc)
+
+    def instance(self, index: int) -> ModuleInstance:
+        if index < 0 or index >= len(self.instances):
+            raise RichWasmError(f"module instance index {index} out of range")
+        return self.instances[index]
+
+    def stats(self) -> dict[str, int]:
+        """Allocation statistics used by benchmarks."""
+
+        return {
+            "linear_live": len(self.linear),
+            "linear_allocated": self.linear.allocation_count,
+            "linear_freed": self.linear.free_count,
+            "unrestricted_live": len(self.unrestricted),
+            "unrestricted_allocated": self.unrestricted.allocation_count,
+            "unrestricted_freed": self.unrestricted.free_count,
+        }

@@ -1,0 +1,599 @@
+"""RichWasm instructions (paper Fig. 2, "Terms").
+
+Instructions are plain dataclasses; sequences of instructions are Python
+tuples/lists.  The set mirrors WebAssembly's core instructions plus the new
+RichWasm constructs: qualifier manipulation, recursive fold/unfold, location
+pack/unpack, tuple group/ungroup, capability/reference splitting and joining,
+and one family of instructions per heap-type constructor (struct, variant,
+array, existential package).
+
+Block-introducing instructions carry a *local effect* annotation ``(i, τ)*``
+describing how the block changes the types of local slots, exactly as in the
+paper; the type checker uses it, and the lowering pass erases it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from .qualifiers import Qual, QualConst, UNR
+from .sizes import Size
+from .types import ArrowType, HeapType, Index, Loc, NumType, Pretype, Type
+
+# ---------------------------------------------------------------------------
+# Numeric operators
+# ---------------------------------------------------------------------------
+
+
+class IntUnop(enum.Enum):
+    CLZ = "clz"
+    CTZ = "ctz"
+    POPCNT = "popcnt"
+
+
+class IntBinop(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV_S = "div_s"
+    DIV_U = "div_u"
+    REM_S = "rem_s"
+    REM_U = "rem_u"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR_S = "shr_s"
+    SHR_U = "shr_u"
+    ROTL = "rotl"
+    ROTR = "rotr"
+
+
+class IntTestop(enum.Enum):
+    EQZ = "eqz"
+
+
+class IntRelop(enum.Enum):
+    EQ = "eq"
+    NE = "ne"
+    LT_S = "lt_s"
+    LT_U = "lt_u"
+    GT_S = "gt_s"
+    GT_U = "gt_u"
+    LE_S = "le_s"
+    LE_U = "le_u"
+    GE_S = "ge_s"
+    GE_U = "ge_u"
+
+
+class FloatUnop(enum.Enum):
+    ABS = "abs"
+    NEG = "neg"
+    SQRT = "sqrt"
+    CEIL = "ceil"
+    FLOOR = "floor"
+    TRUNC = "trunc"
+    NEAREST = "nearest"
+
+
+class FloatBinop(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MIN = "min"
+    MAX = "max"
+    COPYSIGN = "copysign"
+
+
+class FloatRelop(enum.Enum):
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    GT = "gt"
+    LE = "le"
+    GE = "ge"
+
+
+class CvtOp(enum.Enum):
+    CONVERT = "convert"
+    REINTERPRET = "reinterpret"
+    WRAP = "wrap"
+    EXTEND_S = "extend_s"
+    EXTEND_U = "extend_u"
+
+
+# ---------------------------------------------------------------------------
+# Local effects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalEffect:
+    """A local effect entry ``(i, τ)``: slot ``i`` has type ``τ`` afterwards."""
+
+    index: int
+    type: Type
+
+
+LocalEffects = Tuple[LocalEffect, ...]
+
+
+def local_effects(entries: Sequence[tuple[int, Type]]) -> LocalEffects:
+    """Build a local-effect annotation from ``(index, type)`` pairs."""
+
+    return tuple(LocalEffect(i, t) for i, t in entries)
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumConst:
+    """``np.const c`` — push a numeric constant."""
+
+    numtype: NumType
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class NumUnop:
+    """An integer or float unary operator."""
+
+    numtype: NumType
+    op: Union[IntUnop, FloatUnop]
+
+
+@dataclass(frozen=True)
+class NumBinop:
+    """An integer or float binary operator."""
+
+    numtype: NumType
+    op: Union[IntBinop, FloatBinop]
+
+
+@dataclass(frozen=True)
+class NumTestop:
+    """An integer test operator (``eqz``)."""
+
+    numtype: NumType
+    op: IntTestop = IntTestop.EQZ
+
+
+@dataclass(frozen=True)
+class NumRelop:
+    """An integer or float comparison operator."""
+
+    numtype: NumType
+    op: Union[IntRelop, FloatRelop]
+
+
+@dataclass(frozen=True)
+class NumCvtop:
+    """A numeric conversion ``np.cvtop np'``."""
+
+    target: NumType
+    op: CvtOp
+    source: NumType
+
+
+@dataclass(frozen=True)
+class Unreachable:
+    """``unreachable`` — trap unconditionally."""
+
+
+@dataclass(frozen=True)
+class Nop:
+    """``nop``."""
+
+
+@dataclass(frozen=True)
+class Drop:
+    """``drop`` — discard the (unrestricted) top of stack."""
+
+
+@dataclass(frozen=True)
+class Select:
+    """``select`` — pick one of two (unrestricted) values by an i32 flag."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """``block tf (i, τ)* e* end``."""
+
+    arrow: ArrowType
+    effects: LocalEffects
+    body: tuple["Instr", ...]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``loop tf e* end``."""
+
+    arrow: ArrowType
+    body: tuple["Instr", ...]
+
+
+@dataclass(frozen=True)
+class If:
+    """``if tf (i, τ)* e* else e* end``."""
+
+    arrow: ArrowType
+    effects: LocalEffects
+    then_body: tuple["Instr", ...]
+    else_body: tuple["Instr", ...]
+
+
+@dataclass(frozen=True)
+class Br:
+    """``br i`` — unconditional branch to the ``i``-th enclosing label."""
+
+    depth: int
+
+
+@dataclass(frozen=True)
+class BrIf:
+    """``br_if i`` — conditional branch."""
+
+    depth: int
+
+
+@dataclass(frozen=True)
+class BrTable:
+    """``br_table i* j`` — indexed branch with a default."""
+
+    depths: tuple[int, ...]
+    default: int
+
+
+@dataclass(frozen=True)
+class Return:
+    """``return``."""
+
+
+@dataclass(frozen=True)
+class GetLocal:
+    """``get_local i q``.
+
+    If the slot's qualifier is linear the slot is strongly updated to unit,
+    so the (linear) value is moved rather than copied.  ``qual`` is the
+    annotation recording the qualifier the program expects.
+    """
+
+    index: int
+    qual: Qual = UNR
+
+
+@dataclass(frozen=True)
+class SetLocal:
+    """``set_local i`` — strong update of local slot ``i``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class TeeLocal:
+    """``tee_local i`` — set and keep the value on the stack."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class GetGlobal:
+    """``get_global i``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class SetGlobal:
+    """``set_global i``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Qualify:
+    """``qualify q`` — re-annotate the top of the stack at qualifier ``q``."""
+
+    qual: Qual
+
+
+@dataclass(frozen=True)
+class CodeRefI:
+    """``coderef i`` — push a code reference to table entry ``i``."""
+
+    table_index: int
+
+
+@dataclass(frozen=True)
+class Inst:
+    """``inst κ*`` — instantiate leading quantifiers of a code reference."""
+
+    indices: tuple[Index, ...]
+
+
+@dataclass(frozen=True)
+class CallIndirect:
+    """``call_indirect`` — call through a code reference on the stack."""
+
+
+@dataclass(frozen=True)
+class Call:
+    """``call i κ*`` — direct call of function ``i`` with instantiation ``κ*``."""
+
+    func_index: int
+    indices: tuple[Index, ...] = ()
+
+
+@dataclass(frozen=True)
+class RecFold:
+    """``rec.fold p`` — fold a value into the recursive pretype ``p``."""
+
+    pretype: Pretype
+
+
+@dataclass(frozen=True)
+class RecUnfold:
+    """``rec.unfold`` — unfold a recursive value one level."""
+
+
+@dataclass(frozen=True)
+class MemPack:
+    """``mem.pack ℓ`` — package a value, abstracting location ``ℓ``."""
+
+    loc: Loc
+
+
+@dataclass(frozen=True)
+class MemUnpack:
+    """``mem.unpack tf (i, τ)* ρ. e*`` — open an existential location.
+
+    The block body is typed with a fresh location variable in scope.
+    """
+
+    arrow: ArrowType
+    effects: LocalEffects
+    body: tuple["Instr", ...]
+
+
+@dataclass(frozen=True)
+class SeqGroup:
+    """``seq.group i q`` — collect the top ``i`` stack values into a tuple."""
+
+    count: int
+    qual: Qual
+
+
+@dataclass(frozen=True)
+class SeqUngroup:
+    """``seq.ungroup`` — explode a tuple onto the stack."""
+
+
+@dataclass(frozen=True)
+class CapSplit:
+    """``cap.split`` — split a rw capability into a r capability + own token."""
+
+
+@dataclass(frozen=True)
+class CapJoin:
+    """``cap.join`` — rejoin a r capability and its own token into rw."""
+
+
+@dataclass(frozen=True)
+class RefDemote:
+    """``ref.demote`` — forget write privilege of a reference."""
+
+
+@dataclass(frozen=True)
+class RefSplit:
+    """``ref.split`` — split a reference into a capability and a pointer."""
+
+
+@dataclass(frozen=True)
+class RefJoin:
+    """``ref.join`` — join a capability and a pointer back into a reference."""
+
+
+@dataclass(frozen=True)
+class StructMalloc:
+    """``struct.malloc sz* q`` — allocate a struct with the given slot sizes."""
+
+    sizes: tuple[Size, ...]
+    qual: Qual
+
+
+@dataclass(frozen=True)
+class StructFree:
+    """``struct.free`` — free a (linear) struct."""
+
+
+@dataclass(frozen=True)
+class StructGet:
+    """``struct.get i`` — read (copy) the unrestricted field ``i``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class StructSet:
+    """``struct.set i`` — overwrite field ``i`` (strong update if linear ref)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class StructSwap:
+    """``struct.swap i`` — exchange field ``i`` with a stack value."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class VariantMalloc:
+    """``variant.malloc i τ* q`` — allocate case ``i`` of a variant type."""
+
+    tag: int
+    cases: tuple[Type, ...]
+    qual: Qual
+
+
+@dataclass(frozen=True)
+class VariantCase:
+    """``variant.case q ψ tf (i, τ)* (e*)* end`` — case analysis on a variant.
+
+    With a linear annotation the scrutinised reference is consumed and its
+    memory freed; with an unrestricted annotation it is returned to the stack.
+    """
+
+    qual: Qual
+    heaptype: HeapType
+    arrow: ArrowType
+    effects: LocalEffects
+    branches: tuple[tuple["Instr", ...], ...]
+
+
+@dataclass(frozen=True)
+class ArrayMalloc:
+    """``array.malloc q`` — allocate an array (length from the stack)."""
+
+    qual: Qual
+
+
+@dataclass(frozen=True)
+class ArrayGet:
+    """``array.get`` — read element at an i32 index (bounds-checked)."""
+
+
+@dataclass(frozen=True)
+class ArraySet:
+    """``array.set`` — write element at an i32 index (bounds-checked)."""
+
+
+@dataclass(frozen=True)
+class ArrayFree:
+    """``array.free`` — free a (linear) array."""
+
+
+@dataclass(frozen=True)
+class ExistPack:
+    """``exist.pack p ψ q`` — allocate an existential package with witness ``p``."""
+
+    pretype: Pretype
+    heaptype: HeapType
+    qual: Qual
+
+
+@dataclass(frozen=True)
+class ExistUnpack:
+    """``exist.unpack q ψ tf (i, τ)* . e* end`` — open an existential package."""
+
+    qual: Qual
+    heaptype: HeapType
+    arrow: ArrowType
+    effects: LocalEffects
+    body: tuple["Instr", ...]
+
+
+Instr = Union[
+    NumConst,
+    NumUnop,
+    NumBinop,
+    NumTestop,
+    NumRelop,
+    NumCvtop,
+    Unreachable,
+    Nop,
+    Drop,
+    Select,
+    Block,
+    Loop,
+    If,
+    Br,
+    BrIf,
+    BrTable,
+    Return,
+    GetLocal,
+    SetLocal,
+    TeeLocal,
+    GetGlobal,
+    SetGlobal,
+    Qualify,
+    CodeRefI,
+    Inst,
+    CallIndirect,
+    Call,
+    RecFold,
+    RecUnfold,
+    MemPack,
+    MemUnpack,
+    SeqGroup,
+    SeqUngroup,
+    CapSplit,
+    CapJoin,
+    RefDemote,
+    RefSplit,
+    RefJoin,
+    StructMalloc,
+    StructFree,
+    StructGet,
+    StructSet,
+    StructSwap,
+    VariantMalloc,
+    VariantCase,
+    ArrayMalloc,
+    ArrayGet,
+    ArraySet,
+    ArrayFree,
+    ExistPack,
+    ExistUnpack,
+]
+
+
+#: Instructions that exist only at the type level and are erased when
+#: lowering to Wasm (paper §6, "Remaining Instructions").
+TYPE_LEVEL_INSTRS = (
+    Qualify,
+    RecFold,
+    RecUnfold,
+    MemPack,
+    CapSplit,
+    CapJoin,
+    RefDemote,
+    RefSplit,
+    RefJoin,
+    Inst,
+)
+
+
+def is_type_level(instr: Instr) -> bool:
+    """True for instructions with no runtime behaviour (erased by lowering)."""
+
+    return isinstance(instr, TYPE_LEVEL_INSTRS)
+
+
+def instruction_count(body: Sequence[Instr]) -> int:
+    """Count instructions, descending into nested blocks."""
+
+    total = 0
+    for instr in body:
+        total += 1
+        for nested in nested_bodies(instr):
+            total += instruction_count(nested)
+    return total
+
+
+def nested_bodies(instr: Instr) -> list[tuple[Instr, ...]]:
+    """Return the nested instruction sequences of a block-like instruction."""
+
+    if isinstance(instr, (Block, Loop, MemUnpack, ExistUnpack)):
+        return [instr.body]
+    if isinstance(instr, If):
+        return [instr.then_body, instr.else_body]
+    if isinstance(instr, VariantCase):
+        return list(instr.branches)
+    return []

@@ -1,0 +1,109 @@
+"""Memory locations of the RichWasm type system and runtime.
+
+RichWasm has two global flat memories: the **linear** memory (manually
+managed; references into it must be treated linearly) and the **unrestricted**
+memory (garbage collected; behaves like ML references).  Locations are natural
+numbers tagged with the memory they live in, or location *variables* ``ρ``
+introduced by location quantification / existential location types
+(paper §2.1, "Heap types and memory model").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class MemKind(enum.Enum):
+    """Which of the two global memories a concrete location belongs to."""
+
+    LIN = "lin"
+    UNR = "unr"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_linear(self) -> bool:
+        return self is MemKind.LIN
+
+    @property
+    def is_unrestricted(self) -> bool:
+        return self is MemKind.UNR
+
+
+LIN_MEM = MemKind.LIN
+UNR_MEM = MemKind.UNR
+
+
+@dataclass(frozen=True)
+class ConcreteLoc:
+    """A concrete location ``i_lin`` / ``i_unr``: an address in one memory."""
+
+    address: int
+    mem: MemKind
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"location address must be >= 0, got {self.address}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.address}{self.mem.value}"
+
+
+@dataclass(frozen=True)
+class LocVar:
+    """A location variable ``ρ`` (de Bruijn index into the location context)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"location variable index must be >= 0, got {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"ρ{self.index}"
+
+
+Loc = Union[ConcreteLoc, LocVar]
+
+
+def lin_loc(address: int) -> ConcreteLoc:
+    """A concrete address in the linear (manually managed) memory."""
+
+    return ConcreteLoc(address, MemKind.LIN)
+
+
+def unr_loc(address: int) -> ConcreteLoc:
+    """A concrete address in the unrestricted (garbage collected) memory."""
+
+    return ConcreteLoc(address, MemKind.UNR)
+
+
+def is_concrete(loc: Loc) -> bool:
+    """True when ``loc`` is an address rather than a variable."""
+
+    return isinstance(loc, ConcreteLoc)
+
+
+def shift_loc(loc: Loc, amount: int, cutoff: int = 0) -> Loc:
+    """Shift location-variable indices >= ``cutoff`` by ``amount``."""
+
+    if isinstance(loc, LocVar) and loc.index >= cutoff:
+        return LocVar(loc.index + amount)
+    return loc
+
+
+def substitute_loc(loc: Loc, replacements: dict[int, Loc]) -> Loc:
+    """Substitute location variables according to ``replacements``."""
+
+    if isinstance(loc, LocVar) and loc.index in replacements:
+        return replacements[loc.index]
+    return loc
+
+
+def format_loc(loc: Loc) -> str:
+    """Human-readable rendering used by the pretty printer."""
+
+    return str(loc)

@@ -1,0 +1,185 @@
+"""RichWasm top-level declarations: functions, globals, tables, modules.
+
+Mirrors the paper's Fig. 2 "Top-level declarations": a module is a list of
+functions, a list of globals and a function table; functions, globals and
+tables may be exported by name or be imports from other modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .instructions import Instr, instruction_count
+from .sizes import Size
+from .types import FunType, Pretype, Type
+
+
+@dataclass(frozen=True)
+class Import:
+    """An import reference ``import "module" "name"``."""
+
+    module: str
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f'(import "{self.module}" "{self.name}")'
+
+
+@dataclass(frozen=True)
+class Function:
+    """A RichWasm function definition.
+
+    ``locals_sizes`` gives the slot size for each declared local (parameters
+    are locals too, but their sizes are derived from the parameter types);
+    each declared local starts out holding the unrestricted unit value.
+    """
+
+    funtype: FunType
+    locals_sizes: tuple[Size, ...]
+    body: tuple[Instr, ...]
+    exports: tuple[str, ...] = ()
+    name: Optional[str] = None
+
+    @property
+    def is_import(self) -> bool:
+        return False
+
+    def instruction_count(self) -> int:
+        return instruction_count(self.body)
+
+
+@dataclass(frozen=True)
+class ImportedFunction:
+    """A function imported from another module."""
+
+    funtype: FunType
+    import_ref: Import
+    exports: tuple[str, ...] = ()
+    name: Optional[str] = None
+
+    @property
+    def is_import(self) -> bool:
+        return True
+
+
+FunctionDecl = Union[Function, ImportedFunction]
+
+
+@dataclass(frozen=True)
+class Global:
+    """A global declaration ``glob mut? p i*``.
+
+    Globals hold pretype values (the paper restricts globals to capability-free
+    pretypes); ``init`` is the instruction sequence computing the initial
+    value.
+    """
+
+    pretype: Pretype
+    mutable: bool
+    init: tuple[Instr, ...]
+    exports: tuple[str, ...] = ()
+    name: Optional[str] = None
+
+    @property
+    def is_import(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ImportedGlobal:
+    """A global imported from another module."""
+
+    pretype: Pretype
+    mutable: bool
+    import_ref: Import
+    exports: tuple[str, ...] = ()
+    name: Optional[str] = None
+
+    @property
+    def is_import(self) -> bool:
+        return True
+
+
+GlobalDecl = Union[Global, ImportedGlobal]
+
+
+@dataclass(frozen=True)
+class Table:
+    """A function table: indices of in-module functions usable indirectly."""
+
+    entries: tuple[int, ...] = ()
+    exports: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Module:
+    """A RichWasm module ``module f* glob* tab``."""
+
+    functions: tuple[FunctionDecl, ...] = ()
+    globals: tuple[GlobalDecl, ...] = ()
+    table: Table = field(default_factory=Table)
+    name: Optional[str] = None
+
+    def exported_functions(self) -> dict[str, int]:
+        """Map export name -> function index."""
+
+        exports: dict[str, int] = {}
+        for index, function in enumerate(self.functions):
+            for export in function.exports:
+                exports[export] = index
+        return exports
+
+    def exported_globals(self) -> dict[str, int]:
+        """Map export name -> global index."""
+
+        exports: dict[str, int] = {}
+        for index, global_decl in enumerate(self.globals):
+            for export in global_decl.exports:
+                exports[export] = index
+        return exports
+
+    def function_imports(self) -> list[tuple[int, ImportedFunction]]:
+        """All imported functions with their indices."""
+
+        return [
+            (index, function)
+            for index, function in enumerate(self.functions)
+            if isinstance(function, ImportedFunction)
+        ]
+
+    def defined_functions(self) -> list[tuple[int, Function]]:
+        """All locally defined functions with their indices."""
+
+        return [
+            (index, function)
+            for index, function in enumerate(self.functions)
+            if isinstance(function, Function)
+        ]
+
+    def instruction_count(self) -> int:
+        """Total number of instructions across all defined functions."""
+
+        total = 0
+        for _, function in self.defined_functions():
+            total += function.instruction_count()
+        for global_decl in self.globals:
+            if isinstance(global_decl, Global):
+                total += instruction_count(global_decl.init)
+        return total
+
+
+def make_module(
+    functions: Sequence[FunctionDecl] = (),
+    globals: Sequence[GlobalDecl] = (),
+    table: Optional[Table] = None,
+    name: Optional[str] = None,
+) -> Module:
+    """Convenience constructor for modules."""
+
+    return Module(
+        functions=tuple(functions),
+        globals=tuple(globals),
+        table=table if table is not None else Table(),
+        name=name,
+    )

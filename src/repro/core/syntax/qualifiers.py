@@ -1,0 +1,125 @@
+"""Qualifiers of the RichWasm type system.
+
+A RichWasm *type* is a pretype annotated with a qualifier (paper Fig. 2).
+Concrete qualifiers are ``unr`` (unrestricted: the value may be freely
+duplicated and dropped) and ``lin`` (linear: the value must be used exactly
+once).  Qualifiers may also be *variables* bound by qualifier quantification
+in function types; constraint contexts record lower/upper bounds for each
+variable (paper §2.1, "Function types and polymorphism").
+
+The concrete ordering is ``unr ⪯ lin``.  Entailment in the presence of
+variables is resolved by :class:`repro.core.typing.constraints.QualContext`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class QualConst(enum.Enum):
+    """The two concrete qualifiers."""
+
+    UNR = "unr"
+    LIN = "lin"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_linear(self) -> bool:
+        return self is QualConst.LIN
+
+    @property
+    def is_unrestricted(self) -> bool:
+        return self is QualConst.UNR
+
+
+#: Convenient aliases used pervasively by the typing and compiler code.
+UNR = QualConst.UNR
+LIN = QualConst.LIN
+
+
+@dataclass(frozen=True)
+class QualVar:
+    """A qualifier variable ``δ`` bound by a function-type quantifier.
+
+    Variables are identified by a de Bruijn-style index into the qualifier
+    component of the enclosing function environment (index 0 is the most
+    recently bound variable).
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"qualifier variable index must be >= 0, got {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"δ{self.index}"
+
+
+#: A qualifier is either a concrete constant or a bound variable.
+Qual = Union[QualConst, QualVar]
+
+
+def qual_const_leq(lhs: QualConst, rhs: QualConst) -> bool:
+    """Concrete qualifier ordering ``unr ⪯ lin``.
+
+    ``lhs ⪯ rhs`` holds iff ``lhs`` is unrestricted or both are linear.
+    """
+
+    return lhs is QualConst.UNR or rhs is QualConst.LIN
+
+
+def qual_const_join(lhs: QualConst, rhs: QualConst) -> QualConst:
+    """Least upper bound of two concrete qualifiers."""
+
+    if lhs is QualConst.LIN or rhs is QualConst.LIN:
+        return QualConst.LIN
+    return QualConst.UNR
+
+
+def qual_const_meet(lhs: QualConst, rhs: QualConst) -> QualConst:
+    """Greatest lower bound of two concrete qualifiers."""
+
+    if lhs is QualConst.UNR or rhs is QualConst.UNR:
+        return QualConst.UNR
+    return QualConst.LIN
+
+
+def is_qual(value: object) -> bool:
+    """Return True if ``value`` is a qualifier (constant or variable)."""
+
+    return isinstance(value, (QualConst, QualVar))
+
+
+def shift_qual(qual: Qual, amount: int, cutoff: int = 0) -> Qual:
+    """Shift qualifier variable indices >= ``cutoff`` by ``amount``.
+
+    Used when moving a qualifier under additional quantifier binders.
+    """
+
+    if isinstance(qual, QualVar) and qual.index >= cutoff:
+        return QualVar(qual.index + amount)
+    return qual
+
+
+def substitute_qual(qual: Qual, replacements: dict[int, Qual]) -> Qual:
+    """Substitute qualifier variables according to ``replacements``.
+
+    Variables whose index is not in ``replacements`` are left untouched.
+    """
+
+    if isinstance(qual, QualVar) and qual.index in replacements:
+        return replacements[qual.index]
+    return qual
+
+
+def format_qual(qual: Qual) -> str:
+    """Human-readable rendering used by the pretty printer."""
+
+    if isinstance(qual, QualConst):
+        return qual.value
+    return str(qual)

@@ -1,0 +1,222 @@
+"""Size expressions of the RichWasm type system.
+
+RichWasm tracks the size (in bits, as in the paper's examples where an ``i32``
+occupies 32 and an ``i64`` occupies 64) of every memory slot, struct field and
+local variable so that *strong updates* can be checked to fit in the slot that
+was originally allocated (paper §1, §2.1).
+
+A size is one of
+
+* a concrete natural number ``i``,
+* a size variable ``σ`` bound by size quantification in a function type, or
+* a sum ``sz + sz``.
+
+Constraint contexts (:class:`repro.core.typing.constraints.SizeContext`) give
+lower and upper bounds for size variables, which entailment uses to discharge
+comparisons such as ``σ1 + σ2 ≤ σ3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+
+@dataclass(frozen=True)
+class SizeConst:
+    """A concrete size (a natural number of bits)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"size must be non-negative, got {self.value}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SizeVar:
+    """A size variable ``σ`` (de Bruijn index into the size context)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"size variable index must be >= 0, got {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"σ{self.index}"
+
+
+@dataclass(frozen=True)
+class SizePlus:
+    """The sum of two sizes."""
+
+    left: "Size"
+    right: "Size"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"({self.left} + {self.right})"
+
+
+Size = Union[SizeConst, SizeVar, SizePlus]
+
+
+def size_const(value: int) -> SizeConst:
+    """Construct a concrete size."""
+
+    return SizeConst(value)
+
+
+def size_plus(left: Size, right: Size) -> Size:
+    """Construct a sum of sizes, folding concrete operands eagerly."""
+
+    if isinstance(left, SizeConst) and isinstance(right, SizeConst):
+        return SizeConst(left.value + right.value)
+    if isinstance(left, SizeConst) and left.value == 0:
+        return right
+    if isinstance(right, SizeConst) and right.value == 0:
+        return left
+    return SizePlus(left, right)
+
+
+def size_sum(sizes: list[Size] | tuple[Size, ...]) -> Size:
+    """Sum a sequence of sizes (empty sum is 0)."""
+
+    total: Size = SizeConst(0)
+    for size in sizes:
+        total = size_plus(total, size)
+    return total
+
+
+def size_free_vars(size: Size) -> set[int]:
+    """The set of size-variable indices occurring in ``size``."""
+
+    if isinstance(size, SizeVar):
+        return {size.index}
+    if isinstance(size, SizePlus):
+        return size_free_vars(size.left) | size_free_vars(size.right)
+    return set()
+
+
+def size_is_closed(size: Size) -> bool:
+    """True when ``size`` mentions no size variables."""
+
+    return not size_free_vars(size)
+
+
+def eval_size(size: Size, env: Optional[dict[int, int]] = None) -> int:
+    """Evaluate a size to a concrete number of bits.
+
+    ``env`` maps size-variable indices to concrete values.  Raises
+    :class:`ValueError` for unbound variables.
+    """
+
+    if isinstance(size, SizeConst):
+        return size.value
+    if isinstance(size, SizeVar):
+        if env is not None and size.index in env:
+            return env[size.index]
+        raise ValueError(f"cannot evaluate open size expression: unbound {size}")
+    if isinstance(size, SizePlus):
+        return eval_size(size.left, env) + eval_size(size.right, env)
+    raise TypeError(f"not a size: {size!r}")
+
+
+def size_leaves(size: Size) -> Iterator[Size]:
+    """Iterate over the non-sum leaves of a size expression."""
+
+    if isinstance(size, SizePlus):
+        yield from size_leaves(size.left)
+        yield from size_leaves(size.right)
+    else:
+        yield size
+
+
+def normalize_size(size: Size) -> Size:
+    """Normalize a size expression to ``const + var0 + var1 + ...`` form.
+
+    The constant parts are folded together; variable leaves are kept in
+    occurrence order.  Two sizes with the same normal form are semantically
+    equal under every assignment of the variables.
+    """
+
+    const_total = 0
+    vars_in_order: list[Size] = []
+    for leaf in size_leaves(size):
+        if isinstance(leaf, SizeConst):
+            const_total += leaf.value
+        else:
+            vars_in_order.append(leaf)
+    result: Size = SizeConst(const_total)
+    for var in vars_in_order:
+        result = SizePlus(result, var) if not (
+            isinstance(result, SizeConst) and result.value == 0 and not vars_in_order
+        ) else var
+    # Rebuild carefully: start from the constant, then add variables.
+    result = SizeConst(const_total)
+    for var in vars_in_order:
+        result = size_plus(result, var)
+    return result
+
+
+def size_structurally_equal(lhs: Size, rhs: Size) -> bool:
+    """Equality up to normalization (constant folding, zero elimination)."""
+
+    lhs_n = normalize_size(lhs)
+    rhs_n = normalize_size(rhs)
+    return _normal_form_key(lhs_n) == _normal_form_key(rhs_n)
+
+
+def _normal_form_key(size: Size) -> tuple[int, tuple[int, ...]]:
+    const_total = 0
+    var_counts: dict[int, int] = {}
+    for leaf in size_leaves(size):
+        if isinstance(leaf, SizeConst):
+            const_total += leaf.value
+        elif isinstance(leaf, SizeVar):
+            var_counts[leaf.index] = var_counts.get(leaf.index, 0) + 1
+    flattened: list[int] = []
+    for index in sorted(var_counts):
+        flattened.extend([index] * var_counts[index])
+    return const_total, tuple(flattened)
+
+
+def shift_size(size: Size, amount: int, cutoff: int = 0) -> Size:
+    """Shift size-variable indices >= ``cutoff`` by ``amount``."""
+
+    if isinstance(size, SizeVar):
+        if size.index >= cutoff:
+            return SizeVar(size.index + amount)
+        return size
+    if isinstance(size, SizePlus):
+        return SizePlus(
+            shift_size(size.left, amount, cutoff),
+            shift_size(size.right, amount, cutoff),
+        )
+    return size
+
+
+def substitute_size(size: Size, replacements: dict[int, Size]) -> Size:
+    """Substitute size variables according to ``replacements``."""
+
+    if isinstance(size, SizeVar):
+        return replacements.get(size.index, size)
+    if isinstance(size, SizePlus):
+        return size_plus(
+            substitute_size(size.left, replacements),
+            substitute_size(size.right, replacements),
+        )
+    return size
+
+
+# Sizes of the numeric pretypes, in bits, shared by sizing and lowering.
+SIZE_I32 = SizeConst(32)
+SIZE_I64 = SizeConst(64)
+SIZE_F32 = SizeConst(32)
+SIZE_F64 = SizeConst(64)
+SIZE_PTR = SizeConst(32)
+SIZE_UNIT = SizeConst(0)
+SIZE_TAG = SizeConst(32)

@@ -1,0 +1,1018 @@
+"""RichWasm pretypes, types, heap types, and function types (paper Fig. 2).
+
+A *type* ``τ`` is a pretype ``p`` annotated with a qualifier ``q``.  Pretypes
+include the numeric types, unit, tuples, references/pointers/capabilities,
+recursive and existential (over locations) types, code references and
+ownership tokens.  *Heap types* ``ψ`` describe the structured data stored in
+memory: variants, structs (with per-field slot sizes), arrays, and existential
+packages abstracting over a pretype.  *Function types* ``χ`` are arrow types
+``τ1* → τ2*`` closed under quantification over locations, sizes, qualifiers
+and pretypes, each with optional bound constraints.
+
+All of these are mutually recursive so they live in one module; the public
+names are re-exported from :mod:`repro.core.syntax`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from .locations import Loc, LocVar, shift_loc, substitute_loc
+from .qualifiers import LIN, UNR, Qual, QualConst, QualVar, shift_qual, substitute_qual
+from .sizes import (
+    SIZE_F32,
+    SIZE_F64,
+    SIZE_I32,
+    SIZE_I64,
+    SIZE_PTR,
+    SIZE_UNIT,
+    Size,
+    SizeConst,
+    shift_size,
+    size_plus,
+    substitute_size,
+)
+
+# ---------------------------------------------------------------------------
+# Numeric pretypes
+# ---------------------------------------------------------------------------
+
+
+class NumType(enum.Enum):
+    """Numeric pretypes ``np`` (paper Fig. 2)."""
+
+    UI32 = "ui32"
+    UI64 = "ui64"
+    I32 = "i32"
+    I64 = "i64"
+    F32 = "f32"
+    F64 = "f64"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (NumType.UI32, NumType.UI64, NumType.I32, NumType.I64)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (NumType.F32, NumType.F64)
+
+    @property
+    def is_signed(self) -> bool:
+        return self in (NumType.I32, NumType.I64)
+
+    @property
+    def bit_width(self) -> int:
+        if self in (NumType.UI32, NumType.I32, NumType.F32):
+            return 32
+        return 64
+
+    @property
+    def size(self) -> SizeConst:
+        return SIZE_I32 if self.bit_width == 32 else SIZE_I64
+
+
+# ---------------------------------------------------------------------------
+# Memory access privilege
+# ---------------------------------------------------------------------------
+
+
+class Privilege(enum.Enum):
+    """Memory privilege ``π``: read-write or read-only (paper Fig. 2)."""
+
+    RW = "rw"
+    R = "r"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def can_write(self) -> bool:
+        return self is Privilege.RW
+
+
+RW = Privilege.RW
+R = Privilege.R
+
+
+# ---------------------------------------------------------------------------
+# Pretypes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnitT:
+    """The unit pretype."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "unit"
+
+
+@dataclass(frozen=True)
+class NumT:
+    """A numeric pretype."""
+
+    numtype: NumType
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.numtype)
+
+
+@dataclass(frozen=True)
+class ProdT:
+    """A tuple pretype ``(τ*)``."""
+
+    components: tuple["Type", ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        inner = " ".join(str(c) for c in self.components)
+        return f"(prod {inner})"
+
+
+@dataclass(frozen=True)
+class RefT:
+    """A reference ``ref π ℓ ψ``: a capability paired with a pointer."""
+
+    privilege: Privilege
+    loc: Loc
+    heaptype: "HeapType"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(ref {self.privilege} {self.loc} {self.heaptype})"
+
+
+@dataclass(frozen=True)
+class PtrT:
+    """A bare pointer ``ptr ℓ`` (no ownership, no access rights)."""
+
+    loc: Loc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(ptr {self.loc})"
+
+
+@dataclass(frozen=True)
+class CapT:
+    """A capability ``cap π ℓ ψ``: ownership of / access rights to ``ℓ``."""
+
+    privilege: Privilege
+    loc: Loc
+    heaptype: "HeapType"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(cap {self.privilege} {self.loc} {self.heaptype})"
+
+
+@dataclass(frozen=True)
+class OwnT:
+    """An ownership token ``own ℓ`` (write ownership of a location)."""
+
+    loc: Loc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(own {self.loc})"
+
+
+@dataclass(frozen=True)
+class RecT:
+    """An isorecursive pretype ``rec q ⪯ α. τ``.
+
+    The bound ``q`` constrains the qualifiers of positions the recursive type
+    may be unfolded into (paper §2.1).  The recursive variable is de Bruijn
+    index 0 of the *pretype* variable context inside ``body``.
+    """
+
+    qual_bound: Qual
+    body: "Type"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(rec {self.qual_bound} . {self.body})"
+
+
+@dataclass(frozen=True)
+class ExLocT:
+    """An existential over a location ``∃ρ. τ``.
+
+    The location variable is de Bruijn index 0 of the location context inside
+    ``body``.
+    """
+
+    body: "Type"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(exloc {self.body})"
+
+
+@dataclass(frozen=True)
+class CodeRefT:
+    """A code reference ``coderef χ``: a pointer into a function table."""
+
+    funtype: "FunType"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(coderef {self.funtype})"
+
+
+@dataclass(frozen=True)
+class VarT:
+    """A pretype variable ``α`` (de Bruijn index into the type context)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"type variable index must be >= 0, got {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"α{self.index}"
+
+
+Pretype = Union[
+    UnitT,
+    NumT,
+    ProdT,
+    RefT,
+    PtrT,
+    CapT,
+    OwnT,
+    RecT,
+    ExLocT,
+    CodeRefT,
+    VarT,
+]
+
+
+# ---------------------------------------------------------------------------
+# Types (qualified pretypes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """A type ``τ = p^q``: a pretype annotated with a qualifier."""
+
+    pretype: Pretype
+    qual: Qual
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        from .qualifiers import format_qual
+
+        return f"{self.pretype}^{format_qual(self.qual)}"
+
+    def with_qual(self, qual: Qual) -> "Type":
+        """The same pretype under a different qualifier."""
+
+        return Type(self.pretype, qual)
+
+
+# ---------------------------------------------------------------------------
+# Heap types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VariantHT:
+    """A variant heap type ``(variant τ*)``: a tagged union of cases."""
+
+    cases: tuple[Type, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        inner = " ".join(str(c) for c in self.cases)
+        return f"(variant {inner})"
+
+
+@dataclass(frozen=True)
+class StructHT:
+    """A struct heap type ``(struct (τ, sz)*)``.
+
+    Each field records both its type and the size of the slot it was
+    allocated in; the latter is what makes strong updates checkable.
+    """
+
+    fields: tuple[tuple[Type, Size], ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        inner = " ".join(f"({t} {s})" for t, s in self.fields)
+        return f"(struct {inner})"
+
+    @property
+    def field_types(self) -> tuple[Type, ...]:
+        return tuple(t for t, _ in self.fields)
+
+    @property
+    def field_sizes(self) -> tuple[Size, ...]:
+        return tuple(s for _, s in self.fields)
+
+
+@dataclass(frozen=True)
+class ArrayHT:
+    """An array heap type ``(array τ)``: variable-length, homogeneous."""
+
+    element: Type
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(array {self.element})"
+
+
+@dataclass(frozen=True)
+class ExHT:
+    """An existential heap type ``(∃ q ⪯ α ≲ sz. τ)``.
+
+    Abstracts a pretype ``α`` with a qualifier lower bound ``q`` and a size
+    upper bound ``sz`` inside ``body`` (pretype variable de Bruijn index 0).
+    """
+
+    qual_bound: Qual
+    size_bound: Size
+    body: Type
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(exists {self.qual_bound} {self.size_bound} . {self.body})"
+
+
+HeapType = Union[VariantHT, StructHT, ArrayHT, ExHT]
+
+
+# ---------------------------------------------------------------------------
+# Quantifiers and function types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocQuant:
+    """Quantification over a memory location ``ρ``."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "(loc)"
+
+
+@dataclass(frozen=True)
+class SizeQuant:
+    """Quantification over a size ``sz* ≤ σ ≤ sz*``."""
+
+    lower: tuple[Size, ...] = ()
+    upper: tuple[Size, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(size {list(map(str, self.lower))} {list(map(str, self.upper))})"
+
+
+@dataclass(frozen=True)
+class QualQuant:
+    """Quantification over a qualifier ``q* ⪯ δ ⪯ q*``."""
+
+    lower: tuple[Qual, ...] = ()
+    upper: tuple[Qual, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(qual {list(map(str, self.lower))} {list(map(str, self.upper))})"
+
+
+@dataclass(frozen=True)
+class TypeQuant:
+    """Quantification over a pretype ``q ⪯ α (c?) ≲ sz``.
+
+    ``qual_bound`` is the lower bound on the qualifiers of positions ``α``
+    may be used at, ``size_bound`` an upper bound for the size of any
+    instantiation, and ``heapable`` records whether the instantiation may be
+    stored on the heap (i.e. whether it is guaranteed capability-free).
+    """
+
+    qual_bound: Qual
+    size_bound: Size
+    heapable: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        cap = "nocap" if self.heapable else "cap"
+        return f"(type {self.qual_bound} {self.size_bound} {cap})"
+
+
+Quant = Union[LocQuant, SizeQuant, QualQuant, TypeQuant]
+
+
+@dataclass(frozen=True)
+class ArrowType:
+    """A monomorphic arrow type ``τ1* → τ2*``."""
+
+    params: tuple[Type, ...]
+    results: tuple[Type, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        params = " ".join(str(t) for t in self.params)
+        results = " ".join(str(t) for t in self.results)
+        return f"[{params}] -> [{results}]"
+
+
+@dataclass(frozen=True)
+class FunType:
+    """A (possibly polymorphic) function type ``∀κ*. τ1* → τ2*``."""
+
+    quants: tuple[Quant, ...]
+    arrow: ArrowType
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if not self.quants:
+            return str(self.arrow)
+        quants = " ".join(str(q) for q in self.quants)
+        return f"(forall {quants} . {self.arrow})"
+
+    @property
+    def params(self) -> tuple[Type, ...]:
+        return self.arrow.params
+
+    @property
+    def results(self) -> tuple[Type, ...]:
+        return self.arrow.results
+
+
+# ---------------------------------------------------------------------------
+# Index instantiations (the ``z*`` / ``κ*`` arguments of call / inst)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocIndex:
+    """A concrete location supplied for a location quantifier."""
+
+    loc: Loc
+
+
+@dataclass(frozen=True)
+class SizeIndex:
+    """A size supplied for a size quantifier."""
+
+    size: Size
+
+
+@dataclass(frozen=True)
+class QualIndex:
+    """A qualifier supplied for a qualifier quantifier."""
+
+    qual: Qual
+
+
+@dataclass(frozen=True)
+class PretypeIndex:
+    """A pretype supplied for a pretype quantifier."""
+
+    pretype: Pretype
+
+
+Index = Union[LocIndex, SizeIndex, QualIndex, PretypeIndex]
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def unit(qual: Qual = UNR) -> Type:
+    """The unit type at the given qualifier (default unrestricted)."""
+
+    return Type(UnitT(), qual)
+
+
+def num(numtype: NumType, qual: Qual = UNR) -> Type:
+    """A numeric type at the given qualifier."""
+
+    return Type(NumT(numtype), qual)
+
+
+def i32(qual: Qual = UNR) -> Type:
+    return num(NumType.I32, qual)
+
+
+def i64(qual: Qual = UNR) -> Type:
+    return num(NumType.I64, qual)
+
+
+def f32(qual: Qual = UNR) -> Type:
+    return num(NumType.F32, qual)
+
+
+def f64(qual: Qual = UNR) -> Type:
+    return num(NumType.F64, qual)
+
+
+def prod(components: Sequence[Type], qual: Qual = UNR) -> Type:
+    """A tuple type."""
+
+    return Type(ProdT(tuple(components)), qual)
+
+
+def ref(privilege: Privilege, loc: Loc, heaptype: HeapType, qual: Qual) -> Type:
+    return Type(RefT(privilege, loc, heaptype), qual)
+
+
+def cap(privilege: Privilege, loc: Loc, heaptype: HeapType, qual: Qual = LIN) -> Type:
+    return Type(CapT(privilege, loc, heaptype), qual)
+
+
+def ptr(loc: Loc, qual: Qual = UNR) -> Type:
+    return Type(PtrT(loc), qual)
+
+
+def own(loc: Loc, qual: Qual = LIN) -> Type:
+    return Type(OwnT(loc), qual)
+
+
+def exloc(body: Type, qual: Qual) -> Type:
+    return Type(ExLocT(body), qual)
+
+
+def rec(qual_bound: Qual, body: Type, qual: Qual) -> Type:
+    return Type(RecT(qual_bound, body), qual)
+
+
+def var(index: int, qual: Qual) -> Type:
+    return Type(VarT(index), qual)
+
+
+def coderef(funtype: FunType, qual: Qual = UNR) -> Type:
+    return Type(CodeRefT(funtype), qual)
+
+
+def arrow(params: Sequence[Type], results: Sequence[Type]) -> ArrowType:
+    return ArrowType(tuple(params), tuple(results))
+
+
+def funtype(
+    params: Sequence[Type],
+    results: Sequence[Type],
+    quants: Sequence[Quant] = (),
+) -> FunType:
+    return FunType(tuple(quants), arrow(params, results))
+
+
+def struct_ht(fields: Sequence[tuple[Type, Size]]) -> StructHT:
+    return StructHT(tuple((t, s) for t, s in fields))
+
+
+def variant_ht(cases: Sequence[Type]) -> VariantHT:
+    return VariantHT(tuple(cases))
+
+
+def array_ht(element: Type) -> ArrayHT:
+    return ArrayHT(element)
+
+
+def ex_ht(qual_bound: Qual, size_bound: Size, body: Type) -> ExHT:
+    return ExHT(qual_bound, size_bound, body)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def pretype_children(pretype: Pretype) -> Iterator[Type]:
+    """Iterate over the immediate type children of a pretype."""
+
+    if isinstance(pretype, ProdT):
+        yield from pretype.components
+    elif isinstance(pretype, (RefT, CapT)):
+        yield from heaptype_children(pretype.heaptype)
+    elif isinstance(pretype, RecT):
+        yield pretype.body
+    elif isinstance(pretype, ExLocT):
+        yield pretype.body
+    elif isinstance(pretype, CodeRefT):
+        yield from pretype.funtype.arrow.params
+        yield from pretype.funtype.arrow.results
+
+
+def heaptype_children(heaptype: HeapType) -> Iterator[Type]:
+    """Iterate over the immediate type children of a heap type."""
+
+    if isinstance(heaptype, VariantHT):
+        yield from heaptype.cases
+    elif isinstance(heaptype, StructHT):
+        yield from heaptype.field_types
+    elif isinstance(heaptype, ArrayHT):
+        yield heaptype.element
+    elif isinstance(heaptype, ExHT):
+        yield heaptype.body
+
+
+def type_contains_cap(ty: Type) -> bool:
+    """Syntactic check: does the type contain a capability or ownership token?
+
+    The paper requires types stored in garbage-collected memory to be
+    capability-free (``no_caps``), because capabilities are erased during
+    lowering and the GC could not otherwise find the linear memory it owns.
+    Pretype variables are handled by their ``heapable`` bound at the typing
+    level (see :mod:`repro.core.typing.validity`); this helper only looks at
+    the syntax.
+    """
+
+    pre = ty.pretype
+    if isinstance(pre, (CapT, OwnT)):
+        return True
+    return any(type_contains_cap(child) for child in pretype_children(pre))
+
+
+def heaptype_contains_cap(heaptype: HeapType) -> bool:
+    """Syntactic ``no_caps`` check for heap types."""
+
+    return any(type_contains_cap(child) for child in heaptype_children(heaptype))
+
+
+# ---------------------------------------------------------------------------
+# Shifting (de Bruijn) over the four variable namespaces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Shift:
+    """How much to shift each of the four variable namespaces by."""
+
+    locs: int = 0
+    sizes: int = 0
+    quals: int = 0
+    types: int = 0
+
+    def is_zero(self) -> bool:
+        return self.locs == 0 and self.sizes == 0 and self.quals == 0 and self.types == 0
+
+
+@dataclass(frozen=True)
+class _Cutoffs:
+    locs: int = 0
+    sizes: int = 0
+    quals: int = 0
+    types: int = 0
+
+    def bump(self, *, locs: int = 0, sizes: int = 0, quals: int = 0, types: int = 0) -> "_Cutoffs":
+        return _Cutoffs(
+            self.locs + locs,
+            self.sizes + sizes,
+            self.quals + quals,
+            self.types + types,
+        )
+
+
+def shift_type(ty: Type, shift: Shift, cutoffs: Optional[_Cutoffs] = None) -> Type:
+    """Shift all free variables in a type by ``shift``."""
+
+    if shift.is_zero():
+        return ty
+    cutoffs = cutoffs or _Cutoffs()
+    return Type(
+        _shift_pretype(ty.pretype, shift, cutoffs),
+        shift_qual(ty.qual, shift.quals, cutoffs.quals),
+    )
+
+
+def shift_heaptype(ht: HeapType, shift: Shift, cutoffs: Optional[_Cutoffs] = None) -> HeapType:
+    """Shift all free variables in a heap type by ``shift``."""
+
+    if shift.is_zero():
+        return ht
+    cutoffs = cutoffs or _Cutoffs()
+    if isinstance(ht, VariantHT):
+        return VariantHT(tuple(shift_type(c, shift, cutoffs) for c in ht.cases))
+    if isinstance(ht, StructHT):
+        return StructHT(
+            tuple(
+                (shift_type(t, shift, cutoffs), shift_size(s, shift.sizes, cutoffs.sizes))
+                for t, s in ht.fields
+            )
+        )
+    if isinstance(ht, ArrayHT):
+        return ArrayHT(shift_type(ht.element, shift, cutoffs))
+    if isinstance(ht, ExHT):
+        return ExHT(
+            shift_qual(ht.qual_bound, shift.quals, cutoffs.quals),
+            shift_size(ht.size_bound, shift.sizes, cutoffs.sizes),
+            shift_type(ht.body, shift, cutoffs.bump(types=1)),
+        )
+    raise TypeError(f"not a heap type: {ht!r}")
+
+
+def shift_funtype(ft: FunType, shift: Shift, cutoffs: Optional[_Cutoffs] = None) -> FunType:
+    """Shift all free variables in a function type by ``shift``."""
+
+    if shift.is_zero():
+        return ft
+    cutoffs = cutoffs or _Cutoffs()
+    inner = cutoffs
+    new_quants: list[Quant] = []
+    for quant in ft.quants:
+        if isinstance(quant, LocQuant):
+            new_quants.append(quant)
+            inner = inner.bump(locs=1)
+        elif isinstance(quant, SizeQuant):
+            new_quants.append(
+                SizeQuant(
+                    tuple(shift_size(s, shift.sizes, inner.sizes) for s in quant.lower),
+                    tuple(shift_size(s, shift.sizes, inner.sizes) for s in quant.upper),
+                )
+            )
+            inner = inner.bump(sizes=1)
+        elif isinstance(quant, QualQuant):
+            new_quants.append(
+                QualQuant(
+                    tuple(shift_qual(q, shift.quals, inner.quals) for q in quant.lower),
+                    tuple(shift_qual(q, shift.quals, inner.quals) for q in quant.upper),
+                )
+            )
+            inner = inner.bump(quals=1)
+        elif isinstance(quant, TypeQuant):
+            new_quants.append(
+                TypeQuant(
+                    shift_qual(quant.qual_bound, shift.quals, inner.quals),
+                    shift_size(quant.size_bound, shift.sizes, inner.sizes),
+                    quant.heapable,
+                )
+            )
+            inner = inner.bump(types=1)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a quantifier: {quant!r}")
+    new_arrow = ArrowType(
+        tuple(shift_type(t, shift, inner) for t in ft.arrow.params),
+        tuple(shift_type(t, shift, inner) for t in ft.arrow.results),
+    )
+    return FunType(tuple(new_quants), new_arrow)
+
+
+def _shift_pretype(pre: Pretype, shift: Shift, cutoffs: _Cutoffs) -> Pretype:
+    if isinstance(pre, (UnitT, NumT)):
+        return pre
+    if isinstance(pre, VarT):
+        if pre.index >= cutoffs.types:
+            return VarT(pre.index + shift.types)
+        return pre
+    if isinstance(pre, ProdT):
+        return ProdT(tuple(shift_type(c, shift, cutoffs) for c in pre.components))
+    if isinstance(pre, RefT):
+        return RefT(
+            pre.privilege,
+            shift_loc(pre.loc, shift.locs, cutoffs.locs),
+            shift_heaptype(pre.heaptype, shift, cutoffs),
+        )
+    if isinstance(pre, CapT):
+        return CapT(
+            pre.privilege,
+            shift_loc(pre.loc, shift.locs, cutoffs.locs),
+            shift_heaptype(pre.heaptype, shift, cutoffs),
+        )
+    if isinstance(pre, PtrT):
+        return PtrT(shift_loc(pre.loc, shift.locs, cutoffs.locs))
+    if isinstance(pre, OwnT):
+        return OwnT(shift_loc(pre.loc, shift.locs, cutoffs.locs))
+    if isinstance(pre, RecT):
+        return RecT(
+            shift_qual(pre.qual_bound, shift.quals, cutoffs.quals),
+            shift_type(pre.body, shift, cutoffs.bump(types=1)),
+        )
+    if isinstance(pre, ExLocT):
+        return ExLocT(shift_type(pre.body, shift, cutoffs.bump(locs=1)))
+    if isinstance(pre, CodeRefT):
+        return CodeRefT(shift_funtype(pre.funtype, shift, cutoffs))
+    raise TypeError(f"not a pretype: {pre!r}")
+
+
+# ---------------------------------------------------------------------------
+# Substitution of indices into types
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Subst:
+    """A simultaneous substitution over the four variable namespaces.
+
+    Each map sends a de Bruijn index to its replacement.  Substitution does
+    not capture: when descending under a binder of namespace X the domain and
+    free variables of the X component are shifted accordingly.
+    """
+
+    locs: dict[int, Loc] = field(default_factory=dict)
+    sizes: dict[int, Size] = field(default_factory=dict)
+    quals: dict[int, Qual] = field(default_factory=dict)
+    types: dict[int, Pretype] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not (self.locs or self.sizes or self.quals or self.types)
+
+    def under_loc_binder(self) -> "Subst":
+        return Subst(
+            {k + 1: shift_loc(v, 1) for k, v in self.locs.items()},
+            dict(self.sizes),
+            dict(self.quals),
+            dict(self.types),
+        )
+
+    def under_size_binder(self) -> "Subst":
+        return Subst(
+            dict(self.locs),
+            {k + 1: shift_size(v, 1) for k, v in self.sizes.items()},
+            dict(self.quals),
+            dict(self.types),
+        )
+
+    def under_qual_binder(self) -> "Subst":
+        return Subst(
+            dict(self.locs),
+            dict(self.sizes),
+            {k + 1: shift_qual(v, 1) for k, v in self.quals.items()},
+            dict(self.types),
+        )
+
+    def under_type_binder(self) -> "Subst":
+        return Subst(
+            dict(self.locs),
+            dict(self.sizes),
+            dict(self.quals),
+            {k + 1: _shift_pretype(v, Shift(types=1), _Cutoffs()) for k, v in self.types.items()},
+        )
+
+
+def subst_type(ty: Type, subst: Subst) -> Type:
+    """Apply a substitution to a type."""
+
+    if subst.is_empty():
+        return ty
+    new_pre = subst_pretype(ty.pretype, subst)
+    new_qual = substitute_qual(ty.qual, subst.quals)
+    if isinstance(new_pre, Type):  # variable replaced by a full pretype stays a pretype
+        raise TypeError("substitution produced a type where a pretype was expected")
+    return Type(new_pre, new_qual)
+
+
+def subst_pretype(pre: Pretype, subst: Subst) -> Pretype:
+    """Apply a substitution to a pretype."""
+
+    if subst.is_empty():
+        return pre
+    if isinstance(pre, (UnitT, NumT)):
+        return pre
+    if isinstance(pre, VarT):
+        return subst.types.get(pre.index, pre)
+    if isinstance(pre, ProdT):
+        return ProdT(tuple(subst_type(c, subst) for c in pre.components))
+    if isinstance(pre, RefT):
+        return RefT(
+            pre.privilege,
+            substitute_loc(pre.loc, subst.locs),
+            subst_heaptype(pre.heaptype, subst),
+        )
+    if isinstance(pre, CapT):
+        return CapT(
+            pre.privilege,
+            substitute_loc(pre.loc, subst.locs),
+            subst_heaptype(pre.heaptype, subst),
+        )
+    if isinstance(pre, PtrT):
+        return PtrT(substitute_loc(pre.loc, subst.locs))
+    if isinstance(pre, OwnT):
+        return OwnT(substitute_loc(pre.loc, subst.locs))
+    if isinstance(pre, RecT):
+        return RecT(
+            substitute_qual(pre.qual_bound, subst.quals),
+            subst_type(pre.body, subst.under_type_binder()),
+        )
+    if isinstance(pre, ExLocT):
+        return ExLocT(subst_type(pre.body, subst.under_loc_binder()))
+    if isinstance(pre, CodeRefT):
+        return CodeRefT(subst_funtype(pre.funtype, subst))
+    raise TypeError(f"not a pretype: {pre!r}")
+
+
+def subst_heaptype(ht: HeapType, subst: Subst) -> HeapType:
+    """Apply a substitution to a heap type."""
+
+    if subst.is_empty():
+        return ht
+    if isinstance(ht, VariantHT):
+        return VariantHT(tuple(subst_type(c, subst) for c in ht.cases))
+    if isinstance(ht, StructHT):
+        return StructHT(
+            tuple((subst_type(t, subst), substitute_size(s, subst.sizes)) for t, s in ht.fields)
+        )
+    if isinstance(ht, ArrayHT):
+        return ArrayHT(subst_type(ht.element, subst))
+    if isinstance(ht, ExHT):
+        return ExHT(
+            substitute_qual(ht.qual_bound, subst.quals),
+            substitute_size(ht.size_bound, subst.sizes),
+            subst_type(ht.body, subst.under_type_binder()),
+        )
+    raise TypeError(f"not a heap type: {ht!r}")
+
+
+def subst_funtype(ft: FunType, subst: Subst) -> FunType:
+    """Apply a substitution to a function type."""
+
+    if subst.is_empty():
+        return ft
+    inner = subst
+    new_quants: list[Quant] = []
+    for quant in ft.quants:
+        if isinstance(quant, LocQuant):
+            new_quants.append(quant)
+            inner = inner.under_loc_binder()
+        elif isinstance(quant, SizeQuant):
+            new_quants.append(
+                SizeQuant(
+                    tuple(substitute_size(s, inner.sizes) for s in quant.lower),
+                    tuple(substitute_size(s, inner.sizes) for s in quant.upper),
+                )
+            )
+            inner = inner.under_size_binder()
+        elif isinstance(quant, QualQuant):
+            new_quants.append(
+                QualQuant(
+                    tuple(substitute_qual(q, inner.quals) for q in quant.lower),
+                    tuple(substitute_qual(q, inner.quals) for q in quant.upper),
+                )
+            )
+            inner = inner.under_qual_binder()
+        elif isinstance(quant, TypeQuant):
+            new_quants.append(
+                TypeQuant(
+                    substitute_qual(quant.qual_bound, inner.quals),
+                    substitute_size(quant.size_bound, inner.sizes),
+                    quant.heapable,
+                )
+            )
+            inner = inner.under_type_binder()
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a quantifier: {quant!r}")
+    new_arrow = ArrowType(
+        tuple(subst_type(t, inner) for t in ft.arrow.params),
+        tuple(subst_type(t, inner) for t in ft.arrow.results),
+    )
+    return FunType(tuple(new_quants), new_arrow)
+
+
+def instantiate_funtype(ft: FunType, indices: Sequence[Index]) -> ArrowType:
+    """Instantiate all quantifiers of a function type with concrete indices.
+
+    ``indices`` must match the quantifier list in kind and length; the
+    resulting arrow type has no remaining bound variables from ``ft``'s own
+    quantifiers.
+    """
+
+    if len(indices) != len(ft.quants):
+        raise ValueError(
+            f"function type expects {len(ft.quants)} indices, got {len(indices)}"
+        )
+    subst = Subst()
+    # Quantifiers are bound left-to-right, so the *last* quantifier has de
+    # Bruijn index 0 inside the arrow type.  Build the substitution for the
+    # arrow by walking the quantifier list in reverse.
+    loc_idx = size_idx = qual_idx = type_idx = 0
+    for quant, index in zip(reversed(ft.quants), reversed(list(indices))):
+        if isinstance(quant, LocQuant):
+            if not isinstance(index, LocIndex):
+                raise TypeError(f"expected a location index for {quant}, got {index!r}")
+            subst.locs[loc_idx] = index.loc
+            loc_idx += 1
+        elif isinstance(quant, SizeQuant):
+            if not isinstance(index, SizeIndex):
+                raise TypeError(f"expected a size index for {quant}, got {index!r}")
+            subst.sizes[size_idx] = index.size
+            size_idx += 1
+        elif isinstance(quant, QualQuant):
+            if not isinstance(index, QualIndex):
+                raise TypeError(f"expected a qualifier index for {quant}, got {index!r}")
+            subst.quals[qual_idx] = index.qual
+            qual_idx += 1
+        elif isinstance(quant, TypeQuant):
+            if not isinstance(index, PretypeIndex):
+                raise TypeError(f"expected a pretype index for {quant}, got {index!r}")
+            subst.types[type_idx] = index.pretype
+            type_idx += 1
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a quantifier: {quant!r}")
+    return ArrowType(
+        tuple(subst_type(t, subst) for t in ft.arrow.params),
+        tuple(subst_type(t, subst) for t in ft.arrow.results),
+    )
+
+
+def unfold_rec(rec_pre: RecT, qual: Qual) -> Type:
+    """Unfold an isorecursive type one level.
+
+    ``rec q ⪯ α. τ`` at qualifier ``q'`` unfolds to ``τ[rec q ⪯ α. τ / α]``.
+    """
+
+    subst = Subst(types={0: RecT(rec_pre.qual_bound, rec_pre.body)})
+    unfolded = subst_type(rec_pre.body, subst)
+    return unfolded
+
+
+def unpack_exloc(ex_pre: ExLocT, loc: Loc) -> Type:
+    """Open an existential location package with a concrete witness."""
+
+    return subst_type(ex_pre.body, Subst(locs={0: loc}))
+
+
+def pack_exloc_type(body_with_loc: Type) -> Type:
+    """Helper used in tests: wrap a type in a trivially bound existential."""
+
+    return Type(ExLocT(body_with_loc), body_with_loc.qual)

@@ -1,0 +1,268 @@
+"""RichWasm values and heap values (paper Fig. 2, "Terms").
+
+Values are the results of computation; heap values are the structured data
+stored in the two memories.  These classes are shared between the typing
+rules (value typing, Fig. 6) and the dynamic semantics (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .locations import Loc
+from .types import FunType, HeapType, Index, NumType, Pretype
+
+
+@dataclass(frozen=True)
+class UnitV:
+    """The unit value ``()``."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "()"
+
+
+@dataclass(frozen=True)
+class NumV:
+    """A numeric constant ``np.const c``."""
+
+    numtype: NumType
+    value: Union[int, float]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"({self.numtype}.const {self.value})"
+
+
+@dataclass(frozen=True)
+class ProdV:
+    """A tuple of values ``(v*)``."""
+
+    components: tuple["Value", ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "(" + " ".join(str(v) for v in self.components) + ")"
+
+
+@dataclass(frozen=True)
+class RefV:
+    """A reference value ``ref ℓ``."""
+
+    loc: Loc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(ref {self.loc})"
+
+
+@dataclass(frozen=True)
+class PtrV:
+    """A pointer value ``ptr ℓ``."""
+
+    loc: Loc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(ptr {self.loc})"
+
+
+@dataclass(frozen=True)
+class CapV:
+    """A capability value ``cap`` (computationally irrelevant)."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "cap"
+
+
+@dataclass(frozen=True)
+class OwnV:
+    """An ownership token value ``own`` (computationally irrelevant)."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "own"
+
+
+@dataclass(frozen=True)
+class FoldV:
+    """A folded recursive value ``fold v``."""
+
+    value: "Value"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(fold {self.value})"
+
+
+@dataclass(frozen=True)
+class MempackV:
+    """An existential location package ``mempack ℓ v``."""
+
+    loc: Loc
+    value: "Value"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(mempack {self.loc} {self.value})"
+
+
+@dataclass(frozen=True)
+class CoderefV:
+    """A code reference value ``coderef i j z*``.
+
+    ``inst_index`` is the module instance, ``table_index`` the entry in its
+    table, and ``indices`` the concrete instantiation of the function's
+    polymorphic quantifiers accumulated so far.
+    """
+
+    inst_index: int
+    table_index: int
+    indices: tuple[Index, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(coderef {self.inst_index} {self.table_index})"
+
+
+Value = Union[
+    UnitV,
+    NumV,
+    ProdV,
+    RefV,
+    PtrV,
+    CapV,
+    OwnV,
+    FoldV,
+    MempackV,
+    CoderefV,
+]
+
+
+# ---------------------------------------------------------------------------
+# Heap values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VariantHV:
+    """A variant heap value ``(variant i v)``: case ``i`` holding ``v``."""
+
+    tag: int
+    value: Value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(variant {self.tag} {self.value})"
+
+
+@dataclass(frozen=True)
+class StructHV:
+    """A struct heap value ``(struct v*)``."""
+
+    fields: tuple[Value, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "(struct " + " ".join(str(v) for v in self.fields) + ")"
+
+
+@dataclass(frozen=True)
+class ArrayHV:
+    """An array heap value ``(array i v*)`` with length ``i``."""
+
+    length: int
+    elements: tuple[Value, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(array {self.length} ...)"
+
+
+@dataclass(frozen=True)
+class PackHV:
+    """An existential package heap value ``(pack p v ψ)``."""
+
+    witness: Pretype
+    value: Value
+    heaptype: HeapType
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(pack {self.witness} {self.value} {self.heaptype})"
+
+
+HeapValue = Union[VariantHV, StructHV, ArrayHV, PackHV]
+
+
+EMPTY_ARRAY = ArrayHV(0, ())
+
+
+def is_value(obj: object) -> bool:
+    """True when ``obj`` is a RichWasm value."""
+
+    return isinstance(
+        obj,
+        (UnitV, NumV, ProdV, RefV, PtrV, CapV, OwnV, FoldV, MempackV, CoderefV),
+    )
+
+
+def is_heap_value(obj: object) -> bool:
+    """True when ``obj`` is a RichWasm heap value."""
+
+    return isinstance(obj, (VariantHV, StructHV, ArrayHV, PackHV))
+
+
+def value_locations(value: Value) -> set[Loc]:
+    """All concrete locations mentioned in a value (GC roots helper)."""
+
+    from .locations import ConcreteLoc
+
+    found: set[Loc] = set()
+
+    def visit(val: Value) -> None:
+        if isinstance(val, (RefV, PtrV)):
+            if isinstance(val.loc, ConcreteLoc):
+                found.add(val.loc)
+        elif isinstance(val, ProdV):
+            for component in val.components:
+                visit(component)
+        elif isinstance(val, FoldV):
+            visit(val.value)
+        elif isinstance(val, MempackV):
+            visit(val.value)
+
+    visit(value)
+    return found
+
+
+def heap_value_locations(heap_value: HeapValue) -> set[Loc]:
+    """All concrete locations mentioned in a heap value."""
+
+    found: set[Loc] = set()
+    if isinstance(heap_value, VariantHV):
+        found |= value_locations(heap_value.value)
+    elif isinstance(heap_value, StructHV):
+        for value in heap_value.fields:
+            found |= value_locations(value)
+    elif isinstance(heap_value, ArrayHV):
+        for value in heap_value.elements:
+            found |= value_locations(value)
+    elif isinstance(heap_value, PackHV):
+        found |= value_locations(heap_value.value)
+    return found
+
+
+def heap_value_contains_cap(heap_value: HeapValue) -> bool:
+    """Does a heap value syntactically contain a capability/ownership token?
+
+    Used by the store-typing judgement which forbids bare capabilities in
+    garbage-collected memory (paper §3, "Garbage collection").
+    """
+
+    def value_has_cap(value: Value) -> bool:
+        if isinstance(value, (CapV, OwnV)):
+            return True
+        if isinstance(value, ProdV):
+            return any(value_has_cap(component) for component in value.components)
+        if isinstance(value, (FoldV, MempackV)):
+            return value_has_cap(value.value)
+        return False
+
+    if isinstance(heap_value, VariantHV):
+        return value_has_cap(heap_value.value)
+    if isinstance(heap_value, StructHV):
+        return any(value_has_cap(value) for value in heap_value.fields)
+    if isinstance(heap_value, ArrayHV):
+        return any(value_has_cap(value) for value in heap_value.elements)
+    if isinstance(heap_value, PackHV):
+        return value_has_cap(heap_value.value)
+    return False

@@ -1,0 +1,77 @@
+"""The RichWasm type system (paper §4).
+
+Public entry points:
+
+* :func:`check_module` — type-check a whole module.
+* :class:`InstructionChecker` — type-check instruction sequences.
+* :func:`check_value` / :func:`check_heap_value` — value typing (Fig. 6).
+* :mod:`repro.core.typing.config_typing` — configuration/store typing (Fig. 8),
+  used by the empirical type-safety harness.
+"""
+
+from .constraints import (
+    LocContext,
+    QualBounds,
+    QualContext,
+    SizeBounds,
+    SizeContext,
+    TypeVarBounds,
+    TypeVarContext,
+)
+from .env import (
+    FunctionEnv,
+    GlobalType,
+    LabelInfo,
+    LinearUse,
+    LocalEnv,
+    LocalSlot,
+    ModuleEnv,
+    StoreTyping,
+    MemEntryTyping,
+    empty_function_env,
+    empty_store_typing,
+)
+from .equality import (
+    arrows_equal,
+    funtypes_equal,
+    heaptypes_equal,
+    pretypes_equal,
+    type_lists_equal,
+    types_equal,
+)
+from .errors import (
+    CapabilityError,
+    CompilationError,
+    LinearityError,
+    LinkError,
+    LocalTypeError,
+    LoweringError,
+    ModuleTypeError,
+    QualifierError,
+    RichWasmError,
+    RichWasmTypeError,
+    SizeError,
+    StackTypeError,
+    StoreTypeError,
+    WasmError,
+)
+from .instruction_typing import InstructionChecker, TypingState
+from .module_typing import (
+    ModuleCheckResult,
+    check_function,
+    check_global,
+    check_module,
+    function_env_of,
+    module_env_of,
+)
+from .sizing import closed_size_of_type, size_of_pretype, size_of_type
+from .validity import (
+    check_funtype_valid,
+    check_heaptype_valid,
+    check_type_valid,
+    heaptype_no_caps,
+    type_no_caps,
+)
+from .value_typing import check_heap_value, check_value, synthesize_value_type
+
+__all__ = [name for name in dir() if not name.startswith("_")]

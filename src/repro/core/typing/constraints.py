@@ -1,0 +1,358 @@
+"""Constraint contexts and entailment for qualifiers and sizes.
+
+Function types quantify over qualifiers and sizes subject to bound
+constraints (paper §2.1, "Function types and polymorphism"):
+
+* ``q* ⪯ δ ⪯ q*`` — a qualifier variable with lower and upper bounds;
+* ``sz* ≤ σ ≤ sz*`` — a size variable with lower and upper bounds.
+
+The checker must decide entailments such as ``q ⪯ q'`` and ``sz ≤ sz'`` in
+the presence of these variables.  Qualifier entailment is a reachability
+query through the bound graph.  Size entailment normalizes both sides to
+``constant + multiset of variables``, cancels common variables and then
+closes the残り remaining variables with their constant bounds (lower bounds
+default to 0 because sizes are natural numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..syntax.qualifiers import LIN, UNR, Qual, QualConst, QualVar, qual_const_leq
+from ..syntax.sizes import (
+    Size,
+    SizeConst,
+    SizePlus,
+    SizeVar,
+    size_leaves,
+)
+from .errors import QualifierError, SizeError
+
+# ---------------------------------------------------------------------------
+# Qualifier constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QualBounds:
+    """Bounds recorded for one qualifier variable."""
+
+    lower: tuple[Qual, ...] = ()
+    upper: tuple[Qual, ...] = ()
+
+
+@dataclass
+class QualContext:
+    """The qualifier component of a function environment.
+
+    ``bounds[0]`` is the innermost (most recently bound) qualifier variable.
+    """
+
+    bounds: list[QualBounds] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def push(self, lower: Sequence[Qual] = (), upper: Sequence[Qual] = ()) -> "QualContext":
+        """Return a new context with an extra innermost variable."""
+
+        shifted = [_shift_bounds(b, 1) for b in self.bounds]
+        new = QualBounds(tuple(_shift_qual_seq(lower, 1)), tuple(_shift_qual_seq(upper, 1)))
+        return QualContext([new, *shifted])
+
+    def lookup(self, index: int) -> QualBounds:
+        if index < 0 or index >= len(self.bounds):
+            raise QualifierError(f"unbound qualifier variable δ{index}")
+        return self.bounds[index]
+
+    def valid(self, qual: Qual) -> bool:
+        """Is ``qual`` well-scoped in this context?"""
+
+        if isinstance(qual, QualConst):
+            return True
+        return 0 <= qual.index < len(self.bounds)
+
+    # -- entailment ---------------------------------------------------------
+
+    def leq(self, lhs: Qual, rhs: Qual) -> bool:
+        """Decide ``lhs ⪯ rhs`` under the recorded bounds."""
+
+        return self._leq(lhs, rhs, frozenset())
+
+    def _leq(self, lhs: Qual, rhs: Qual, visited: frozenset) -> bool:
+        if lhs == rhs:
+            return True
+        if isinstance(lhs, QualConst) and isinstance(rhs, QualConst):
+            return qual_const_leq(lhs, rhs)
+        if isinstance(lhs, QualConst) and lhs is UNR:
+            return True
+        if isinstance(rhs, QualConst) and rhs is LIN:
+            return True
+        key = (lhs, rhs)
+        if key in visited:
+            return False
+        visited = visited | {key}
+        # Try to go up from lhs through its upper bounds.
+        if isinstance(lhs, QualVar):
+            if lhs.index >= len(self.bounds):
+                raise QualifierError(f"unbound qualifier variable {lhs}")
+            for upper in self.bounds[lhs.index].upper:
+                if self._leq(upper, rhs, visited):
+                    return True
+        # Or come down to rhs through its lower bounds.
+        if isinstance(rhs, QualVar):
+            if rhs.index >= len(self.bounds):
+                raise QualifierError(f"unbound qualifier variable {rhs}")
+            for lower in self.bounds[rhs.index].lower:
+                if self._leq(lhs, lower, visited):
+                    return True
+        return False
+
+    def require_leq(self, lhs: Qual, rhs: Qual, context: str = "") -> None:
+        if not self.leq(lhs, rhs):
+            suffix = f" ({context})" if context else ""
+            raise QualifierError(f"cannot establish {lhs} ⪯ {rhs}{suffix}")
+
+    def is_unrestricted(self, qual: Qual) -> bool:
+        """Can ``qual`` be proven unrestricted (``qual ⪯ unr``)?"""
+
+        return self.leq(qual, UNR)
+
+    def is_linear(self, qual: Qual) -> bool:
+        """Can ``qual`` be proven linear (``lin ⪯ qual``)?"""
+
+        return self.leq(LIN, qual)
+
+    def join(self, quals: Sequence[Qual]) -> Qual:
+        """A qualifier that is an upper bound of all of ``quals``.
+
+        Used when the checker must synthesise a qualifier (e.g. for the head
+        of the linear environment).  Falls back to ``lin`` when any member
+        cannot be proven unrestricted.
+        """
+
+        result: Qual = UNR
+        for qual in quals:
+            if self.leq(qual, result):
+                continue
+            if self.leq(result, qual):
+                result = qual
+            else:
+                return LIN
+        return result
+
+
+def _shift_qual_seq(quals: Sequence[Qual], amount: int) -> list[Qual]:
+    out: list[Qual] = []
+    for qual in quals:
+        if isinstance(qual, QualVar):
+            out.append(QualVar(qual.index + amount))
+        else:
+            out.append(qual)
+    return out
+
+
+def _shift_bounds(bounds: QualBounds, amount: int) -> QualBounds:
+    return QualBounds(
+        tuple(_shift_qual_seq(bounds.lower, amount)),
+        tuple(_shift_qual_seq(bounds.upper, amount)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Size constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SizeBounds:
+    """Bounds recorded for one size variable."""
+
+    lower: tuple[Size, ...] = ()
+    upper: tuple[Size, ...] = ()
+
+
+@dataclass
+class SizeContext:
+    """The size component of a function environment (index 0 is innermost)."""
+
+    bounds: list[SizeBounds] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def push(self, lower: Sequence[Size] = (), upper: Sequence[Size] = ()) -> "SizeContext":
+        shifted = [_shift_size_bounds(b, 1) for b in self.bounds]
+        new = SizeBounds(
+            tuple(_shift_size_seq(lower, 1, shift_from=0)),
+            tuple(_shift_size_seq(upper, 1, shift_from=0)),
+        )
+        return SizeContext([new, *shifted])
+
+    def lookup(self, index: int) -> SizeBounds:
+        if index < 0 or index >= len(self.bounds):
+            raise SizeError(f"unbound size variable σ{index}")
+        return self.bounds[index]
+
+    def valid(self, size: Size) -> bool:
+        """Is ``size`` well-scoped in this context?"""
+
+        for leaf in size_leaves(size):
+            if isinstance(leaf, SizeVar) and leaf.index >= len(self.bounds):
+                return False
+        return True
+
+    # -- bound resolution ---------------------------------------------------
+
+    def const_upper_bound(self, size: Size, _depth: int = 0) -> Optional[int]:
+        """The smallest constant provably >= ``size``, or ``None``."""
+
+        if _depth > 64:
+            return None
+        if isinstance(size, SizeConst):
+            return size.value
+        if isinstance(size, SizePlus):
+            left = self.const_upper_bound(size.left, _depth + 1)
+            right = self.const_upper_bound(size.right, _depth + 1)
+            if left is None or right is None:
+                return None
+            return left + right
+        if isinstance(size, SizeVar):
+            if size.index >= len(self.bounds):
+                raise SizeError(f"unbound size variable {size}")
+            best: Optional[int] = None
+            for upper in self.bounds[size.index].upper:
+                value = self.const_upper_bound(upper, _depth + 1)
+                if value is not None and (best is None or value < best):
+                    best = value
+            return best
+        raise SizeError(f"not a size: {size!r}")
+
+    def const_lower_bound(self, size: Size, _depth: int = 0) -> int:
+        """The largest constant provably <= ``size`` (sizes are naturals, so 0 works)."""
+
+        if _depth > 64:
+            return 0
+        if isinstance(size, SizeConst):
+            return size.value
+        if isinstance(size, SizePlus):
+            return self.const_lower_bound(size.left, _depth + 1) + self.const_lower_bound(
+                size.right, _depth + 1
+            )
+        if isinstance(size, SizeVar):
+            if size.index >= len(self.bounds):
+                raise SizeError(f"unbound size variable {size}")
+            best = 0
+            for lower in self.bounds[size.index].lower:
+                value = self.const_lower_bound(lower, _depth + 1)
+                if value > best:
+                    best = value
+            return best
+        raise SizeError(f"not a size: {size!r}")
+
+    # -- entailment ---------------------------------------------------------
+
+    def leq(self, lhs: Size, rhs: Size) -> bool:
+        """Decide ``lhs ≤ rhs`` under the recorded bounds."""
+
+        lhs_const, lhs_vars = _size_normal_form(lhs)
+        rhs_const, rhs_vars = _size_normal_form(rhs)
+        # Cancel variables common to both sides.
+        for index in list(lhs_vars):
+            while lhs_vars.get(index, 0) > 0 and rhs_vars.get(index, 0) > 0:
+                lhs_vars[index] -= 1
+                rhs_vars[index] -= 1
+        lhs_total = lhs_const
+        for index, count in lhs_vars.items():
+            if count <= 0:
+                continue
+            upper = self.const_upper_bound(SizeVar(index))
+            if upper is None:
+                return False
+            lhs_total += upper * count
+        rhs_total = rhs_const
+        for index, count in rhs_vars.items():
+            if count <= 0:
+                continue
+            rhs_total += self.const_lower_bound(SizeVar(index)) * count
+        return lhs_total <= rhs_total
+
+    def require_leq(self, lhs: Size, rhs: Size, context: str = "") -> None:
+        if not self.leq(lhs, rhs):
+            suffix = f" ({context})" if context else ""
+            raise SizeError(f"cannot establish {lhs} ≤ {rhs}{suffix}")
+
+
+def _size_normal_form(size: Size) -> tuple[int, dict[int, int]]:
+    const_total = 0
+    var_counts: dict[int, int] = {}
+    for leaf in size_leaves(size):
+        if isinstance(leaf, SizeConst):
+            const_total += leaf.value
+        elif isinstance(leaf, SizeVar):
+            var_counts[leaf.index] = var_counts.get(leaf.index, 0) + 1
+        else:  # pragma: no cover - size_leaves never yields SizePlus
+            raise SizeError(f"unexpected size leaf {leaf!r}")
+    return const_total, var_counts
+
+
+def _shift_size_seq(sizes: Sequence[Size], amount: int, shift_from: int) -> list[Size]:
+    from ..syntax.sizes import shift_size
+
+    return [shift_size(size, amount, shift_from) for size in sizes]
+
+
+def _shift_size_bounds(bounds: SizeBounds, amount: int) -> SizeBounds:
+    return SizeBounds(
+        tuple(_shift_size_seq(bounds.lower, amount, 0)),
+        tuple(_shift_size_seq(bounds.upper, amount, 0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pretype variable constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeVarBounds:
+    """Bounds recorded for one pretype variable ``q ⪯ α (c?) ≲ sz``."""
+
+    qual_bound: Qual
+    size_bound: Size
+    heapable: bool = True
+
+
+@dataclass
+class TypeVarContext:
+    """The pretype-variable component of a function environment."""
+
+    bounds: list[TypeVarBounds] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def push(self, qual_bound: Qual, size_bound: Size, heapable: bool = True) -> "TypeVarContext":
+        return TypeVarContext([TypeVarBounds(qual_bound, size_bound, heapable), *self.bounds])
+
+    def lookup(self, index: int) -> TypeVarBounds:
+        if index < 0 or index >= len(self.bounds):
+            raise QualifierError(f"unbound pretype variable α{index}")
+        return self.bounds[index]
+
+    def valid(self, index: int) -> bool:
+        return 0 <= index < len(self.bounds)
+
+
+@dataclass
+class LocContext:
+    """The location-variable component: just how many are in scope."""
+
+    count: int = 0
+
+    def push(self) -> "LocContext":
+        return LocContext(self.count + 1)
+
+    def valid(self, index: int) -> bool:
+        return 0 <= index < self.count

@@ -1,0 +1,274 @@
+"""Typing environments (paper Fig. 5).
+
+* :class:`LocalEnv` — the type and slot size of every local variable.
+* :class:`FunctionEnv` — label stack, return type, qualifier / size / pretype
+  variable constraints, location variables, and the *linear environment* that
+  tracks the linearity of values sitting on the operand stack between jump
+  targets.
+* :class:`ModuleEnv` — the declared functions, globals and table.
+* :class:`StoreTyping` — module instance typings plus the typing of the
+  linear and unrestricted memories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..syntax.locations import ConcreteLoc, MemKind
+from ..syntax.qualifiers import LIN, UNR, Qual
+from ..syntax.sizes import Size
+from ..syntax.types import FunType, HeapType, Pretype, Type
+from .constraints import LocContext, QualContext, SizeContext, TypeVarContext
+from .errors import LocalTypeError, ModuleTypeError, StoreTypeError
+
+# ---------------------------------------------------------------------------
+# Local environment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalSlot:
+    """One local slot: its current type and the size it was allocated with."""
+
+    type: Type
+    size: Size
+
+
+@dataclass(frozen=True)
+class LocalEnv:
+    """The local environment ``L = (τ, sz)*``."""
+
+    slots: tuple[LocalSlot, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots)
+
+    def get(self, index: int) -> LocalSlot:
+        if index < 0 or index >= len(self.slots):
+            raise LocalTypeError(f"local index {index} out of range (have {len(self.slots)})")
+        return self.slots[index]
+
+    def set_type(self, index: int, ty: Type) -> "LocalEnv":
+        """Return a new environment with slot ``index`` retyped (same size)."""
+
+        slot = self.get(index)
+        new_slots = list(self.slots)
+        new_slots[index] = LocalSlot(ty, slot.size)
+        return LocalEnv(tuple(new_slots))
+
+    def apply_effects(self, effects: Sequence) -> "LocalEnv":
+        """Apply a local-effect annotation ``(i, τ)*`` (paper: ``(i, τ)*[L]``)."""
+
+        env = self
+        for effect in effects:
+            env = env.set_type(effect.index, effect.type)
+        return env
+
+    @staticmethod
+    def make(entries: Sequence[tuple[Type, Size]]) -> "LocalEnv":
+        return LocalEnv(tuple(LocalSlot(t, s) for t, s in entries))
+
+
+# ---------------------------------------------------------------------------
+# Labels and function environment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LabelInfo:
+    """One entry of the label component: the branch-argument types and the
+    local environment every jump to this label must agree on."""
+
+    arg_types: tuple[Type, ...]
+    local_env: LocalEnv
+
+
+@dataclass(frozen=True)
+class FunctionEnv:
+    """The function environment ``F`` (paper Fig. 5)."""
+
+    labels: tuple[LabelInfo, ...] = ()
+    return_types: Optional[tuple[Type, ...]] = None
+    qual_ctx: QualContext = field(default_factory=QualContext)
+    size_ctx: SizeContext = field(default_factory=SizeContext)
+    type_ctx: TypeVarContext = field(default_factory=TypeVarContext)
+    loc_ctx: LocContext = field(default_factory=LocContext)
+    linear: tuple[Qual, ...] = ()
+
+    # -- labels -------------------------------------------------------------
+
+    def push_label(self, arg_types: Sequence[Type], local_env: LocalEnv) -> "FunctionEnv":
+        return replace(
+            self,
+            labels=(LabelInfo(tuple(arg_types), local_env), *self.labels),
+            linear=(UNR, *self.linear),
+        )
+
+    def label(self, depth: int) -> LabelInfo:
+        if depth < 0 or depth >= len(self.labels):
+            raise LocalTypeError(f"branch depth {depth} out of range (have {len(self.labels)})")
+        return self.labels[depth]
+
+    # -- linear environment --------------------------------------------------
+
+    def set_linear_head(self, qual: Qual) -> "FunctionEnv":
+        if not self.linear:
+            return replace(self, linear=(qual,))
+        return replace(self, linear=(qual, *self.linear[1:]))
+
+    def linear_head(self) -> Qual:
+        return self.linear[0] if self.linear else UNR
+
+    def linear_join_up_to(self, depth: int) -> tuple[Qual, ...]:
+        """The linear-environment entries dropped by a branch to label ``depth``.
+
+        Branching to label ``depth`` discards everything sitting on the stack
+        between the current position and that label, which is tracked by the
+        first ``depth + 1`` entries of the linear environment.
+        """
+
+        return self.linear[: depth + 1]
+
+    # -- binders -------------------------------------------------------------
+
+    def push_loc(self) -> "FunctionEnv":
+        return replace(self, loc_ctx=self.loc_ctx.push())
+
+    def push_qual(self, lower: Sequence[Qual] = (), upper: Sequence[Qual] = ()) -> "FunctionEnv":
+        return replace(self, qual_ctx=self.qual_ctx.push(lower, upper))
+
+    def push_size(self, lower: Sequence[Size] = (), upper: Sequence[Size] = ()) -> "FunctionEnv":
+        return replace(self, size_ctx=self.size_ctx.push(lower, upper))
+
+    def push_type(self, qual_bound: Qual, size_bound: Size, heapable: bool = True) -> "FunctionEnv":
+        return replace(self, type_ctx=self.type_ctx.push(qual_bound, size_bound, heapable))
+
+
+def empty_function_env(return_types: Optional[Sequence[Type]] = None) -> FunctionEnv:
+    """``F_empty`` with an optional return type (used for configurations)."""
+
+    return FunctionEnv(
+        return_types=tuple(return_types) if return_types is not None else None
+    )
+
+
+# ---------------------------------------------------------------------------
+# Module environment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalType:
+    """The type of a global: its pretype and mutability."""
+
+    pretype: Pretype
+    mutable: bool
+
+
+@dataclass(frozen=True)
+class ModuleEnv:
+    """The module environment ``M = {func χ*, global tg*, table χ*}``."""
+
+    funcs: tuple[FunType, ...] = ()
+    globals: tuple[GlobalType, ...] = ()
+    table: tuple[FunType, ...] = ()
+
+    def func(self, index: int) -> FunType:
+        if index < 0 or index >= len(self.funcs):
+            raise ModuleTypeError(f"function index {index} out of range (have {len(self.funcs)})")
+        return self.funcs[index]
+
+    def global_(self, index: int) -> GlobalType:
+        if index < 0 or index >= len(self.globals):
+            raise ModuleTypeError(f"global index {index} out of range (have {len(self.globals)})")
+        return self.globals[index]
+
+    def table_entry(self, index: int) -> FunType:
+        if index < 0 or index >= len(self.table):
+            raise ModuleTypeError(f"table index {index} out of range (have {len(self.table)})")
+        return self.table[index]
+
+
+# ---------------------------------------------------------------------------
+# Store typing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemEntryTyping:
+    """Typing of one heap cell: its heap type and the size it was allocated at."""
+
+    heaptype: HeapType
+    size: int
+
+
+@dataclass
+class StoreTyping:
+    """The store typing ``S = {inst M*, unr ℓ ⇀ ψ, lin ℓ ⇀ ψ}``."""
+
+    instances: tuple[ModuleEnv, ...] = ()
+    unr: dict[int, MemEntryTyping] = field(default_factory=dict)
+    lin: dict[int, MemEntryTyping] = field(default_factory=dict)
+
+    def instance(self, index: int) -> ModuleEnv:
+        if index < 0 or index >= len(self.instances):
+            raise StoreTypeError(
+                f"module instance index {index} out of range (have {len(self.instances)})"
+            )
+        return self.instances[index]
+
+    def lookup(self, loc: ConcreteLoc) -> MemEntryTyping:
+        table = self.lin if loc.mem is MemKind.LIN else self.unr
+        if loc.address not in table:
+            raise StoreTypeError(f"location {loc} has no typing")
+        return table[loc.address]
+
+    def has(self, loc: ConcreteLoc) -> bool:
+        table = self.lin if loc.mem is MemKind.LIN else self.unr
+        return loc.address in table
+
+
+def empty_store_typing(instances: Sequence[ModuleEnv] = ()) -> StoreTyping:
+    """A store typing with no memory entries (used for static module checking)."""
+
+    return StoreTyping(instances=tuple(instances))
+
+
+# ---------------------------------------------------------------------------
+# Linear resource accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LinearUse:
+    """Tracks which linear store locations a derivation consumed.
+
+    The paper threads disjoint splits of the linear store typing through the
+    premises of every rule; algorithmically we instead record the multiset of
+    linear locations each sub-derivation claims and check (a) no location is
+    claimed twice and (b) at the top level every location of the linear store
+    typing is claimed exactly once.
+    """
+
+    used: set[int] = field(default_factory=set)
+
+    def claim(self, loc: ConcreteLoc) -> None:
+        if loc.mem is not MemKind.LIN:
+            return
+        if loc.address in self.used:
+            raise StoreTypeError(
+                f"linear location {loc} used more than once (duplication of a linear resource)"
+            )
+        self.used.add(loc.address)
+
+    def merge(self, other: "LinearUse") -> None:
+        overlap = self.used & other.used
+        if overlap:
+            raise StoreTypeError(
+                f"linear locations {sorted(overlap)} used in two disjoint derivations"
+            )
+        self.used |= other.used

@@ -1,0 +1,145 @@
+"""Structural equality of RichWasm types.
+
+The checker compares types when an instruction's expected operand type must
+match what is on the stack (block parameters, stored field types, branch
+argument types, ...).  Equality is structural, except that size expressions
+are compared up to normalization (constant folding and reordering of
+variables), so ``32 + σ`` and ``σ + 32`` describe the same slot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..syntax.sizes import size_structurally_equal
+from ..syntax.types import (
+    ArrayHT,
+    ArrowType,
+    CapT,
+    CodeRefT,
+    ExHT,
+    ExLocT,
+    FunType,
+    HeapType,
+    LocQuant,
+    NumT,
+    OwnT,
+    Pretype,
+    ProdT,
+    PtrT,
+    QualQuant,
+    Quant,
+    RecT,
+    RefT,
+    SizeQuant,
+    StructHT,
+    Type,
+    TypeQuant,
+    UnitT,
+    VarT,
+    VariantHT,
+)
+
+
+def types_equal(lhs: Type, rhs: Type) -> bool:
+    """Structural equality of types (sizes compared up to normalization)."""
+
+    return lhs.qual == rhs.qual and pretypes_equal(lhs.pretype, rhs.pretype)
+
+
+def type_lists_equal(lhs: Sequence[Type], rhs: Sequence[Type]) -> bool:
+    return len(lhs) == len(rhs) and all(types_equal(a, b) for a, b in zip(lhs, rhs))
+
+
+def pretypes_equal(lhs: Pretype, rhs: Pretype) -> bool:
+    if type(lhs) is not type(rhs):
+        return False
+    if isinstance(lhs, (UnitT,)):
+        return True
+    if isinstance(lhs, NumT):
+        return lhs.numtype == rhs.numtype
+    if isinstance(lhs, VarT):
+        return lhs.index == rhs.index
+    if isinstance(lhs, ProdT):
+        return type_lists_equal(lhs.components, rhs.components)
+    if isinstance(lhs, RefT):
+        return (
+            lhs.privilege == rhs.privilege
+            and lhs.loc == rhs.loc
+            and heaptypes_equal(lhs.heaptype, rhs.heaptype)
+        )
+    if isinstance(lhs, CapT):
+        return (
+            lhs.privilege == rhs.privilege
+            and lhs.loc == rhs.loc
+            and heaptypes_equal(lhs.heaptype, rhs.heaptype)
+        )
+    if isinstance(lhs, PtrT):
+        return lhs.loc == rhs.loc
+    if isinstance(lhs, OwnT):
+        return lhs.loc == rhs.loc
+    if isinstance(lhs, RecT):
+        return lhs.qual_bound == rhs.qual_bound and types_equal(lhs.body, rhs.body)
+    if isinstance(lhs, ExLocT):
+        return types_equal(lhs.body, rhs.body)
+    if isinstance(lhs, CodeRefT):
+        return funtypes_equal(lhs.funtype, rhs.funtype)
+    return False
+
+
+def heaptypes_equal(lhs: HeapType, rhs: HeapType) -> bool:
+    if type(lhs) is not type(rhs):
+        return False
+    if isinstance(lhs, VariantHT):
+        return type_lists_equal(lhs.cases, rhs.cases)
+    if isinstance(lhs, StructHT):
+        if len(lhs.fields) != len(rhs.fields):
+            return False
+        return all(
+            types_equal(lt, rt) and size_structurally_equal(ls, rs)
+            for (lt, ls), (rt, rs) in zip(lhs.fields, rhs.fields)
+        )
+    if isinstance(lhs, ArrayHT):
+        return types_equal(lhs.element, rhs.element)
+    if isinstance(lhs, ExHT):
+        return (
+            lhs.qual_bound == rhs.qual_bound
+            and size_structurally_equal(lhs.size_bound, rhs.size_bound)
+            and types_equal(lhs.body, rhs.body)
+        )
+    return False
+
+
+def quants_equal(lhs: Quant, rhs: Quant) -> bool:
+    if type(lhs) is not type(rhs):
+        return False
+    if isinstance(lhs, LocQuant):
+        return True
+    if isinstance(lhs, SizeQuant):
+        return (
+            len(lhs.lower) == len(rhs.lower)
+            and len(lhs.upper) == len(rhs.upper)
+            and all(size_structurally_equal(a, b) for a, b in zip(lhs.lower, rhs.lower))
+            and all(size_structurally_equal(a, b) for a, b in zip(lhs.upper, rhs.upper))
+        )
+    if isinstance(lhs, QualQuant):
+        return lhs.lower == rhs.lower and lhs.upper == rhs.upper
+    if isinstance(lhs, TypeQuant):
+        return (
+            lhs.qual_bound == rhs.qual_bound
+            and size_structurally_equal(lhs.size_bound, rhs.size_bound)
+            and lhs.heapable == rhs.heapable
+        )
+    return False
+
+
+def arrows_equal(lhs: ArrowType, rhs: ArrowType) -> bool:
+    return type_lists_equal(lhs.params, rhs.params) and type_lists_equal(lhs.results, rhs.results)
+
+
+def funtypes_equal(lhs: FunType, rhs: FunType) -> bool:
+    return (
+        len(lhs.quants) == len(rhs.quants)
+        and all(quants_equal(a, b) for a, b in zip(lhs.quants, rhs.quants))
+        and arrows_equal(lhs.arrow, rhs.arrow)
+    )

@@ -1,0 +1,65 @@
+"""Error types raised by the RichWasm type checker.
+
+All checker failures raise :class:`RichWasmTypeError` (or a subclass) with a
+human-readable message describing which rule failed.  The FFI examples in the
+paper (Figs. 1 and 3) rely on these being raised for ill-typed cross-language
+programs, so the error classes distinguish the broad failure categories.
+"""
+
+from __future__ import annotations
+
+
+class RichWasmError(Exception):
+    """Base class for all errors produced by the reproduction."""
+
+
+class RichWasmTypeError(RichWasmError):
+    """An instruction sequence, value, or module failed to type check."""
+
+
+class LinearityError(RichWasmTypeError):
+    """A linear value was duplicated, dropped, or jumped over."""
+
+
+class QualifierError(RichWasmTypeError):
+    """A qualifier constraint ``q ⪯ q'`` could not be established."""
+
+
+class SizeError(RichWasmTypeError):
+    """A size constraint ``sz ≤ sz'`` could not be established."""
+
+
+class CapabilityError(RichWasmTypeError):
+    """A capability/ownership token was misused (e.g. stored in GC memory)."""
+
+
+class StackTypeError(RichWasmTypeError):
+    """The operand stack did not have the shape an instruction expects."""
+
+
+class LocalTypeError(RichWasmTypeError):
+    """A local-variable slot was used at the wrong type or size."""
+
+
+class ModuleTypeError(RichWasmTypeError):
+    """A module-level declaration (function, global, table) is ill-typed."""
+
+
+class StoreTypeError(RichWasmTypeError):
+    """A runtime store or configuration is ill-typed."""
+
+
+class LinkError(RichWasmError):
+    """Imports/exports of linked modules do not match up."""
+
+
+class CompilationError(RichWasmError):
+    """A source-language program could not be compiled to RichWasm."""
+
+
+class WasmError(RichWasmError):
+    """An error in the Wasm substrate (validation or execution)."""
+
+
+class LoweringError(RichWasmError):
+    """RichWasm to Wasm lowering failed."""

@@ -1,0 +1,1308 @@
+"""Instruction typing (paper Fig. 7).
+
+The judgement ``S; M; F; L ⊢ e* : τ1* → τ2* | L'`` is implemented
+algorithmically: the checker walks an instruction sequence with an explicit
+operand stack of types and the current local environment, popping the operand
+types each instruction requires and pushing its results.  Linearity is
+enforced at every point where a value could be duplicated or dropped:
+
+* ``drop``/``select`` and dead store of locals require unrestricted operands;
+* ``get_local`` of a linear slot strongly updates the slot to ``unit``;
+* branches require every value they would implicitly discard — both on the
+  visible stack and on the stacks of enclosing blocks (tracked by the linear
+  environment) — to be unrestricted;
+* struct/variant/array/existential operations enforce the size and
+  ``no_caps`` side conditions of Fig. 7.
+
+Entering a binder (``mem.unpack`` opens a location variable,
+``exist.unpack`` opens a pretype variable) shifts the whole checker state
+into the extended context, mirroring the paper's de Bruijn discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..syntax.instructions import (
+    ArrayFree,
+    ArrayGet,
+    ArrayMalloc,
+    ArraySet,
+    Block,
+    Br,
+    BrIf,
+    BrTable,
+    Call,
+    CallIndirect,
+    CapJoin,
+    CapSplit,
+    CodeRefI,
+    Drop,
+    ExistPack,
+    ExistUnpack,
+    GetGlobal,
+    GetLocal,
+    If,
+    Inst,
+    Instr,
+    IntTestop,
+    Loop,
+    MemPack,
+    MemUnpack,
+    Nop,
+    NumBinop,
+    NumConst,
+    NumCvtop,
+    NumRelop,
+    NumTestop,
+    NumUnop,
+    Qualify,
+    RecFold,
+    RecUnfold,
+    RefDemote,
+    RefJoin,
+    RefSplit,
+    Return,
+    Select,
+    SeqGroup,
+    SeqUngroup,
+    SetGlobal,
+    SetLocal,
+    StructFree,
+    StructGet,
+    StructMalloc,
+    StructSet,
+    StructSwap,
+    TeeLocal,
+    Unreachable,
+    VariantCase,
+    VariantMalloc,
+)
+from ..syntax.locations import ConcreteLoc, LocVar, MemKind
+from ..syntax.qualifiers import LIN, UNR, Qual
+from ..syntax.sizes import SizeConst
+from ..syntax.types import (
+    ArrayHT,
+    ArrowType,
+    CapT,
+    CodeRefT,
+    ExHT,
+    ExLocT,
+    FunType,
+    HeapType,
+    Index,
+    LocIndex,
+    LocQuant,
+    NumT,
+    NumType,
+    OwnT,
+    PretypeIndex,
+    Pretype,
+    Privilege,
+    ProdT,
+    PtrT,
+    QualIndex,
+    QualQuant,
+    RecT,
+    RefT,
+    Shift,
+    SizeIndex,
+    SizeQuant,
+    StructHT,
+    Subst,
+    Type,
+    TypeQuant,
+    UnitT,
+    VarT,
+    VariantHT,
+    instantiate_funtype,
+    shift_type,
+    subst_pretype,
+    subst_type,
+    unfold_rec,
+)
+from ..syntax.values import (
+    CapV,
+    CoderefV,
+    FoldV,
+    MempackV,
+    NumV,
+    OwnV,
+    ProdV,
+    PtrV,
+    RefV,
+    UnitV,
+    Value,
+)
+from .constraints import QualContext
+from .env import FunctionEnv, LabelInfo, LinearUse, LocalEnv, LocalSlot, ModuleEnv, StoreTyping
+from .equality import heaptypes_equal, pretypes_equal, type_lists_equal, types_equal
+from .errors import (
+    CapabilityError,
+    LinearityError,
+    LocalTypeError,
+    QualifierError,
+    RichWasmTypeError,
+    SizeError,
+    StackTypeError,
+)
+from .sizing import size_of_pretype, size_of_type
+from .validity import (
+    check_funtype_valid,
+    check_qual_valid,
+    check_type_valid,
+    require_heaptype_no_caps,
+    require_type_no_caps,
+    type_no_caps,
+)
+from .value_typing import check_value
+
+
+# ---------------------------------------------------------------------------
+# Checker state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypingState:
+    """The mutable state threaded through a block: stack, locals, liveness."""
+
+    stack: list[Type]
+    local_env: LocalEnv
+    dead: bool = False
+
+
+def _shift_local_env(env: LocalEnv, shift: Shift) -> LocalEnv:
+    return LocalEnv(tuple(LocalSlot(shift_type(s.type, shift), s.size) for s in env.slots))
+
+
+def _shift_function_env(fenv: FunctionEnv, shift: Shift) -> FunctionEnv:
+    labels = tuple(
+        LabelInfo(
+            tuple(shift_type(t, shift) for t in label.arg_types),
+            _shift_local_env(label.local_env, shift),
+        )
+        for label in fenv.labels
+    )
+    returns = (
+        tuple(shift_type(t, shift) for t in fenv.return_types)
+        if fenv.return_types is not None
+        else None
+    )
+    return replace(fenv, labels=labels, return_types=returns)
+
+
+class InstructionChecker:
+    """Checks instruction sequences against the typing rules of Fig. 7."""
+
+    def __init__(
+        self,
+        store_typing: StoreTyping,
+        module_env: ModuleEnv,
+        *,
+        allow_caps_in_linear_memory: bool = True,
+        observer=None,
+    ) -> None:
+        self.store_typing = store_typing
+        self.module_env = module_env
+        #: §5 describes a relaxed rule where capabilities may be stored in the
+        #: manually-managed (linear) part of the heap; the strict formalized
+        #: rule forbids capabilities on the heap everywhere.
+        self.allow_caps_in_linear_memory = allow_caps_in_linear_memory
+        #: Optional callback ``observer(instr, stack, local_env)`` invoked
+        #: before each instruction is checked, in traversal order.  The
+        #: type-directed lowering pass (paper §6) uses this to obtain the
+        #: operand types of every instruction without re-implementing typing.
+        self.observer = observer
+
+    # -- public entry points -------------------------------------------------
+
+    def check_body(
+        self,
+        fenv: FunctionEnv,
+        local_env: LocalEnv,
+        body: Sequence[Instr],
+        params: Sequence[Type],
+        results: Sequence[Type],
+    ) -> LocalEnv:
+        """Check ``body : params → results | L'`` and return the final ``L'``."""
+
+        state = TypingState(stack=list(params), local_env=local_env)
+        for instr in body:
+            self.check_instr(fenv, state, instr)
+        if not state.dead:
+            self._check_final_stack(fenv, state, results)
+        return state.local_env
+
+    # -- stack helpers --------------------------------------------------------
+
+    def _pop(self, fenv: FunctionEnv, state: TypingState, what: str = "operand") -> Type:
+        if state.dead:
+            # Dead code: synthesize an unrestricted unit; it will never run.
+            return Type(UnitT(), UNR)
+        if not state.stack:
+            raise StackTypeError(f"stack underflow: expected {what}, stack is empty")
+        return state.stack.pop()
+
+    def _pop_expect(self, fenv: FunctionEnv, state: TypingState, expected: Type, what: str) -> Type:
+        actual = self._pop(fenv, state, what)
+        if state.dead:
+            return expected
+        if not types_equal(actual, expected):
+            raise StackTypeError(f"expected {expected} for {what}, found {actual}")
+        return actual
+
+    def _pop_many(self, fenv: FunctionEnv, state: TypingState, count: int, what: str) -> list[Type]:
+        popped = [self._pop(fenv, state, what) for _ in range(count)]
+        popped.reverse()
+        return popped
+
+    def _pop_expect_many(
+        self, fenv: FunctionEnv, state: TypingState, expected: Sequence[Type], what: str
+    ) -> None:
+        for ty in reversed(list(expected)):
+            self._pop_expect(fenv, state, ty, what)
+
+    def _push(self, state: TypingState, *types: Type) -> None:
+        if state.dead:
+            return
+        state.stack.extend(types)
+
+    def _pop_num(self, fenv: FunctionEnv, state: TypingState, numtype: NumType, what: str) -> None:
+        self._pop_expect(fenv, state, Type(NumT(numtype), UNR), what)
+
+    def _check_final_stack(self, fenv: FunctionEnv, state: TypingState, results: Sequence[Type]) -> None:
+        if len(state.stack) != len(results) or not type_lists_equal(state.stack, list(results)):
+            raise StackTypeError(
+                "block does not leave the declared result types on the stack: "
+                f"expected {[str(t) for t in results]}, found {[str(t) for t in state.stack]}"
+            )
+
+    def _stack_qual_join(self, fenv: FunctionEnv, types: Sequence[Type]) -> Qual:
+        return fenv.qual_ctx.join([t.qual for t in types])
+
+    def _require_unrestricted(self, fenv: FunctionEnv, ty: Type, action: str) -> None:
+        if not fenv.qual_ctx.leq(ty.qual, UNR):
+            raise LinearityError(f"cannot {action} a potentially linear value of type {ty}")
+
+    # -- block helpers --------------------------------------------------------
+
+    def _check_nested_block(
+        self,
+        fenv: FunctionEnv,
+        state: TypingState,
+        arrow: ArrowType,
+        effects,
+        bodies: Sequence[Sequence[Instr]],
+        *,
+        extra_stack_types: Sequence[Sequence[Type]] = ((),),
+        extra_frame_quals: Sequence[Qual] = (),
+        loop: bool = False,
+        binder_shift: Optional[Shift] = None,
+        binder_push: Optional[str] = None,
+        binder_args: tuple = (),
+    ) -> None:
+        """Shared logic for every block-introducing instruction.
+
+        ``bodies`` are the alternative bodies (one for ``block``, two for
+        ``if``, N for ``variant.case``); ``extra_stack_types[i]`` is appended
+        to the block parameters for body ``i`` (the variant payload / the
+        unpacked value).  ``extra_frame_quals`` are qualifiers of values that
+        are conceptually parked below the block while it runs (e.g. the
+        variant reference in the unrestricted case) and therefore must be
+        treated as part of the enclosing frame for branch purposes.
+        """
+
+        self._pop_expect_many(fenv, state, arrow.params, "block parameter")
+        if state.dead:
+            return
+
+        rest_qual = self._stack_qual_join(fenv, state.stack)
+        frame_qual = fenv.qual_ctx.join([rest_qual, fenv.linear_head(), *extra_frame_quals])
+
+        local_env = state.local_env
+        result_env = local_env.apply_effects(effects)
+
+        inner_fenv = fenv
+        inner_shift = Shift()
+        if binder_push == "loc":
+            inner_shift = Shift(locs=1)
+        elif binder_push == "type":
+            inner_shift = Shift(types=1)
+        if not inner_shift.is_zero():
+            inner_fenv = _shift_function_env(inner_fenv, inner_shift)
+        if binder_push == "loc":
+            inner_fenv = inner_fenv.push_loc()
+        elif binder_push == "type":
+            qual_bound, size_bound, heapable = binder_args
+            inner_fenv = inner_fenv.push_type(qual_bound, size_bound, heapable)
+
+        inner_params_base = [shift_type(t, inner_shift) for t in arrow.params]
+        inner_results = [shift_type(t, inner_shift) for t in arrow.results]
+        label_args = inner_params_base if loop else inner_results
+        inner_result_env = _shift_local_env(result_env, inner_shift)
+        inner_start_env = _shift_local_env(local_env, inner_shift)
+
+        label_env = inner_start_env if loop else inner_result_env
+        inner_fenv = inner_fenv.push_label(label_args, label_env)
+        inner_fenv = inner_fenv.set_linear_head(UNR)
+        # Record the enclosing frame's linearity one level out (index 1).
+        new_linear = list(inner_fenv.linear)
+        if len(new_linear) >= 2:
+            new_linear[1] = frame_qual
+        else:
+            new_linear = [new_linear[0] if new_linear else UNR, frame_qual]
+        inner_fenv = replace(inner_fenv, linear=tuple(new_linear))
+
+        for body, extra in zip(bodies, extra_stack_types):
+            # ``extra`` types are supplied by the caller already expressed in
+            # the *inner* scope (an opened existential body refers to the new
+            # binder as index 0), so they are not shifted again here.
+            final_env = self.check_body(
+                inner_fenv,
+                inner_start_env,
+                body,
+                [*inner_params_base, *extra],
+                inner_results,
+            )
+            # The body must realize exactly the declared local effects, unless
+            # it ended in dead code (in which case check_body already skipped
+            # the stack check and the locals are unconstrained).
+            self._check_local_envs_compatible(inner_fenv, final_env, inner_result_env)
+
+        state.local_env = result_env
+        self._push(state, *arrow.results)
+
+    def _check_local_envs_compatible(
+        self, fenv: FunctionEnv, actual: LocalEnv, expected: LocalEnv
+    ) -> None:
+        if len(actual) != len(expected):
+            raise LocalTypeError(
+                f"block changes the number of locals ({len(actual)} vs {len(expected)})"
+            )
+        for index, (actual_slot, expected_slot) in enumerate(zip(actual, expected)):
+            if types_equal(actual_slot.type, expected_slot.type):
+                continue
+            # A slot holding a linear value that the effect annotation does not
+            # mention is a linearity leak; a mismatch on unrestricted slots is
+            # tolerated only if both sides are unrestricted (the value can be
+            # dropped / defaulted), matching the paper's use of local effects
+            # to *prescribe* every linear change.
+            actual_unr = fenv.qual_ctx.leq(actual_slot.type.qual, UNR)
+            expected_unr = fenv.qual_ctx.leq(expected_slot.type.qual, UNR)
+            if actual_unr and expected_unr:
+                continue
+            raise LocalTypeError(
+                f"local slot {index} ends the block at {actual_slot.type} but the local-effect"
+                f" annotation declares {expected_slot.type}"
+            )
+
+    # -- branches -------------------------------------------------------------
+
+    def _check_branch(self, fenv: FunctionEnv, state: TypingState, depth: int, *, conditional: bool) -> None:
+        label = fenv.label(depth)
+        if state.dead:
+            return
+        # The branch arguments must be on top of the stack.
+        args = list(label.arg_types)
+        if len(state.stack) < len(args):
+            raise StackTypeError(
+                f"branch to depth {depth} needs {len(args)} argument(s), stack has {len(state.stack)}"
+            )
+        top = state.stack[len(state.stack) - len(args):] if args else []
+        if args and not type_lists_equal(top, args):
+            raise StackTypeError(
+                f"branch to depth {depth} expects {[str(t) for t in args]} on the stack, "
+                f"found {[str(t) for t in top]}"
+            )
+        # Everything below the branch arguments is dropped by the jump, as is
+        # every enclosing frame region tracked by the linear environment.
+        dropped = state.stack[: len(state.stack) - len(args)]
+        for ty in dropped:
+            if not fenv.qual_ctx.leq(ty.qual, UNR):
+                raise LinearityError(
+                    f"branch to depth {depth} would drop a linear value of type {ty}"
+                )
+        for qual in fenv.linear_join_up_to(depth)[1:]:
+            if not fenv.qual_ctx.leq(qual, UNR):
+                raise LinearityError(
+                    f"branch to depth {depth} would jump over linear values on an enclosing stack"
+                )
+        # Every jump to a label must agree on the types of locals.
+        self._check_local_envs_compatible(fenv, state.local_env, label.local_env)
+        if not conditional:
+            state.dead = True
+
+    # -- instruction dispatch --------------------------------------------------
+
+    def check_instr(self, fenv: FunctionEnv, state: TypingState, instr: Instr) -> None:
+        """Type-check one instruction, updating ``state`` in place."""
+
+        if self.observer is not None:
+            self.observer(instr, tuple(state.stack), state.local_env)
+        method = getattr(self, f"_check_{type(instr).__name__}", None)
+        if method is None:
+            if isinstance(instr, (UnitV, NumV, ProdV, RefV, PtrV, CapV, OwnV, FoldV, MempackV, CoderefV)):
+                self._check_inline_value(fenv, state, instr)
+                return
+            raise RichWasmTypeError(f"no typing rule for instruction {instr!r}")
+        method(fenv, state, instr)
+
+    # Values may appear directly in instruction sequences (Fig. 2: e ::= v | ...).
+    def _check_inline_value(self, fenv: FunctionEnv, state: TypingState, value: Value) -> None:
+        from .value_typing import synthesize_value_type
+
+        ty = synthesize_value_type(self.store_typing, value)
+        self._push(state, ty)
+
+    # -- numeric -------------------------------------------------------------
+
+    def _check_NumConst(self, fenv: FunctionEnv, state: TypingState, instr: NumConst) -> None:
+        self._push(state, Type(NumT(instr.numtype), UNR))
+
+    def _check_NumUnop(self, fenv: FunctionEnv, state: TypingState, instr: NumUnop) -> None:
+        self._pop_num(fenv, state, instr.numtype, f"{instr.numtype}.{instr.op.value} operand")
+        self._push(state, Type(NumT(instr.numtype), UNR))
+
+    def _check_NumBinop(self, fenv: FunctionEnv, state: TypingState, instr: NumBinop) -> None:
+        self._pop_num(fenv, state, instr.numtype, f"{instr.numtype}.{instr.op.value} rhs")
+        self._pop_num(fenv, state, instr.numtype, f"{instr.numtype}.{instr.op.value} lhs")
+        self._push(state, Type(NumT(instr.numtype), UNR))
+
+    def _check_NumTestop(self, fenv: FunctionEnv, state: TypingState, instr: NumTestop) -> None:
+        self._pop_num(fenv, state, instr.numtype, "testop operand")
+        self._push(state, Type(NumT(NumType.I32), UNR))
+
+    def _check_NumRelop(self, fenv: FunctionEnv, state: TypingState, instr: NumRelop) -> None:
+        self._pop_num(fenv, state, instr.numtype, "relop rhs")
+        self._pop_num(fenv, state, instr.numtype, "relop lhs")
+        self._push(state, Type(NumT(NumType.I32), UNR))
+
+    def _check_NumCvtop(self, fenv: FunctionEnv, state: TypingState, instr: NumCvtop) -> None:
+        self._pop_num(fenv, state, instr.source, "conversion operand")
+        self._push(state, Type(NumT(instr.target), UNR))
+
+    # -- parametric / control --------------------------------------------------
+
+    def _check_Unreachable(self, fenv: FunctionEnv, state: TypingState, instr: Unreachable) -> None:
+        state.dead = True
+
+    def _check_Nop(self, fenv: FunctionEnv, state: TypingState, instr: Nop) -> None:
+        return
+
+    def _check_Drop(self, fenv: FunctionEnv, state: TypingState, instr: Drop) -> None:
+        ty = self._pop(fenv, state, "drop operand")
+        if not state.dead:
+            self._require_unrestricted(fenv, ty, "drop")
+
+    def _check_Select(self, fenv: FunctionEnv, state: TypingState, instr: Select) -> None:
+        self._pop_num(fenv, state, NumType.I32, "select condition")
+        second = self._pop(fenv, state, "select operand")
+        first = self._pop(fenv, state, "select operand")
+        if not state.dead:
+            if not types_equal(first, second):
+                raise StackTypeError(f"select operands have different types: {first} vs {second}")
+            self._require_unrestricted(fenv, first, "select between")
+        self._push(state, first)
+
+    def _check_Block(self, fenv: FunctionEnv, state: TypingState, instr: Block) -> None:
+        self._check_nested_block(fenv, state, instr.arrow, instr.effects, [instr.body])
+
+    def _check_Loop(self, fenv: FunctionEnv, state: TypingState, instr: Loop) -> None:
+        self._check_nested_block(fenv, state, instr.arrow, (), [instr.body], loop=True)
+
+    def _check_If(self, fenv: FunctionEnv, state: TypingState, instr: If) -> None:
+        self._pop_num(fenv, state, NumType.I32, "if condition")
+        self._check_nested_block(
+            fenv,
+            state,
+            instr.arrow,
+            instr.effects,
+            [instr.then_body, instr.else_body],
+            extra_stack_types=((), ()),
+        )
+
+    def _check_Br(self, fenv: FunctionEnv, state: TypingState, instr: Br) -> None:
+        self._check_branch(fenv, state, instr.depth, conditional=False)
+
+    def _check_BrIf(self, fenv: FunctionEnv, state: TypingState, instr: BrIf) -> None:
+        self._pop_num(fenv, state, NumType.I32, "br_if condition")
+        self._check_branch(fenv, state, instr.depth, conditional=True)
+
+    def _check_BrTable(self, fenv: FunctionEnv, state: TypingState, instr: BrTable) -> None:
+        self._pop_num(fenv, state, NumType.I32, "br_table index")
+        for depth in (*instr.depths, instr.default):
+            self._check_branch(fenv, state, depth, conditional=True)
+        state.dead = True
+
+    def _check_Return(self, fenv: FunctionEnv, state: TypingState, instr: Return) -> None:
+        if fenv.return_types is None:
+            raise RichWasmTypeError("return outside of a function body")
+        if state.dead:
+            return
+        results = list(fenv.return_types)
+        if len(state.stack) < len(results):
+            raise StackTypeError(
+                f"return needs {len(results)} value(s), stack has {len(state.stack)}"
+            )
+        top = state.stack[len(state.stack) - len(results):] if results else []
+        if results and not type_lists_equal(top, results):
+            raise StackTypeError(
+                f"return expects {[str(t) for t in results]}, found {[str(t) for t in top]}"
+            )
+        for ty in state.stack[: len(state.stack) - len(results)]:
+            if not fenv.qual_ctx.leq(ty.qual, UNR):
+                raise LinearityError(f"return would drop a linear value of type {ty}")
+        for qual in fenv.linear[1:]:
+            if not fenv.qual_ctx.leq(qual, UNR):
+                raise LinearityError("return would jump over linear values on an enclosing stack")
+        state.dead = True
+
+    # -- locals & globals ------------------------------------------------------
+
+    def _check_GetLocal(self, fenv: FunctionEnv, state: TypingState, instr: GetLocal) -> None:
+        slot = state.local_env.get(instr.index)
+        ty = slot.type
+        if fenv.qual_ctx.leq(ty.qual, UNR):
+            # Unrestricted slot: the value is copied, slot keeps its type.
+            self._push(state, ty)
+        else:
+            # Linear slot: the value is moved out, the slot becomes unit.
+            self._push(state, ty)
+            state.local_env = state.local_env.set_type(
+                instr.index, Type(UnitT(), UNR)
+            )
+
+    def _check_SetLocal(self, fenv: FunctionEnv, state: TypingState, instr: SetLocal) -> None:
+        ty = self._pop(fenv, state, "set_local operand")
+        if state.dead:
+            return
+        slot = state.local_env.get(instr.index)
+        if not fenv.qual_ctx.leq(slot.type.qual, UNR):
+            raise LinearityError(
+                f"set_local {instr.index} would overwrite a linear value of type {slot.type}"
+            )
+        new_size = size_of_type(ty, fenv.type_ctx)
+        if not fenv.size_ctx.leq(new_size, slot.size):
+            raise SizeError(
+                f"value of type {ty} (size {new_size}) does not fit local slot {instr.index}"
+                f" of size {slot.size}"
+            )
+        state.local_env = state.local_env.set_type(instr.index, ty)
+
+    def _check_TeeLocal(self, fenv: FunctionEnv, state: TypingState, instr: TeeLocal) -> None:
+        ty = self._pop(fenv, state, "tee_local operand")
+        if not state.dead:
+            self._require_unrestricted(fenv, ty, "duplicate (tee_local)")
+            slot = state.local_env.get(instr.index)
+            if not fenv.qual_ctx.leq(slot.type.qual, UNR):
+                raise LinearityError(
+                    f"tee_local {instr.index} would overwrite a linear value of type {slot.type}"
+                )
+            new_size = size_of_type(ty, fenv.type_ctx)
+            if not fenv.size_ctx.leq(new_size, slot.size):
+                raise SizeError(
+                    f"value of type {ty} does not fit local slot {instr.index} of size {slot.size}"
+                )
+            state.local_env = state.local_env.set_type(instr.index, ty)
+        self._push(state, ty)
+
+    def _check_GetGlobal(self, fenv: FunctionEnv, state: TypingState, instr: GetGlobal) -> None:
+        global_type = self.module_env.global_(instr.index)
+        self._push(state, Type(global_type.pretype, UNR))
+
+    def _check_SetGlobal(self, fenv: FunctionEnv, state: TypingState, instr: SetGlobal) -> None:
+        global_type = self.module_env.global_(instr.index)
+        if not global_type.mutable:
+            raise RichWasmTypeError(f"set_global {instr.index}: global is immutable")
+        self._pop_expect(fenv, state, Type(global_type.pretype, UNR), "set_global operand")
+
+    def _check_Qualify(self, fenv: FunctionEnv, state: TypingState, instr: Qualify) -> None:
+        check_qual_valid(fenv, instr.qual, "qualify")
+        ty = self._pop(fenv, state, "qualify operand")
+        if not state.dead:
+            if not fenv.qual_ctx.leq(ty.qual, instr.qual):
+                raise QualifierError(
+                    f"qualify cannot weaken {ty.qual} to {instr.qual} (only strengthening is allowed)"
+                )
+        self._push(state, Type(ty.pretype, instr.qual))
+
+    # -- functions -------------------------------------------------------------
+
+    def _check_CodeRefI(self, fenv: FunctionEnv, state: TypingState, instr: CodeRefI) -> None:
+        funtype = self.module_env.table_entry(instr.table_index)
+        self._push(state, Type(CodeRefT(funtype), UNR))
+
+    def _check_Inst(self, fenv: FunctionEnv, state: TypingState, instr: Inst) -> None:
+        ty = self._pop(fenv, state, "inst operand")
+        if state.dead:
+            self._push(state, ty)
+            return
+        if not isinstance(ty.pretype, CodeRefT):
+            raise StackTypeError(f"inst expects a coderef on the stack, found {ty}")
+        funtype = ty.pretype.funtype
+        self._check_indices(fenv, funtype, instr.indices)
+        arrow = instantiate_funtype(funtype, instr.indices)
+        self._push(state, Type(CodeRefT(FunType((), arrow)), ty.qual))
+
+    def _check_Call(self, fenv: FunctionEnv, state: TypingState, instr: Call) -> None:
+        funtype = self.module_env.func(instr.func_index)
+        self._check_indices(fenv, funtype, instr.indices)
+        arrow = instantiate_funtype(funtype, instr.indices)
+        self._pop_expect_many(fenv, state, arrow.params, f"call {instr.func_index} argument")
+        self._push(state, *arrow.results)
+
+    def _check_CallIndirect(self, fenv: FunctionEnv, state: TypingState, instr: CallIndirect) -> None:
+        ty = self._pop(fenv, state, "call_indirect target")
+        if state.dead:
+            return
+        if not isinstance(ty.pretype, CodeRefT):
+            raise StackTypeError(f"call_indirect expects a coderef on the stack, found {ty}")
+        funtype = ty.pretype.funtype
+        if funtype.quants:
+            raise RichWasmTypeError(
+                "call_indirect target still has uninstantiated quantifiers; use inst first"
+            )
+        self._pop_expect_many(fenv, state, funtype.arrow.params, "call_indirect argument")
+        self._push(state, *funtype.arrow.results)
+
+    def _check_indices(self, fenv: FunctionEnv, funtype: FunType, indices: Sequence[Index]) -> None:
+        """Check concrete instantiations against the quantifier bounds."""
+
+        if len(indices) != len(funtype.quants):
+            raise RichWasmTypeError(
+                f"instantiation supplies {len(indices)} indices for {len(funtype.quants)} quantifiers"
+            )
+        # Build up a substitution mapping earlier binders to their indices so
+        # later bounds can be checked concretely.  Quantifiers are bound
+        # left-to-right; index 0 refers to the *innermost* (rightmost) binder,
+        # so earlier binders have higher indices within later bounds.  We
+        # check each bound after substituting every index (which is sound
+        # because substitution of unrelated namespaces commutes).
+        subst = Subst()
+        loc_i = size_i = qual_i = type_i = 0
+        for quant, index in zip(reversed(funtype.quants), reversed(list(indices))):
+            if isinstance(quant, LocQuant):
+                if not isinstance(index, LocIndex):
+                    raise RichWasmTypeError(f"expected a location index for {quant}")
+                subst.locs[loc_i] = index.loc
+                loc_i += 1
+            elif isinstance(quant, SizeQuant):
+                if not isinstance(index, SizeIndex):
+                    raise RichWasmTypeError(f"expected a size index for {quant}")
+                subst.sizes[size_i] = index.size
+                size_i += 1
+            elif isinstance(quant, QualQuant):
+                if not isinstance(index, QualIndex):
+                    raise RichWasmTypeError(f"expected a qualifier index for {quant}")
+                subst.quals[qual_i] = index.qual
+                qual_i += 1
+            elif isinstance(quant, TypeQuant):
+                if not isinstance(index, PretypeIndex):
+                    raise RichWasmTypeError(f"expected a pretype index for {quant}")
+                subst.types[type_i] = index.pretype
+                type_i += 1
+        from ..syntax.sizes import substitute_size
+        from ..syntax.qualifiers import substitute_qual
+
+        for quant, index in zip(funtype.quants, indices):
+            if isinstance(quant, SizeQuant) and isinstance(index, SizeIndex):
+                for lower in quant.lower:
+                    fenv.size_ctx.require_leq(
+                        substitute_size(lower, subst.sizes), index.size, "size quantifier lower bound"
+                    )
+                for upper in quant.upper:
+                    fenv.size_ctx.require_leq(
+                        index.size, substitute_size(upper, subst.sizes), "size quantifier upper bound"
+                    )
+            elif isinstance(quant, QualQuant) and isinstance(index, QualIndex):
+                for lower in quant.lower:
+                    fenv.qual_ctx.require_leq(
+                        substitute_qual(lower, subst.quals), index.qual, "qualifier quantifier lower bound"
+                    )
+                for upper in quant.upper:
+                    fenv.qual_ctx.require_leq(
+                        index.qual, substitute_qual(upper, subst.quals), "qualifier quantifier upper bound"
+                    )
+            elif isinstance(quant, TypeQuant) and isinstance(index, PretypeIndex):
+                pre = subst_pretype(index.pretype, subst)
+                size = size_of_pretype(pre, fenv.type_ctx)
+                bound = substitute_size(quant.size_bound, subst.sizes)
+                if not fenv.size_ctx.leq(size, bound):
+                    raise SizeError(
+                        f"pretype instantiation {pre} has size {size}, exceeding the bound {bound}"
+                    )
+                if not quant.heapable:
+                    continue
+                if not type_no_caps(fenv, Type(pre, UNR)):
+                    raise CapabilityError(
+                        f"pretype instantiation {pre} may contain capabilities but the quantifier"
+                        " requires a capability-free type"
+                    )
+
+    # -- recursive & existential types ------------------------------------------
+
+    def _check_RecFold(self, fenv: FunctionEnv, state: TypingState, instr: RecFold) -> None:
+        if not isinstance(instr.pretype, RecT):
+            raise RichWasmTypeError(f"rec.fold annotation must be a recursive pretype, got {instr.pretype}")
+        ty = self._pop(fenv, state, "rec.fold operand")
+        if state.dead:
+            self._push(state, Type(instr.pretype, UNR))
+            return
+        expected_unfolded = unfold_rec(instr.pretype, ty.qual)
+        if not pretypes_equal(ty.pretype, expected_unfolded.pretype):
+            raise StackTypeError(
+                f"rec.fold expects the unfolding {expected_unfolded.pretype} on the stack, found {ty.pretype}"
+            )
+        if not fenv.qual_ctx.leq(instr.pretype.qual_bound, ty.qual):
+            raise QualifierError(
+                f"recursive type bound {instr.pretype.qual_bound} not satisfied at qualifier {ty.qual}"
+            )
+        self._push(state, Type(instr.pretype, ty.qual))
+
+    def _check_RecUnfold(self, fenv: FunctionEnv, state: TypingState, instr: RecUnfold) -> None:
+        ty = self._pop(fenv, state, "rec.unfold operand")
+        if state.dead:
+            self._push(state, ty)
+            return
+        if not isinstance(ty.pretype, RecT):
+            raise StackTypeError(f"rec.unfold expects a recursive type, found {ty}")
+        unfolded = unfold_rec(ty.pretype, ty.qual)
+        self._push(state, unfolded.with_qual(ty.qual))
+
+    def _check_MemPack(self, fenv: FunctionEnv, state: TypingState, instr: MemPack) -> None:
+        ty = self._pop(fenv, state, "mem.pack operand")
+        if state.dead:
+            self._push(state, ty)
+            return
+        abstracted = _abstract_location(ty, instr.loc)
+        self._push(state, Type(ExLocT(abstracted), ty.qual))
+
+    def _check_MemUnpack(self, fenv: FunctionEnv, state: TypingState, instr: MemUnpack) -> None:
+        packed = self._pop(fenv, state, "mem.unpack operand")
+        if state.dead:
+            self._push(state, *instr.arrow.results)
+            return
+        if not isinstance(packed.pretype, ExLocT):
+            raise StackTypeError(f"mem.unpack expects an existential location package, found {packed}")
+        body_type = packed.pretype.body.with_qual(packed.pretype.body.qual)
+        self._check_nested_block(
+            fenv,
+            state,
+            instr.arrow,
+            instr.effects,
+            [instr.body],
+            extra_stack_types=[[body_type]],
+            binder_push="loc",
+        )
+
+    # -- tuples ------------------------------------------------------------------
+
+    def _check_SeqGroup(self, fenv: FunctionEnv, state: TypingState, instr: SeqGroup) -> None:
+        check_qual_valid(fenv, instr.qual, "seq.group")
+        components = self._pop_many(fenv, state, instr.count, "seq.group operand")
+        if not state.dead:
+            for component in components:
+                if not fenv.qual_ctx.leq(component.qual, instr.qual):
+                    raise QualifierError(
+                        f"tuple at {instr.qual} cannot contain a component at {component.qual}"
+                    )
+        self._push(state, Type(ProdT(tuple(components)), instr.qual))
+
+    def _check_SeqUngroup(self, fenv: FunctionEnv, state: TypingState, instr: SeqUngroup) -> None:
+        ty = self._pop(fenv, state, "seq.ungroup operand")
+        if state.dead:
+            return
+        if not isinstance(ty.pretype, ProdT):
+            raise StackTypeError(f"seq.ungroup expects a tuple, found {ty}")
+        self._push(state, *ty.pretype.components)
+
+    # -- capabilities, pointers, references ---------------------------------------
+
+    def _check_CapSplit(self, fenv: FunctionEnv, state: TypingState, instr: CapSplit) -> None:
+        ty = self._pop(fenv, state, "cap.split operand")
+        if state.dead:
+            return
+        if not isinstance(ty.pretype, CapT) or ty.pretype.privilege is not Privilege.RW:
+            raise StackTypeError(f"cap.split expects a read-write capability, found {ty}")
+        self._push(
+            state,
+            Type(CapT(Privilege.R, ty.pretype.loc, ty.pretype.heaptype), ty.qual),
+            Type(OwnT(ty.pretype.loc), ty.qual),
+        )
+
+    def _check_CapJoin(self, fenv: FunctionEnv, state: TypingState, instr: CapJoin) -> None:
+        own_ty = self._pop(fenv, state, "cap.join own token")
+        cap_ty = self._pop(fenv, state, "cap.join capability")
+        if state.dead:
+            return
+        if not isinstance(own_ty.pretype, OwnT):
+            raise StackTypeError(f"cap.join expects an ownership token on top, found {own_ty}")
+        if not isinstance(cap_ty.pretype, CapT) or cap_ty.pretype.privilege is not Privilege.R:
+            raise StackTypeError(f"cap.join expects a read-only capability, found {cap_ty}")
+        if cap_ty.pretype.loc != own_ty.pretype.loc:
+            raise RichWasmTypeError(
+                f"cap.join: capability for {cap_ty.pretype.loc} but ownership of {own_ty.pretype.loc}"
+            )
+        self._push(state, Type(CapT(Privilege.RW, cap_ty.pretype.loc, cap_ty.pretype.heaptype), cap_ty.qual))
+
+    def _check_RefDemote(self, fenv: FunctionEnv, state: TypingState, instr: RefDemote) -> None:
+        ty = self._pop(fenv, state, "ref.demote operand")
+        if state.dead:
+            return
+        if not isinstance(ty.pretype, RefT):
+            raise StackTypeError(f"ref.demote expects a reference, found {ty}")
+        self._push(state, Type(RefT(Privilege.R, ty.pretype.loc, ty.pretype.heaptype), ty.qual))
+
+    def _check_RefSplit(self, fenv: FunctionEnv, state: TypingState, instr: RefSplit) -> None:
+        ty = self._pop(fenv, state, "ref.split operand")
+        if state.dead:
+            return
+        if not isinstance(ty.pretype, RefT):
+            raise StackTypeError(f"ref.split expects a reference, found {ty}")
+        self._push(
+            state,
+            Type(CapT(ty.pretype.privilege, ty.pretype.loc, ty.pretype.heaptype), ty.qual),
+            Type(PtrT(ty.pretype.loc), UNR),
+        )
+
+    def _check_RefJoin(self, fenv: FunctionEnv, state: TypingState, instr: RefJoin) -> None:
+        ptr_ty = self._pop(fenv, state, "ref.join pointer")
+        cap_ty = self._pop(fenv, state, "ref.join capability")
+        if state.dead:
+            return
+        if not isinstance(ptr_ty.pretype, PtrT):
+            raise StackTypeError(f"ref.join expects a pointer on top, found {ptr_ty}")
+        if not isinstance(cap_ty.pretype, CapT):
+            raise StackTypeError(f"ref.join expects a capability below the pointer, found {cap_ty}")
+        if cap_ty.pretype.loc != ptr_ty.pretype.loc:
+            raise RichWasmTypeError(
+                f"ref.join: capability for {cap_ty.pretype.loc} but pointer to {ptr_ty.pretype.loc}"
+            )
+        self._push(
+            state,
+            Type(RefT(cap_ty.pretype.privilege, cap_ty.pretype.loc, cap_ty.pretype.heaptype), cap_ty.qual),
+        )
+
+    # -- structs -------------------------------------------------------------------
+
+    def _require_storable(self, fenv: FunctionEnv, ty: Type, qual: Qual, what: str) -> None:
+        """Apply the heap-storage (``no_caps``) restriction to a stored type.
+
+        Under the strict rule capabilities may never be stored on the heap;
+        under the relaxed rule (§5) they may be stored in the linear memory,
+        i.e. whenever the allocation qualifier is linear.
+        """
+
+        if self.allow_caps_in_linear_memory and fenv.qual_ctx.leq(LIN, qual):
+            return
+        require_type_no_caps(fenv, ty, what)
+
+    def _check_StructMalloc(self, fenv: FunctionEnv, state: TypingState, instr: StructMalloc) -> None:
+        check_qual_valid(fenv, instr.qual, "struct.malloc")
+        field_types = self._pop_many(fenv, state, len(instr.sizes), "struct.malloc field")
+        if not state.dead:
+            for field_type, field_size in zip(field_types, instr.sizes):
+                actual = size_of_type(field_type, fenv.type_ctx)
+                if not fenv.size_ctx.leq(actual, field_size):
+                    raise SizeError(
+                        f"struct field of type {field_type} (size {actual}) does not fit the"
+                        f" declared slot size {field_size}"
+                    )
+                self._require_storable(fenv, field_type, instr.qual, "struct.malloc field")
+        heaptype = StructHT(tuple(zip(field_types, instr.sizes)))
+        self._push(state, _existential_ref(heaptype, instr.qual))
+
+    def _check_StructFree(self, fenv: FunctionEnv, state: TypingState, instr: StructFree) -> None:
+        ty = self._pop(fenv, state, "struct.free operand")
+        if state.dead:
+            return
+        pre = ty.pretype
+        if not isinstance(pre, RefT) or not isinstance(pre.heaptype, StructHT):
+            raise StackTypeError(f"struct.free expects a struct reference, found {ty}")
+        if pre.privilege is not Privilege.RW:
+            raise RichWasmTypeError("struct.free requires a read-write reference")
+        if not fenv.qual_ctx.leq(LIN, ty.qual):
+            raise LinearityError("struct.free requires a linear reference (unrestricted memory is GC'd)")
+        for field_type in pre.heaptype.field_types:
+            if not fenv.qual_ctx.leq(field_type.qual, UNR):
+                raise LinearityError(
+                    f"struct.free would discard a linear field of type {field_type};"
+                    " move it out with struct.swap first"
+                )
+
+    def _struct_ref(self, fenv: FunctionEnv, state: TypingState, what: str) -> tuple[Type, RefT, StructHT]:
+        ty = self._pop(fenv, state, what)
+        pre = ty.pretype
+        if not isinstance(pre, RefT) or not isinstance(pre.heaptype, StructHT):
+            raise StackTypeError(f"{what}: expected a struct reference, found {ty}")
+        return ty, pre, pre.heaptype
+
+    def _check_StructGet(self, fenv: FunctionEnv, state: TypingState, instr: StructGet) -> None:
+        if state.dead:
+            return
+        ty, pre, struct = self._struct_ref(fenv, state, "struct.get")
+        if instr.index >= len(struct.fields):
+            raise RichWasmTypeError(f"struct.get {instr.index}: struct has {len(struct.fields)} fields")
+        field_type = struct.field_types[instr.index]
+        if not fenv.qual_ctx.leq(field_type.qual, UNR):
+            raise LinearityError(
+                f"struct.get {instr.index} would duplicate a linear field of type {field_type};"
+                " use struct.swap instead"
+            )
+        self._push(state, ty, field_type)
+
+    def _check_StructSet(self, fenv: FunctionEnv, state: TypingState, instr: StructSet) -> None:
+        new_value = self._pop(fenv, state, "struct.set value")
+        if state.dead:
+            return
+        ty, pre, struct = self._struct_ref(fenv, state, "struct.set")
+        if instr.index >= len(struct.fields):
+            raise RichWasmTypeError(f"struct.set {instr.index}: struct has {len(struct.fields)} fields")
+        if pre.privilege is not Privilege.RW:
+            raise RichWasmTypeError("struct.set requires a read-write reference")
+        old_type, slot_size = struct.fields[instr.index]
+        if not fenv.qual_ctx.leq(old_type.qual, UNR):
+            raise LinearityError(
+                f"struct.set {instr.index} would overwrite a linear field of type {old_type};"
+                " use struct.swap instead"
+            )
+        new_size = size_of_type(new_value, fenv.type_ctx)
+        if not fenv.size_ctx.leq(new_size, slot_size):
+            raise SizeError(
+                f"struct.set value of type {new_value} (size {new_size}) does not fit slot of size {slot_size}"
+            )
+        self._require_storable(fenv, new_value, ty.qual, "struct.set value")
+        if not fenv.qual_ctx.leq(LIN, ty.qual) and not types_equal(new_value, old_type):
+            raise RichWasmTypeError(
+                "strong update through an unrestricted (garbage-collected) reference:"
+                f" field {instr.index} has type {old_type}, cannot store {new_value}"
+            )
+        new_fields = list(struct.fields)
+        new_fields[instr.index] = (new_value, slot_size)
+        self._push(state, Type(RefT(pre.privilege, pre.loc, StructHT(tuple(new_fields))), ty.qual))
+
+    def _check_StructSwap(self, fenv: FunctionEnv, state: TypingState, instr: StructSwap) -> None:
+        new_value = self._pop(fenv, state, "struct.swap value")
+        if state.dead:
+            return
+        ty, pre, struct = self._struct_ref(fenv, state, "struct.swap")
+        if instr.index >= len(struct.fields):
+            raise RichWasmTypeError(f"struct.swap {instr.index}: struct has {len(struct.fields)} fields")
+        if pre.privilege is not Privilege.RW:
+            raise RichWasmTypeError("struct.swap requires a read-write reference")
+        old_type, slot_size = struct.fields[instr.index]
+        new_size = size_of_type(new_value, fenv.type_ctx)
+        if not fenv.size_ctx.leq(new_size, slot_size):
+            raise SizeError(
+                f"struct.swap value of type {new_value} (size {new_size}) does not fit slot of size {slot_size}"
+            )
+        self._require_storable(fenv, new_value, ty.qual, "struct.swap value")
+        if not fenv.qual_ctx.leq(LIN, ty.qual) and not types_equal(new_value, old_type):
+            raise RichWasmTypeError(
+                "strong update through an unrestricted (garbage-collected) reference:"
+                f" field {instr.index} has type {old_type}, cannot store {new_value}"
+            )
+        new_fields = list(struct.fields)
+        new_fields[instr.index] = (new_value, slot_size)
+        self._push(
+            state,
+            Type(RefT(pre.privilege, pre.loc, StructHT(tuple(new_fields))), ty.qual),
+            old_type,
+        )
+
+    # -- variants ----------------------------------------------------------------
+
+    def _check_VariantMalloc(self, fenv: FunctionEnv, state: TypingState, instr: VariantMalloc) -> None:
+        check_qual_valid(fenv, instr.qual, "variant.malloc")
+        if instr.tag >= len(instr.cases):
+            raise RichWasmTypeError(
+                f"variant.malloc tag {instr.tag} out of range for {len(instr.cases)} cases"
+            )
+        payload = self._pop_expect(fenv, state, instr.cases[instr.tag], "variant.malloc payload")
+        if not state.dead:
+            for case in instr.cases:
+                check_type_valid(fenv, case, "variant.malloc case")
+            self._require_storable(fenv, payload, instr.qual, "variant.malloc payload")
+        heaptype = VariantHT(tuple(instr.cases))
+        self._push(state, _existential_ref(heaptype, instr.qual))
+
+    def _check_VariantCase(self, fenv: FunctionEnv, state: TypingState, instr: VariantCase) -> None:
+        if not isinstance(instr.heaptype, VariantHT):
+            raise RichWasmTypeError("variant.case annotation must be a variant heap type")
+        params = list(instr.arrow.params)
+        self._pop_expect_many(fenv, state, params, "variant.case argument")
+        ref_ty = self._pop(fenv, state, "variant.case scrutinee")
+        if state.dead:
+            self._push(state, *instr.arrow.results)
+            return
+        pre = ref_ty.pretype
+        if not isinstance(pre, RefT) or not heaptypes_equal(pre.heaptype, instr.heaptype):
+            raise StackTypeError(
+                f"variant.case expects a reference to {instr.heaptype}, found {ref_ty}"
+            )
+        cases = instr.heaptype.cases
+        if len(instr.branches) != len(cases):
+            raise RichWasmTypeError(
+                f"variant.case has {len(instr.branches)} branches for {len(cases)} cases"
+            )
+        linear_flavour = fenv.qual_ctx.leq(LIN, instr.qual)
+        if linear_flavour:
+            # The reference is consumed and the memory freed.
+            if not fenv.qual_ctx.leq(LIN, ref_ty.qual):
+                raise LinearityError(
+                    "linear variant.case requires a linear reference (it frees the memory)"
+                )
+            if pre.privilege is not Privilege.RW:
+                raise RichWasmTypeError("linear variant.case requires a read-write reference")
+            extra_frame: list[Qual] = []
+        else:
+            # The reference is returned; every case payload must be copyable.
+            for case in cases:
+                if not fenv.qual_ctx.leq(case.qual, UNR):
+                    raise LinearityError(
+                        f"unrestricted variant.case would duplicate a linear payload of type {case}"
+                    )
+            extra_frame = [ref_ty.qual]
+
+        # Re-push the parameters: the shared block helper pops them again.
+        self._push(state, *params)
+        self._check_nested_block(
+            fenv,
+            state,
+            instr.arrow,
+            instr.effects,
+            list(instr.branches),
+            extra_stack_types=[[case] for case in cases],
+            extra_frame_quals=extra_frame,
+        )
+        if not linear_flavour:
+            # Result stack shape: (ref ...)^qv τ2* — the reference sits below
+            # the block results.
+            results = [state.stack.pop() for _ in instr.arrow.results][::-1] if not state.dead else []
+            self._push(state, ref_ty, *results)
+
+    # -- arrays --------------------------------------------------------------------
+
+    def _check_ArrayMalloc(self, fenv: FunctionEnv, state: TypingState, instr: ArrayMalloc) -> None:
+        check_qual_valid(fenv, instr.qual, "array.malloc")
+        self._pop_num(fenv, state, NumType.UI32, "array.malloc length")
+        element = self._pop(fenv, state, "array.malloc initial element")
+        if not state.dead:
+            if not fenv.qual_ctx.leq(element.qual, UNR):
+                raise LinearityError(
+                    "array.malloc duplicates its initial element across all slots;"
+                    f" the element type {element} must be unrestricted"
+                )
+            self._require_storable(fenv, element, instr.qual, "array.malloc element")
+        heaptype = ArrayHT(element)
+        self._push(state, _existential_ref(heaptype, instr.qual))
+
+    def _array_ref(self, fenv: FunctionEnv, state: TypingState, what: str) -> tuple[Type, RefT, ArrayHT]:
+        ty = self._pop(fenv, state, what)
+        pre = ty.pretype
+        if not isinstance(pre, RefT) or not isinstance(pre.heaptype, ArrayHT):
+            raise StackTypeError(f"{what}: expected an array reference, found {ty}")
+        return ty, pre, pre.heaptype
+
+    def _check_ArrayGet(self, fenv: FunctionEnv, state: TypingState, instr: ArrayGet) -> None:
+        self._pop_num(fenv, state, NumType.I32, "array.get index")
+        if state.dead:
+            return
+        ty, pre, array = self._array_ref(fenv, state, "array.get")
+        if not fenv.qual_ctx.leq(array.element.qual, UNR):
+            raise LinearityError("array.get would duplicate a linear element")
+        self._push(state, ty, array.element)
+
+    def _check_ArraySet(self, fenv: FunctionEnv, state: TypingState, instr: ArraySet) -> None:
+        value = self._pop(fenv, state, "array.set value")
+        self._pop_num(fenv, state, NumType.I32, "array.set index")
+        if state.dead:
+            return
+        ty, pre, array = self._array_ref(fenv, state, "array.set")
+        if pre.privilege is not Privilege.RW:
+            raise RichWasmTypeError("array.set requires a read-write reference")
+        if not types_equal(value, array.element):
+            raise StackTypeError(
+                f"array.set value has type {value}, array elements have type {array.element}"
+            )
+        if not fenv.qual_ctx.leq(array.element.qual, UNR):
+            raise LinearityError("array.set would silently drop the previous (linear) element")
+        self._push(state, ty)
+
+    def _check_ArrayFree(self, fenv: FunctionEnv, state: TypingState, instr: ArrayFree) -> None:
+        if state.dead:
+            return
+        ty, pre, array = self._array_ref(fenv, state, "array.free")
+        if pre.privilege is not Privilege.RW:
+            raise RichWasmTypeError("array.free requires a read-write reference")
+        if not fenv.qual_ctx.leq(LIN, ty.qual):
+            raise LinearityError("array.free requires a linear reference")
+        if not fenv.qual_ctx.leq(array.element.qual, UNR):
+            raise LinearityError("array.free would discard linear elements")
+
+    # -- existential packages --------------------------------------------------------
+
+    def _check_ExistPack(self, fenv: FunctionEnv, state: TypingState, instr: ExistPack) -> None:
+        check_qual_valid(fenv, instr.qual, "exist.pack")
+        if not isinstance(instr.heaptype, ExHT):
+            raise RichWasmTypeError("exist.pack annotation must be an existential heap type")
+        ht = instr.heaptype
+        expected_body = subst_type(ht.body, Subst(types={0: instr.pretype}))
+        value = self._pop_expect(fenv, state, expected_body, "exist.pack payload")
+        if not state.dead:
+            witness_size = size_of_pretype(instr.pretype, fenv.type_ctx)
+            if not fenv.size_ctx.leq(witness_size, ht.size_bound):
+                raise SizeError(
+                    f"existential witness {instr.pretype} has size {witness_size},"
+                    f" exceeding the bound {ht.size_bound}"
+                )
+            if not fenv.qual_ctx.leq(ht.qual_bound, expected_body.qual):
+                raise QualifierError(
+                    f"existential body qualifier {expected_body.qual} does not satisfy bound {ht.qual_bound}"
+                )
+            self._require_storable(fenv, value, instr.qual, "exist.pack payload")
+        self._push(state, _existential_ref(ht, instr.qual))
+
+    def _check_ExistUnpack(self, fenv: FunctionEnv, state: TypingState, instr: ExistUnpack) -> None:
+        if not isinstance(instr.heaptype, ExHT):
+            raise RichWasmTypeError("exist.unpack annotation must be an existential heap type")
+        ht = instr.heaptype
+        params = list(instr.arrow.params)
+        self._pop_expect_many(fenv, state, params, "exist.unpack argument")
+        ref_ty = self._pop(fenv, state, "exist.unpack scrutinee")
+        if state.dead:
+            self._push(state, *instr.arrow.results)
+            return
+        pre = ref_ty.pretype
+        if not isinstance(pre, RefT) or not heaptypes_equal(pre.heaptype, ht):
+            raise StackTypeError(f"exist.unpack expects a reference to {ht}, found {ref_ty}")
+        linear_flavour = fenv.qual_ctx.leq(LIN, instr.qual)
+        if linear_flavour:
+            if not fenv.qual_ctx.leq(LIN, ref_ty.qual):
+                raise LinearityError("linear exist.unpack requires a linear reference")
+            if pre.privilege is not Privilege.RW:
+                raise RichWasmTypeError("linear exist.unpack requires a read-write reference")
+            extra_frame: list[Qual] = []
+        else:
+            if not fenv.qual_ctx.leq(ht.body.qual, UNR):
+                raise LinearityError(
+                    "unrestricted exist.unpack would duplicate a linear package payload"
+                )
+            extra_frame = [ref_ty.qual]
+
+        self._push(state, *params)
+        self._check_nested_block(
+            fenv,
+            state,
+            instr.arrow,
+            instr.effects,
+            [instr.body],
+            extra_stack_types=[[ht.body]],
+            extra_frame_quals=extra_frame,
+            binder_push="type",
+            binder_args=(ht.qual_bound, ht.size_bound, True),
+        )
+        if not linear_flavour:
+            results = [state.stack.pop() for _ in instr.arrow.results][::-1] if not state.dead else []
+            self._push(state, ref_ty, *results)
+
+
+# ---------------------------------------------------------------------------
+# Allocation result types
+# ---------------------------------------------------------------------------
+
+
+def _existential_ref(heaptype: HeapType, qual: Qual) -> Type:
+    """``∃ρ. (ref rw ρ ψ)^q`` — the result type of every malloc instruction.
+
+    The heap type comes from the outer scope, so its free location variables
+    are shifted past the new existential binder.
+    """
+
+    from ..syntax.types import shift_heaptype
+
+    shifted = shift_heaptype(heaptype, Shift(locs=1))
+    return Type(ExLocT(Type(RefT(Privilege.RW, LocVar(0), shifted), qual)), qual)
+
+
+# ---------------------------------------------------------------------------
+# Location abstraction (mem.pack)
+# ---------------------------------------------------------------------------
+
+
+def _abstract_location(ty: Type, loc) -> Type:
+    """Replace every occurrence of ``loc`` in ``ty`` with location variable 0.
+
+    All other free location variables are shifted up by one so they keep
+    referring to their original binders once the new existential binder is
+    wrapped around the result.
+    """
+
+    shifted = shift_type(ty, Shift(locs=1))
+    return _replace_loc(shifted, _shift_concrete(loc), LocVar(0))
+
+
+def _shift_concrete(loc):
+    if isinstance(loc, LocVar):
+        return LocVar(loc.index + 1)
+    return loc
+
+
+def _replace_loc(ty: Type, target, replacement) -> Type:
+    from ..syntax.types import (
+        ArrayHT as _ArrayHT,
+        CapT as _CapT,
+        ExHT as _ExHT,
+        ExLocT as _ExLocT,
+        OwnT as _OwnT,
+        ProdT as _ProdT,
+        PtrT as _PtrT,
+        RecT as _RecT,
+        RefT as _RefT,
+        StructHT as _StructHT,
+        VariantHT as _VariantHT,
+    )
+
+    def go_loc(loc, depth: int):
+        shifted_target = target
+        shifted_replacement = replacement
+        if isinstance(shifted_target, LocVar):
+            shifted_target = LocVar(shifted_target.index + depth)
+        if isinstance(shifted_replacement, LocVar):
+            shifted_replacement = LocVar(shifted_replacement.index + depth)
+        return shifted_replacement if loc == shifted_target else loc
+
+    def go_type(t: Type, depth: int) -> Type:
+        return Type(go_pre(t.pretype, depth), t.qual)
+
+    def go_pre(p, depth: int):
+        if isinstance(p, _ProdT):
+            return _ProdT(tuple(go_type(c, depth) for c in p.components))
+        if isinstance(p, _RefT):
+            return _RefT(p.privilege, go_loc(p.loc, depth), go_ht(p.heaptype, depth))
+        if isinstance(p, _CapT):
+            return _CapT(p.privilege, go_loc(p.loc, depth), go_ht(p.heaptype, depth))
+        if isinstance(p, _PtrT):
+            return _PtrT(go_loc(p.loc, depth))
+        if isinstance(p, _OwnT):
+            return _OwnT(go_loc(p.loc, depth))
+        if isinstance(p, _RecT):
+            return _RecT(p.qual_bound, go_type(p.body, depth))
+        if isinstance(p, _ExLocT):
+            return _ExLocT(go_type(p.body, depth + 1))
+        return p
+
+    def go_ht(ht, depth: int):
+        if isinstance(ht, _VariantHT):
+            return _VariantHT(tuple(go_type(c, depth) for c in ht.cases))
+        if isinstance(ht, _StructHT):
+            return _StructHT(tuple((go_type(t, depth), s) for t, s in ht.fields))
+        if isinstance(ht, _ArrayHT):
+            return _ArrayHT(go_type(ht.element, depth))
+        if isinstance(ht, _ExHT):
+            return _ExHT(ht.qual_bound, ht.size_bound, go_type(ht.body, depth))
+        return ht
+
+    return go_type(ty, 0)

@@ -1,0 +1,231 @@
+"""Well-formedness of types and the ``no_caps`` judgement.
+
+``F ⊢ τ type`` checks that every variable occurring in a type is bound in the
+function environment and that qualifier containment constraints hold (an
+unrestricted container may not hold linear components).  ``no_caps`` checks
+that a type/heap type contains no capabilities or ownership tokens and that
+every pretype variable is declared capability-free (``heapable``); values of
+such types may be stored in the garbage-collected memory (paper §2.1, §3).
+"""
+
+from __future__ import annotations
+
+from ..syntax.qualifiers import Qual
+from ..syntax.types import (
+    ArrayHT,
+    CapT,
+    CodeRefT,
+    ExHT,
+    ExLocT,
+    HeapType,
+    LocQuant,
+    NumT,
+    OwnT,
+    Pretype,
+    ProdT,
+    PtrT,
+    QualQuant,
+    RecT,
+    RefT,
+    SizeQuant,
+    StructHT,
+    Type,
+    TypeQuant,
+    UnitT,
+    VarT,
+)
+from .env import FunctionEnv
+from .errors import CapabilityError, QualifierError, RichWasmTypeError, SizeError
+
+
+def check_qual_valid(env: FunctionEnv, qual: Qual, context: str = "") -> None:
+    """``F ⊢ q qual`` — the qualifier is well-scoped."""
+
+    if not env.qual_ctx.valid(qual):
+        raise QualifierError(f"qualifier {qual} is not in scope ({context})")
+
+
+def check_size_valid(env: FunctionEnv, size, context: str = "") -> None:
+    """``F ⊢ sz size`` — the size is well-scoped."""
+
+    if not env.size_ctx.valid(size):
+        raise SizeError(f"size {size} mentions variables not in scope ({context})")
+
+
+def check_loc_valid(env: FunctionEnv, loc, context: str = "") -> None:
+    """``F ⊢ ℓ loc`` — the location is a concrete address or a bound variable."""
+
+    from ..syntax.locations import ConcreteLoc, LocVar
+
+    if isinstance(loc, ConcreteLoc):
+        return
+    if isinstance(loc, LocVar):
+        if not env.loc_ctx.valid(loc.index):
+            raise RichWasmTypeError(f"location variable {loc} is not in scope ({context})")
+        return
+    raise RichWasmTypeError(f"not a location: {loc!r} ({context})")
+
+
+def check_type_valid(env: FunctionEnv, ty: Type, context: str = "") -> None:
+    """``F ⊢ τ type`` — all variables bound, containment constraints satisfied."""
+
+    check_qual_valid(env, ty.qual, context)
+    check_pretype_valid(env, ty.pretype, ty.qual, context)
+
+
+def check_pretype_valid(env: FunctionEnv, pre: Pretype, qual: Qual, context: str = "") -> None:
+    """Check a pretype under the qualifier it is annotated with."""
+
+    if isinstance(pre, (UnitT, NumT)):
+        return
+    if isinstance(pre, VarT):
+        if not env.type_ctx.valid(pre.index):
+            raise RichWasmTypeError(f"pretype variable {pre} is not in scope ({context})")
+        bounds = env.type_ctx.lookup(pre.index)
+        # The variable may only be used at qualifiers >= its declared lower bound.
+        if not env.qual_ctx.leq(bounds.qual_bound, qual):
+            raise QualifierError(
+                f"pretype variable {pre} requires qualifier >= {bounds.qual_bound}, used at {qual}"
+                + (f" ({context})" if context else "")
+            )
+        return
+    if isinstance(pre, ProdT):
+        for component in pre.components:
+            check_type_valid(env, component, context)
+            # An unrestricted tuple may not contain linear components.
+            if not env.qual_ctx.leq(component.qual, qual):
+                raise QualifierError(
+                    f"tuple at qualifier {qual} cannot contain component at {component.qual}"
+                    + (f" ({context})" if context else "")
+                )
+        return
+    if isinstance(pre, (RefT, CapT)):
+        check_loc_valid(env, pre.loc, context)
+        check_heaptype_valid(env, pre.heaptype, context)
+        return
+    if isinstance(pre, (PtrT, OwnT)):
+        check_loc_valid(env, pre.loc, context)
+        return
+    if isinstance(pre, RecT):
+        check_qual_valid(env, pre.qual_bound, context)
+        from .sizing import REF_SIZE
+
+        inner = env.push_type(pre.qual_bound, REF_SIZE, heapable=True)
+        check_type_valid(inner, pre.body, context)
+        return
+    if isinstance(pre, ExLocT):
+        inner = env.push_loc()
+        check_type_valid(inner, pre.body, context)
+        return
+    if isinstance(pre, CodeRefT):
+        check_funtype_valid(env, pre.funtype, context)
+        return
+    raise RichWasmTypeError(f"not a pretype: {pre!r} ({context})")
+
+
+def check_heaptype_valid(env: FunctionEnv, ht: HeapType, context: str = "") -> None:
+    """``F ⊢ ψ heaptype``."""
+
+    if isinstance(ht, (StructHT,)):
+        for field_type, field_size in ht.fields:
+            check_type_valid(env, field_type, context)
+            check_size_valid(env, field_size, context)
+        return
+    if isinstance(ht, ArrayHT):
+        check_type_valid(env, ht.element, context)
+        return
+    if isinstance(ht, ExHT):
+        check_qual_valid(env, ht.qual_bound, context)
+        check_size_valid(env, ht.size_bound, context)
+        inner = env.push_type(ht.qual_bound, ht.size_bound, heapable=True)
+        check_type_valid(inner, ht.body, context)
+        return
+    # VariantHT
+    for case in ht.cases:
+        check_type_valid(env, case, context)
+
+
+def check_funtype_valid(env: FunctionEnv, ft, context: str = "") -> None:
+    """``F ⊢ χ funtype`` — quantifier bounds and the arrow are well-formed."""
+
+    inner = env
+    for quant in ft.quants:
+        if isinstance(quant, LocQuant):
+            inner = inner.push_loc()
+        elif isinstance(quant, SizeQuant):
+            for bound in (*quant.lower, *quant.upper):
+                check_size_valid(inner, bound, context)
+            inner = inner.push_size(quant.lower, quant.upper)
+        elif isinstance(quant, QualQuant):
+            for bound in (*quant.lower, *quant.upper):
+                check_qual_valid(inner, bound, context)
+            inner = inner.push_qual(quant.lower, quant.upper)
+        elif isinstance(quant, TypeQuant):
+            check_qual_valid(inner, quant.qual_bound, context)
+            check_size_valid(inner, quant.size_bound, context)
+            inner = inner.push_type(quant.qual_bound, quant.size_bound, quant.heapable)
+        else:  # pragma: no cover - defensive
+            raise RichWasmTypeError(f"not a quantifier: {quant!r}")
+    for ty in (*ft.arrow.params, *ft.arrow.results):
+        check_type_valid(inner, ty, context)
+
+
+# ---------------------------------------------------------------------------
+# no_caps
+# ---------------------------------------------------------------------------
+
+
+def type_no_caps(env: FunctionEnv, ty: Type) -> bool:
+    """``no_caps_Ftype τ`` — the type is guaranteed capability-free."""
+
+    return pretype_no_caps(env, ty.pretype)
+
+
+def pretype_no_caps(env: FunctionEnv, pre: Pretype) -> bool:
+    if isinstance(pre, (CapT, OwnT)):
+        return False
+    if isinstance(pre, VarT):
+        if not env.type_ctx.valid(pre.index):
+            return False
+        return env.type_ctx.lookup(pre.index).heapable
+    if isinstance(pre, ProdT):
+        return all(type_no_caps(env, component) for component in pre.components)
+    if isinstance(pre, RecT):
+        from .sizing import REF_SIZE
+
+        inner = env.push_type(pre.qual_bound, REF_SIZE, heapable=True)
+        return type_no_caps(inner, pre.body)
+    if isinstance(pre, ExLocT):
+        return type_no_caps(env.push_loc(), pre.body)
+    # References are fine: they pair the capability with a pointer, which is
+    # exactly the form the paper requires for heap storage.
+    return True
+
+
+def heaptype_no_caps(env: FunctionEnv, ht: HeapType) -> bool:
+    """``no_caps_Ftype ψ``."""
+
+    if isinstance(ht, StructHT):
+        return all(type_no_caps(env, t) for t in ht.field_types)
+    if isinstance(ht, ArrayHT):
+        return type_no_caps(env, ht.element)
+    if isinstance(ht, ExHT):
+        inner = env.push_type(ht.qual_bound, ht.size_bound, heapable=True)
+        return type_no_caps(inner, ht.body)
+    return all(type_no_caps(env, case) for case in ht.cases)
+
+
+def require_type_no_caps(env: FunctionEnv, ty: Type, context: str = "") -> None:
+    if not type_no_caps(env, ty):
+        raise CapabilityError(
+            f"type {ty} may contain a bare capability and cannot be stored on the heap"
+            + (f" ({context})" if context else "")
+        )
+
+
+def require_heaptype_no_caps(env: FunctionEnv, ht: HeapType, context: str = "") -> None:
+    if not heaptype_no_caps(env, ht):
+        raise CapabilityError(
+            f"heap type {ht} may contain a bare capability"
+            + (f" ({context})" if context else "")
+        )

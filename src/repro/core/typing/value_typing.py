@@ -1,0 +1,289 @@
+"""Value and heap-value typing (paper Fig. 6).
+
+``S; F ⊢ v : τ`` — a value has a type under a store typing and function
+environment.  The algorithmic formulation here goes the other way round:
+:func:`check_value` verifies a value *against* an expected type, threading a
+:class:`~repro.core.typing.env.LinearUse` accumulator that models the
+disjoint splitting of the linear store typing across sub-derivations.
+
+:func:`synthesize_value_type` infers a canonical type for a closed runtime
+value, which the configuration-typing judgement and the empirical safety
+harness use when no expected type is available.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..syntax.locations import ConcreteLoc, MemKind
+from ..syntax.qualifiers import LIN, UNR, QualConst
+from ..syntax.types import (
+    ArrayHT,
+    CapT,
+    CodeRefT,
+    ExHT,
+    ExLocT,
+    HeapType,
+    NumT,
+    OwnT,
+    Pretype,
+    ProdT,
+    PtrT,
+    RecT,
+    RefT,
+    StructHT,
+    Subst,
+    Type,
+    UnitT,
+    VarT,
+    VariantHT,
+    instantiate_funtype,
+    subst_type,
+    unfold_rec,
+)
+from ..syntax.values import (
+    ArrayHV,
+    CapV,
+    CoderefV,
+    FoldV,
+    HeapValue,
+    MempackV,
+    NumV,
+    OwnV,
+    PackHV,
+    ProdV,
+    PtrV,
+    RefV,
+    StructHV,
+    UnitV,
+    Value,
+    VariantHV,
+)
+from .env import FunctionEnv, LinearUse, StoreTyping
+from .equality import types_equal
+from .errors import QualifierError, RichWasmTypeError, StoreTypeError
+
+
+def check_value(
+    store_typing: StoreTyping,
+    env: FunctionEnv,
+    value: Value,
+    expected: Type,
+    linear_use: Optional[LinearUse] = None,
+) -> None:
+    """Check ``S; F ⊢ v : τ`` (raises on failure)."""
+
+    linear_use = linear_use if linear_use is not None else LinearUse()
+    pre = expected.pretype
+    qual = expected.qual
+
+    if isinstance(value, UnitV):
+        if not isinstance(pre, UnitT):
+            raise RichWasmTypeError(f"unit value cannot have type {expected}")
+        return
+    if isinstance(value, NumV):
+        if not isinstance(pre, NumT) or pre.numtype != value.numtype:
+            raise RichWasmTypeError(f"numeric value {value} cannot have type {expected}")
+        return
+    if isinstance(value, ProdV):
+        if not isinstance(pre, ProdT) or len(pre.components) != len(value.components):
+            raise RichWasmTypeError(f"tuple value {value} cannot have type {expected}")
+        for component_value, component_type in zip(value.components, pre.components):
+            # The tuple qualifier must bound each component qualifier.
+            if not env.qual_ctx.leq(component_type.qual, qual):
+                raise QualifierError(
+                    f"tuple at {qual} cannot contain component at {component_type.qual}"
+                )
+            check_value(store_typing, env, component_value, component_type, linear_use)
+        return
+    if isinstance(value, RefV):
+        if not isinstance(pre, RefT):
+            raise RichWasmTypeError(f"reference value cannot have type {expected}")
+        _check_loc_value(store_typing, env, value.loc, pre.loc, pre.heaptype, qual, linear_use)
+        return
+    if isinstance(value, PtrV):
+        if not isinstance(pre, PtrT):
+            raise RichWasmTypeError(f"pointer value cannot have type {expected}")
+        return
+    if isinstance(value, CapV):
+        if not isinstance(pre, CapT):
+            raise RichWasmTypeError(f"capability value cannot have type {expected}")
+        if isinstance(pre.loc, ConcreteLoc):
+            _check_loc_value(store_typing, env, pre.loc, pre.loc, pre.heaptype, qual, linear_use)
+        return
+    if isinstance(value, OwnV):
+        if not isinstance(pre, OwnT):
+            raise RichWasmTypeError(f"ownership token cannot have type {expected}")
+        return
+    if isinstance(value, FoldV):
+        if not isinstance(pre, RecT):
+            raise RichWasmTypeError(f"fold value cannot have type {expected}")
+        if not env.qual_ctx.leq(pre.qual_bound, qual):
+            raise QualifierError(
+                f"recursive type with bound {pre.qual_bound} folded at qualifier {qual}"
+            )
+        unfolded = unfold_rec(pre, qual)
+        check_value(store_typing, env, value.value, unfolded.with_qual(qual), linear_use)
+        return
+    if isinstance(value, MempackV):
+        if not isinstance(pre, ExLocT):
+            raise RichWasmTypeError(f"mempack value cannot have type {expected}")
+        opened = subst_type(pre.body, Subst(locs={0: value.loc}))
+        check_value(store_typing, env, value.value, opened, linear_use)
+        return
+    if isinstance(value, CoderefV):
+        if not isinstance(pre, CodeRefT):
+            raise RichWasmTypeError(f"coderef value cannot have type {expected}")
+        module_env = store_typing.instance(value.inst_index)
+        table_type = module_env.table_entry(value.table_index)
+        if value.indices:
+            arrow = instantiate_funtype(table_type, value.indices)
+            from .equality import arrows_equal
+
+            if not arrows_equal(arrow, pre.funtype.arrow) or pre.funtype.quants:
+                raise RichWasmTypeError(
+                    f"coderef instantiation does not match expected type {expected}"
+                )
+        else:
+            from .equality import funtypes_equal
+
+            if not funtypes_equal(table_type, pre.funtype):
+                raise RichWasmTypeError(
+                    f"coderef to table entry of type {table_type} used at {pre.funtype}"
+                )
+        return
+    raise RichWasmTypeError(f"not a value: {value!r}")
+
+
+def _check_loc_value(
+    store_typing: StoreTyping,
+    env: FunctionEnv,
+    value_loc,
+    type_loc,
+    heaptype: HeapType,
+    qual,
+    linear_use: LinearUse,
+) -> None:
+    """Shared logic for typing references / capabilities to a location."""
+
+    if value_loc != type_loc:
+        raise RichWasmTypeError(f"reference to {value_loc} used at type mentioning {type_loc}")
+    if not isinstance(value_loc, ConcreteLoc):
+        # A reference at an abstract location: nothing further to check
+        # statically (the existential introduction rule handles scoping).
+        return
+    if value_loc.mem is MemKind.LIN:
+        # Linear references consume their location from the linear store
+        # typing and must be linear themselves.
+        if not store_typing.has(value_loc):
+            raise StoreTypeError(f"linear location {value_loc} is not in the store typing")
+        linear_use.claim(value_loc)
+        if not env.qual_ctx.leq(LIN, qual):
+            raise QualifierError(
+                f"reference to linear location {value_loc} must be linear, got {qual}"
+            )
+    else:
+        if not store_typing.has(value_loc):
+            raise StoreTypeError(f"unrestricted location {value_loc} is not in the store typing")
+        if not env.qual_ctx.leq(qual, UNR):
+            raise QualifierError(
+                f"reference to unrestricted location {value_loc} must be unrestricted, got {qual}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Heap value typing
+# ---------------------------------------------------------------------------
+
+
+def check_heap_value(
+    store_typing: StoreTyping,
+    env: FunctionEnv,
+    heap_value: HeapValue,
+    expected: HeapType,
+    linear_use: Optional[LinearUse] = None,
+) -> None:
+    """Check ``S; F ⊢ hv : ψ`` (raises on failure)."""
+
+    linear_use = linear_use if linear_use is not None else LinearUse()
+    if isinstance(heap_value, VariantHV):
+        if not isinstance(expected, VariantHT):
+            raise RichWasmTypeError(f"variant heap value cannot have heap type {expected}")
+        if heap_value.tag < 0 or heap_value.tag >= len(expected.cases):
+            raise RichWasmTypeError(
+                f"variant tag {heap_value.tag} out of range for {len(expected.cases)} cases"
+            )
+        check_value(store_typing, env, heap_value.value, expected.cases[heap_value.tag], linear_use)
+        return
+    if isinstance(heap_value, StructHV):
+        if not isinstance(expected, StructHT):
+            raise RichWasmTypeError(f"struct heap value cannot have heap type {expected}")
+        if len(heap_value.fields) != len(expected.fields):
+            raise RichWasmTypeError(
+                f"struct has {len(heap_value.fields)} fields, type expects {len(expected.fields)}"
+            )
+        for field_value, (field_type, _field_size) in zip(heap_value.fields, expected.fields):
+            check_value(store_typing, env, field_value, field_type, linear_use)
+        return
+    if isinstance(heap_value, ArrayHV):
+        if not isinstance(expected, ArrayHT):
+            raise RichWasmTypeError(f"array heap value cannot have heap type {expected}")
+        if heap_value.length != len(heap_value.elements):
+            raise RichWasmTypeError(
+                f"array length {heap_value.length} does not match element count"
+                f" {len(heap_value.elements)}"
+            )
+        for element in heap_value.elements:
+            check_value(store_typing, env, element, expected.element, linear_use)
+        return
+    if isinstance(heap_value, PackHV):
+        if not isinstance(expected, ExHT):
+            raise RichWasmTypeError(f"pack heap value cannot have heap type {expected}")
+        opened = subst_type(expected.body, Subst(types={0: heap_value.witness}))
+        check_value(store_typing, env, heap_value.value, opened, linear_use)
+        return
+    raise RichWasmTypeError(f"not a heap value: {heap_value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Type synthesis for closed runtime values
+# ---------------------------------------------------------------------------
+
+
+def synthesize_value_type(store_typing: StoreTyping, value: Value) -> Type:
+    """Infer a canonical type for a closed runtime value.
+
+    References into the linear memory synthesize linear read-write reference
+    types; references into the unrestricted memory synthesize unrestricted
+    ones.  Capabilities and folds cannot be synthesized without annotations
+    and raise.
+    """
+
+    if isinstance(value, UnitV):
+        return Type(UnitT(), UNR)
+    if isinstance(value, NumV):
+        return Type(NumT(value.numtype), UNR)
+    if isinstance(value, ProdV):
+        components = tuple(synthesize_value_type(store_typing, v) for v in value.components)
+        qual: QualConst = UNR
+        if any(c.qual == LIN for c in components):
+            qual = LIN
+        return Type(ProdT(components), qual)
+    if isinstance(value, RefV):
+        if not isinstance(value.loc, ConcreteLoc):
+            raise RichWasmTypeError("cannot synthesize a type for a reference to an abstract location")
+        entry = store_typing.lookup(value.loc)
+        from ..syntax.types import Privilege
+
+        if value.loc.mem is MemKind.LIN:
+            return Type(RefT(Privilege.RW, value.loc, entry.heaptype), LIN)
+        return Type(RefT(Privilege.RW, value.loc, entry.heaptype), UNR)
+    if isinstance(value, PtrV):
+        return Type(PtrT(value.loc), UNR)
+    if isinstance(value, MempackV):
+        raise RichWasmTypeError("cannot synthesize a type for a mempack value without annotation")
+    if isinstance(value, CoderefV):
+        module_env = store_typing.instance(value.inst_index)
+        table_type = module_env.table_entry(value.table_index)
+        return Type(CodeRefT(table_type), UNR)
+    raise RichWasmTypeError(f"cannot synthesize a type for {value!r}")

@@ -1,0 +1,7 @@
+"""Multi-module linking and the ML/L3 FFI (paper §2.2, §5)."""
+
+from .link import LinkResult, check_link, link_modules
+from .program import Program, ProgramInstance, WasmProgramInstance
+from .scenarios import InteropScenario, counter_program, fig1_unsafe_program, fig3_programs
+
+__all__ = [name for name in dir() if not name.startswith("_")]

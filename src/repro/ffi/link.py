@@ -1,0 +1,233 @@
+"""Multi-module linking and the ML/L3 FFI (paper §2.2, §5).
+
+Source modules are compiled *separately* to RichWasm; this module provides
+the cross-module checks and the linker:
+
+* :func:`check_link` — resolve every import against the exporting module and
+  require the RichWasm function types to match exactly, then type-check every
+  module.  This is where the unsafe interop of Fig. 1 is rejected: ML's
+  ``stash`` exports an unrestricted-reference type while the manually-managed
+  client imports it at a linear-reference type, so the declared types differ.
+  When the declared types *do* match (the linking-types version of Fig. 3),
+  any remaining violation — such as ``stash`` duplicating the linear
+  reference — fails the per-module RichWasm type check instead.
+* :func:`link_modules` — statically link several RichWasm modules into one,
+  rewriting function, table and global indices, so the result can be lowered
+  to a single Wasm module with one shared memory (fine-grained shared-memory
+  interop, not shared-nothing copying).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..core.syntax import (
+    Block,
+    Call,
+    CodeRefI,
+    ExistUnpack,
+    Function,
+    FunctionDecl,
+    GetGlobal,
+    Global,
+    GlobalDecl,
+    If,
+    ImportedFunction,
+    ImportedGlobal,
+    Instr,
+    Loop,
+    MemUnpack,
+    Module,
+    SetGlobal,
+    Table,
+    VariantCase,
+)
+from ..core.typing import check_module, funtypes_equal
+from ..core.typing.errors import LinkError, RichWasmTypeError
+
+
+@dataclass
+class LinkResult:
+    """The outcome of cross-module checking."""
+
+    modules: dict[str, Module]
+    resolved_imports: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+def _find_export(modules: dict[str, Module], module_name: str, export_name: str):
+    if module_name not in modules:
+        raise LinkError(f"import from unknown module {module_name!r}")
+    exporter = modules[module_name]
+    exports = exporter.exported_functions()
+    if export_name not in exports:
+        raise LinkError(f"module {module_name!r} does not export {export_name!r}")
+    return exporter.functions[exports[export_name]]
+
+
+def check_link(modules: dict[str, Module]) -> LinkResult:
+    """Check that every import matches its export and every module type-checks.
+
+    Raises :class:`LinkError` for unresolved or mismatched imports and a
+    :class:`RichWasmTypeError` subclass for modules that are internally
+    ill-typed — both constitute the "potentially problematic interaction ...
+    will fail to type check" guarantee of the paper.
+    """
+
+    result = LinkResult(modules=dict(modules))
+    for name, module in modules.items():
+        for index, decl in module.function_imports():
+            exported = _find_export(modules, decl.import_ref.module, decl.import_ref.name)
+            if not funtypes_equal(exported.funtype, decl.funtype):
+                raise LinkError(
+                    f"import {decl.import_ref.module}.{decl.import_ref.name} in module {name!r}"
+                    f" is declared at type {decl.funtype} but the exporter provides {exported.funtype}"
+                )
+            result.resolved_imports.append((name, decl.import_ref.module, decl.import_ref.name))
+    for name, module in modules.items():
+        check_module(module)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Static linking into a single module
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Remap:
+    """Index remapping for one module being merged."""
+
+    func: dict[int, int]
+    global_: dict[int, int]
+    table: dict[int, int]
+
+
+def _remap_instr(instr: Instr, remap: _Remap) -> Instr:
+    """Rewrite function/global/table indices inside one instruction."""
+
+    if isinstance(instr, Call):
+        return replace(instr, func_index=remap.func[instr.func_index])
+    if isinstance(instr, CodeRefI):
+        return replace(instr, table_index=remap.table[instr.table_index])
+    if isinstance(instr, GetGlobal):
+        return replace(instr, index=remap.global_[instr.index])
+    if isinstance(instr, SetGlobal):
+        return replace(instr, index=remap.global_[instr.index])
+    if isinstance(instr, Block):
+        return replace(instr, body=_remap_body(instr.body, remap))
+    if isinstance(instr, Loop):
+        return replace(instr, body=_remap_body(instr.body, remap))
+    if isinstance(instr, If):
+        return replace(
+            instr,
+            then_body=_remap_body(instr.then_body, remap),
+            else_body=_remap_body(instr.else_body, remap),
+        )
+    if isinstance(instr, (MemUnpack, ExistUnpack)):
+        return replace(instr, body=_remap_body(instr.body, remap))
+    if isinstance(instr, VariantCase):
+        return replace(instr, branches=tuple(_remap_body(b, remap) for b in instr.branches))
+    return instr
+
+
+def _remap_body(body: Sequence[Instr], remap: _Remap) -> tuple[Instr, ...]:
+    return tuple(_remap_instr(instr, remap) for instr in body)
+
+
+def link_modules(modules: dict[str, Module], *, name: str = "linked") -> Module:
+    """Statically link modules into one (imports resolved to direct calls).
+
+    The resulting module exports every export of every input module, holds
+    the concatenation of their globals and tables, and contains no imports —
+    it can be lowered to a single Wasm module sharing one memory.
+    """
+
+    check_link(modules)
+
+    order = list(modules.keys())
+    # First pass: assign new indices to every *defined* function and global.
+    func_base: dict[str, dict[int, int]] = {}
+    global_base: dict[str, dict[int, int]] = {}
+    table_base: dict[str, dict[int, int]] = {}
+    new_functions: list[FunctionDecl] = []
+    new_globals: list[GlobalDecl] = []
+    new_table: list[int] = []
+
+    for module_name in order:
+        module = modules[module_name]
+        func_map: dict[int, int] = {}
+        for index, decl in enumerate(module.functions):
+            if isinstance(decl, ImportedFunction):
+                continue
+            func_map[index] = len(new_functions)
+            new_functions.append(decl)  # body remapped in the second pass
+        func_base[module_name] = func_map
+
+        global_map: dict[int, int] = {}
+        for index, decl in enumerate(module.globals):
+            if isinstance(decl, ImportedGlobal):
+                continue
+            global_map[index] = len(new_globals)
+            new_globals.append(decl)
+        global_base[module_name] = global_map
+
+    # Resolve imported function indices to the exporter's new indices.
+    for module_name in order:
+        module = modules[module_name]
+        func_map = func_base[module_name]
+        for index, decl in enumerate(module.functions):
+            if not isinstance(decl, ImportedFunction):
+                continue
+            exporter = modules[decl.import_ref.module]
+            export_index = exporter.exported_functions()[decl.import_ref.name]
+            func_map[index] = func_base[decl.import_ref.module][export_index]
+
+    # Tables: concatenate, remapping entries through the function map.
+    for module_name in order:
+        module = modules[module_name]
+        table_map: dict[int, int] = {}
+        for position, entry in enumerate(module.table.entries):
+            table_map[position] = len(new_table)
+            new_table.append(func_base[module_name][entry])
+        table_base[module_name] = table_map
+
+    # Which export names are unambiguous across the whole program?
+    export_owners: dict[str, list[str]] = {}
+    for module_name in order:
+        for export in modules[module_name].exported_functions():
+            export_owners.setdefault(export, []).append(module_name)
+
+    # Second pass: rewrite the bodies of the defined functions and globals and
+    # namespace the exports (``module.export``), keeping the bare name when it
+    # is unique across the program.
+    rewritten: list[FunctionDecl] = list(new_functions)
+    for module_name in order:
+        module = modules[module_name]
+        remap = _Remap(func_base[module_name], global_base[module_name], table_base[module_name])
+        for index, decl in enumerate(module.functions):
+            if isinstance(decl, ImportedFunction):
+                continue
+            new_index = func_base[module_name][index]
+            exports = []
+            for export in decl.exports:
+                exports.append(f"{module_name}.{export}")
+                if len(export_owners.get(export, [])) == 1:
+                    exports.append(export)
+            rewritten[new_index] = replace(
+                decl, body=_remap_body(decl.body, remap), exports=tuple(exports)
+            )
+        for index, decl in enumerate(module.globals):
+            if isinstance(decl, ImportedGlobal):
+                continue
+            new_index = global_base[module_name][index]
+            new_globals[new_index] = replace(decl, init=_remap_body(decl.init, remap))
+
+    linked = Module(
+        functions=tuple(rewritten),
+        globals=tuple(new_globals),
+        table=Table(entries=tuple(new_table)),
+        name=name,
+    )
+    check_module(linked)
+    return linked

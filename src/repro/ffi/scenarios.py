@@ -1,0 +1,286 @@
+"""The interop scenarios of the paper, as reusable program builders.
+
+Three program families, used by the examples, the tests and the benchmarks:
+
+* :func:`fig1_unsafe_program` — the naive interop of Fig. 1: a GC'd ML module
+  stashes a reference it is given; the manually-managed client frees the
+  reference it passed in *and* the stashed copy.  Without linking types the
+  declared boundary types disagree, so linking fails.
+* :func:`fig3_programs` — the same program written with linking types
+  (Fig. 3).  The unsafe variant (``stash`` returns the linear reference it
+  also stored) compiles to RichWasm that duplicates a linear value and is
+  rejected by the RichWasm type checker; the safe variant (``stash`` does not
+  return the reference and the client does not free the result) type checks
+  and runs.
+* :func:`counter_program` — the Fig. 9 style scenario: a manually-managed
+  counter library with shared mutable configuration, driven by a GC'd client
+  through an interface that hides all linearity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.syntax import Module
+from ..l3 import (
+    L3Function,
+    L3Import,
+    LBangI,
+    LLetBang,
+    LBinOp,
+    LCall,
+    LFree,
+    LInt,
+    LIntLit,
+    LJoin,
+    LLet,
+    LLetPair,
+    LMLRef,
+    LNew,
+    LOwned,
+    LSplit,
+    LSwap,
+    LUnit,
+    LUnitV,
+    LVar,
+    LBang,
+    compile_l3_module,
+    l3_module,
+)
+from ..ml import (
+    App,
+    Assign,
+    BinOp,
+    Deref,
+    IntLit,
+    Lam,
+    Let,
+    LinType,
+    MkRef,
+    MkRefToLin,
+    MLFunction,
+    MLGlobal,
+    MLImport,
+    MLModule,
+    Pair,
+    RefToLin,
+    Seq,
+    TInt,
+    TRef,
+    TUnit,
+    Unit,
+    Var,
+    compile_ml_module,
+    ml_module,
+)
+
+
+@dataclass
+class InteropScenario:
+    """A pair of separately-compiled RichWasm modules ready for linking."""
+
+    ml: Module
+    client: Module
+    description: str
+
+    def modules(self) -> dict[str, Module]:
+        return {self.ml.name or "ml": self.ml, self.client.name or "client": self.client}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — naive unsafe interop (no linking types)
+# ---------------------------------------------------------------------------
+
+
+def fig1_unsafe_program() -> InteropScenario:
+    """Fig. 1: ML stashes a GC'd reference; the client frees it twice.
+
+    The ML module's ``stash`` works on ordinary (unrestricted, GC'd)
+    references, but the manually-managed client imports it at the linear
+    reference type its own ``new`` produces, so the declared import/export
+    types disagree and linking fails.
+    """
+
+    ml = ml_module(
+        "ml",
+        globals=[MLGlobal("c", TRef(TRef(TInt())), MkRef(MkRef(IntLit(0))))],
+        functions=[
+            MLFunction("stash", "r", TRef(TInt()), TRef(TInt()),
+                       Seq(Assign(Var("c"), Var("r")), Var("r"))),
+            MLFunction("get_stashed", "u", TUnit(), TRef(TInt()), Deref(Var("c"))),
+        ],
+    )
+    # The client is written in L3: it allocates manually managed memory and
+    # frees what it believes it owns.  Its imports describe ``stash`` /
+    # ``get_stashed`` at *linear* reference types.
+    client = l3_module(
+        "client",
+        imports=[
+            L3Import("ml", "stash", LMLRef(LBang(LInt())), LMLRef(LBang(LInt()))),
+            L3Import("ml", "get_stashed", LUnit(), LMLRef(LBang(LInt()))),
+        ],
+        functions=[
+            L3Function(
+                "run", "u", LUnit(), LInt(),
+                LLet(
+                    "first",
+                    LFree(LSplit(LCall("stash", LJoin(LNew(LBangI(LIntLit(42))))))),
+                    LBinOp("+", LVar("first"), LFree(LSplit(LCall("get_stashed", LUnitV())))),
+                ),
+            ),
+        ],
+    )
+    return InteropScenario(
+        ml=compile_ml_module(ml),
+        client=compile_l3_module(client),
+        description="Fig. 1: naive interop, boundary types disagree",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — linking types
+# ---------------------------------------------------------------------------
+
+
+def fig3_programs() -> tuple[InteropScenario, InteropScenario]:
+    """Fig. 3: the unsafe and repaired variants written with linking types.
+
+    Returns ``(unsafe, safe)``.  Both link (the boundary types agree); the
+    unsafe one is rejected by the RichWasm type checker because ``stash``
+    duplicates the linear reference, the safe one type checks and runs.
+    """
+
+    lin_ref_int = LinType(TRef(TInt()))
+
+    unsafe_ml = ml_module(
+        "ml",
+        globals=[MLGlobal("c", RefToLin(TRef(TInt())), MkRefToLin(TRef(TInt())))],
+        functions=[
+            # stash stores the linear reference *and* returns it: the compiled
+            # RichWasm reads the linear local twice, which cannot type check.
+            MLFunction("stash", "r", lin_ref_int, lin_ref_int,
+                       Seq(Assign(Var("c"), Var("r")), Var("r"))),
+            MLFunction("get_stashed", "u", TUnit(), lin_ref_int, Deref(Var("c"))),
+        ],
+    )
+    safe_ml = ml_module(
+        "ml",
+        globals=[MLGlobal("c", RefToLin(TRef(TInt())), MkRefToLin(TRef(TInt())))],
+        functions=[
+            # The repaired stash consumes the reference and returns unit.
+            MLFunction("stash", "r", lin_ref_int, TUnit(),
+                       Assign(Var("c"), Var("r"))),
+            MLFunction("get_stashed", "u", TUnit(), lin_ref_int, Deref(Var("c"))),
+        ],
+    )
+
+    lin_ref_l3 = LMLRef(LBang(LInt()))
+
+    unsafe_client = l3_module(
+        "client",
+        imports=[
+            L3Import("ml", "stash", lin_ref_l3, lin_ref_l3),
+            L3Import("ml", "get_stashed", LUnit(), lin_ref_l3),
+        ],
+        functions=[
+            L3Function(
+                "run", "u", LUnit(), LInt(),
+                LLet(
+                    "first",
+                    LFree(LSplit(LCall("stash", LJoin(LNew(LBangI(LIntLit(42))))))),
+                    # CRASH in Fig. 3: freeing the stashed copy is a double free.
+                    LBinOp("+", LVar("first"), LFree(LSplit(LCall("get_stashed", LUnitV())))),
+                ),
+            ),
+        ],
+    )
+    safe_client = l3_module(
+        "client",
+        imports=[
+            L3Import("ml", "stash", lin_ref_l3, LUnit()),
+            L3Import("ml", "get_stashed", LUnit(), lin_ref_l3),
+        ],
+        functions=[
+            L3Function(
+                "store", "x", LInt(), LUnit(),
+                LCall("stash", LJoin(LNew(LBangI(LVar("x"))))),
+            ),
+            L3Function(
+                "take", "u", LUnit(), LInt(),
+                LLetBang("v", LFree(LSplit(LCall("get_stashed", LUnitV()))), LVar("v")),
+            ),
+        ],
+    )
+
+    unsafe = InteropScenario(
+        ml=compile_ml_module(unsafe_ml),
+        client=compile_l3_module(unsafe_client),
+        description="Fig. 3: linking types, stash duplicates a linear reference",
+    )
+    safe = InteropScenario(
+        ml=compile_ml_module(safe_ml),
+        client=compile_l3_module(safe_client),
+        description="Fig. 3 (repaired): stash consumes the reference",
+    )
+    return unsafe, safe
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — the counter library behind a GC'd interface
+# ---------------------------------------------------------------------------
+
+
+def counter_program(increment: int = 1) -> InteropScenario:
+    """A Fig. 9 style program: a manually-managed counter driven from ML.
+
+    The library side (L3) owns a manually-managed cell holding the counter
+    state and exposes ``counter_new`` / ``counter_bump`` / ``counter_read`` /
+    ``counter_free`` working on the linear reference.  The GC'd client (ML)
+    hides the linear reference in a ``ref_to_lin`` cell so the rest of the ML
+    code never reasons about linearity, and exposes ``client_init`` /
+    ``client_tick`` / ``client_total`` as its plain, unrestricted interface.
+    """
+
+    lib = l3_module(
+        "counterlib",
+        functions=[
+            L3Function("counter_new", "x", LInt(), LMLRef(LBang(LInt())),
+                       LJoin(LNew(LBangI(LVar("x"))))),
+            L3Function(
+                "counter_bump", "r", LMLRef(LBang(LInt())), LMLRef(LBang(LInt())),
+                LLet("o", LSplit(LVar("r")),
+                     LLetPair("old", "o2", LSwap(LVar("o"), LBangI(LIntLit(0))),
+                              LLetPair("old2", "o3",
+                                       LSwap(LVar("o2"), LBangI(LBinOp("+", LVar("old"), LIntLit(increment)))),
+                                       LLet("ignore", LVar("old2"), LJoin(LVar("o3"))))))),
+            L3Function(
+                "counter_read", "r", LMLRef(LBang(LInt())), LInt(),
+                LLet("o", LSplit(LVar("r")),
+                     LLetBang("v", LFree(LVar("o")), LVar("v")))),
+        ],
+    )
+
+    lin_counter = LinType(TRef(TInt()))
+    client = ml_module(
+        "client",
+        imports=[
+            MLImport("counterlib", "counter_new", TInt(), lin_counter),
+            MLImport("counterlib", "counter_bump", lin_counter, lin_counter),
+            MLImport("counterlib", "counter_read", lin_counter, TInt()),
+        ],
+        globals=[MLGlobal("slot", RefToLin(TRef(TInt())), MkRefToLin(TRef(TInt())))],
+        functions=[
+            MLFunction("client_init", "x", TInt(), TUnit(),
+                       Assign(Var("slot"), App(Var("counter_new"), Var("x")))),
+            MLFunction("client_tick", "u", TUnit(), TUnit(),
+                       Assign(Var("slot"), App(Var("counter_bump"), Deref(Var("slot"))))),
+            MLFunction("client_total", "u", TUnit(), TInt(),
+                       App(Var("counter_read"), Deref(Var("slot")))),
+        ],
+    )
+    return InteropScenario(
+        ml=compile_ml_module(client),
+        client=compile_l3_module(lib),
+        description="Fig. 9: manually-managed counter behind a GC'd interface",
+    )

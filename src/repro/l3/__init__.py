@@ -1,0 +1,36 @@
+"""The L3 frontend (paper §5): AST, linear type checker, compiler to RichWasm."""
+
+from .ast import (
+    L3Expr,
+    L3Function,
+    L3Import,
+    L3Module,
+    L3Type,
+    LBang,
+    LBangI,
+    LBinOp,
+    LCall,
+    LFree,
+    LInt,
+    LIntLit,
+    LJoin,
+    LLet,
+    LLetBang,
+    LLetPair,
+    LMLRef,
+    LNew,
+    LOwned,
+    LPair,
+    LSplit,
+    LSwap,
+    LTensor,
+    LUnit,
+    LUnitV,
+    LVar,
+    is_unrestricted_type,
+    l3_module,
+)
+from .codegen import L3Compiler, compile_l3_module, compile_type as compile_l3_type, mlref_type, owned_type
+from .typecheck import FunSig, L3Checker, L3TypeError, check_l3_module
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,37 @@
+"""The RichWasm → WebAssembly compiler (paper §6).
+
+* :mod:`repro.lower.layout` — type lowering and heap layouts.
+* :mod:`repro.lower.runtime` — the emitted free-list allocator.
+* :mod:`repro.lower.compiler` — the type-directed instruction/module compiler.
+* :func:`lower_module` — the one-call entry point used by examples and tests.
+"""
+
+from .compiler import LoweredModule, LoweringStats, ModuleLowering
+from .layout import (
+    ArrayLayout,
+    FieldSlot,
+    PackageLayout,
+    StructLayout,
+    VariantLayout,
+    array_layout,
+    heaptype_bytes,
+    layout_bytes,
+    lower_numtype,
+    lower_pretype,
+    lower_type,
+    lower_types,
+    size_to_bytes,
+    struct_layout,
+    type_bytes,
+    variant_layout,
+)
+from .runtime import BLOCK_HEADER_BYTES, HEAP_BASE, RuntimeLayout, build_free, build_malloc
+
+
+def lower_module(module, *, memory_pages: int = 4) -> LoweredModule:
+    """Type-check-directed lowering of a RichWasm module to Wasm."""
+
+    return ModuleLowering(module, memory_pages=memory_pages).lower()
+
+
+__all__ = [name for name in dir() if not name.startswith("_")]

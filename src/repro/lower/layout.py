@@ -1,0 +1,239 @@
+"""Type lowering: from RichWasm types to Wasm value-type layouts (paper §6).
+
+Every RichWasm type is lowered to a (possibly empty) sequence of Wasm numeric
+types:
+
+* types with no runtime information — ``unit``, capabilities, ownership
+  tokens — are erased (empty layout);
+* numeric types map to the corresponding Wasm type;
+* ``ref`` and ``ptr`` lower to a single ``i32`` pointer into the one flat
+  Wasm memory that represents both RichWasm memories;
+* ``coderef`` lowers to a single ``i32`` index into the function table;
+* tuples are flattened;
+* pretype variables are **boxed**: they lower to an ``i32`` pointer to a
+  heap cell holding the value (the paper boxes variables whose size bound is
+  not concrete; this reproduction boxes all of them — the ablation benchmark
+  quantifies the difference);
+* recursive and existential-location types lower to their body's layout.
+
+The same module also computes the byte layout of heap types: field offsets
+for structs, element strides for arrays, the tag/payload layout of variants
+and the boxed-payload layout of existential packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.syntax.sizes import Size
+from ..core.syntax.types import (
+    ArrayHT,
+    CapT,
+    CodeRefT,
+    ExHT,
+    ExLocT,
+    HeapType,
+    NumT,
+    NumType,
+    OwnT,
+    Pretype,
+    ProdT,
+    PtrT,
+    RecT,
+    RefT,
+    StructHT,
+    Type,
+    UnitT,
+    VarT,
+    VariantHT,
+)
+from ..core.typing.errors import LoweringError
+from ..wasm.ast import ValType
+
+#: Number of bytes used for a variant tag / an array length header.
+TAG_BYTES = 4
+LENGTH_BYTES = 4
+POINTER_BYTES = 4
+
+
+_NUMTYPE_TO_VALTYPE = {
+    NumType.I32: ValType.I32,
+    NumType.UI32: ValType.I32,
+    NumType.I64: ValType.I64,
+    NumType.UI64: ValType.I64,
+    NumType.F32: ValType.F32,
+    NumType.F64: ValType.F64,
+}
+
+
+def lower_numtype(numtype: NumType) -> ValType:
+    """The Wasm value type corresponding to a RichWasm numeric type."""
+
+    return _NUMTYPE_TO_VALTYPE[numtype]
+
+
+def lower_pretype(pretype: Pretype) -> list[ValType]:
+    """The Wasm layout of a RichWasm pretype."""
+
+    if isinstance(pretype, (UnitT, CapT, OwnT)):
+        return []
+    if isinstance(pretype, NumT):
+        return [lower_numtype(pretype.numtype)]
+    if isinstance(pretype, (RefT, PtrT)):
+        return [ValType.I32]
+    if isinstance(pretype, CodeRefT):
+        return [ValType.I32]
+    if isinstance(pretype, ProdT):
+        layout: list[ValType] = []
+        for component in pretype.components:
+            layout.extend(lower_type(component))
+        return layout
+    if isinstance(pretype, VarT):
+        # Boxed representation: a pointer to the heap cell holding the value.
+        return [ValType.I32]
+    if isinstance(pretype, RecT):
+        return lower_type(pretype.body)
+    if isinstance(pretype, ExLocT):
+        return lower_type(pretype.body)
+    raise LoweringError(f"cannot lower pretype {pretype!r}")
+
+
+def lower_type(ty: Type) -> list[ValType]:
+    """The Wasm layout of a RichWasm type."""
+
+    return lower_pretype(ty.pretype)
+
+
+def lower_types(types: Sequence[Type]) -> list[ValType]:
+    """The concatenated layout of a sequence of types (stack order)."""
+
+    layout: list[ValType] = []
+    for ty in types:
+        layout.extend(lower_type(ty))
+    return layout
+
+
+def valtype_bytes(valtype: ValType) -> int:
+    return valtype.byte_width
+
+
+def layout_bytes(layout: Sequence[ValType]) -> int:
+    """The number of bytes a layout occupies when stored in memory."""
+
+    return sum(valtype_bytes(v) for v in layout)
+
+
+def type_bytes(ty: Type) -> int:
+    """The number of bytes a value of ``ty`` occupies in memory."""
+
+    return layout_bytes(lower_type(ty))
+
+
+def size_to_bytes(size: Size, size_env: dict[int, int] | None = None) -> int:
+    """Convert a (closed) RichWasm size in bits to a slot size in bytes.
+
+    Slot sizes in RichWasm are measured in bits; memory slots are rounded up
+    to whole bytes.
+    """
+
+    from ..core.syntax.sizes import eval_size
+
+    bits = eval_size(size, size_env)
+    return (bits + 7) // 8
+
+
+# ---------------------------------------------------------------------------
+# Heap layouts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldSlot:
+    """One struct field: its byte offset and slot size within the struct."""
+
+    offset: int
+    slot_bytes: int
+    type: Type
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """Byte layout of a struct heap type."""
+
+    fields: tuple[FieldSlot, ...]
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class ArrayLayout:
+    """Byte layout of an array heap type: a length header plus elements."""
+
+    element_bytes: int
+    element_type: Type
+    header_bytes: int = LENGTH_BYTES
+
+
+@dataclass(frozen=True)
+class VariantLayout:
+    """Byte layout of a variant heap type: a tag followed by the payload."""
+
+    cases: tuple[Type, ...]
+    payload_bytes: int
+    tag_bytes: int = TAG_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tag_bytes + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class PackageLayout:
+    """Byte layout of an existential package: the payload stored at the
+    abstract layout of the existential body (pretype variables boxed)."""
+
+    payload_bytes: int = POINTER_BYTES
+
+
+def struct_layout(heaptype: StructHT, size_env: dict[int, int] | None = None) -> StructLayout:
+    """Compute field offsets for a struct heap type.
+
+    Fields occupy their *declared* slot size (not the current field type's
+    size) so strong updates never move later fields.
+    """
+
+    fields: list[FieldSlot] = []
+    offset = 0
+    for field_type, field_size in heaptype.fields:
+        slot = size_to_bytes(field_size, size_env)
+        fields.append(FieldSlot(offset, slot, field_type))
+        offset += slot
+    return StructLayout(tuple(fields), offset)
+
+
+def array_layout(heaptype: ArrayHT) -> ArrayLayout:
+    element_bytes = max(type_bytes(heaptype.element), 1)
+    return ArrayLayout(element_bytes=element_bytes, element_type=heaptype.element)
+
+
+def variant_layout(heaptype: VariantHT) -> VariantLayout:
+    payload = max((type_bytes(case) for case in heaptype.cases), default=0)
+    return VariantLayout(tuple(heaptype.cases), payload)
+
+
+def package_layout(heaptype: ExHT) -> PackageLayout:
+    return PackageLayout(payload_bytes=max(layout_bytes(lower_type(heaptype.body)), POINTER_BYTES))
+
+
+def heaptype_bytes(heaptype: HeapType, size_env: dict[int, int] | None = None) -> int:
+    """The allocation size (in bytes) of a heap type (arrays excluded)."""
+
+    if isinstance(heaptype, StructHT):
+        return struct_layout(heaptype, size_env).total_bytes
+    if isinstance(heaptype, VariantHT):
+        return variant_layout(heaptype).total_bytes
+    if isinstance(heaptype, ExHT):
+        return package_layout(heaptype).payload_bytes
+    if isinstance(heaptype, ArrayHT):
+        raise LoweringError("array allocation size depends on the runtime length")
+    raise LoweringError(f"cannot size heap type {heaptype!r}")

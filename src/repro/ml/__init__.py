@@ -1,0 +1,44 @@
+"""The core ML frontend (paper §5): AST, type checker, compiler to RichWasm."""
+
+from .ast import (
+    App,
+    Assign,
+    BinOp,
+    BoolLit,
+    Case,
+    Deref,
+    Expr,
+    Fst,
+    If,
+    Inl,
+    Inr,
+    IntLit,
+    Lam,
+    Let,
+    LinType,
+    MkRef,
+    MkRefToLin,
+    MLFunction,
+    MLGlobal,
+    MLImport,
+    MLModule,
+    MLType,
+    Pair,
+    RefToLin,
+    Seq,
+    Snd,
+    TBool,
+    TFun,
+    TInt,
+    TPair,
+    TRef,
+    TSum,
+    TUnit,
+    Unit,
+    Var,
+    ml_module,
+)
+from .codegen import MLCompiler, compile_ml_module, compile_type
+from .typecheck import CheckedModule, MLTypeError, check_expr, check_module
+
+__all__ = [name for name in dir() if not name.startswith("_")]

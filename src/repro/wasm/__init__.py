@@ -1,0 +1,57 @@
+"""A WebAssembly 1.0 (+ multi-value) substrate.
+
+This package is the execution target for lowered RichWasm modules: an AST
+(:mod:`repro.wasm.ast`), a validator (:mod:`repro.wasm.validation`), an
+interpreter with a byte-addressed linear memory
+(:mod:`repro.wasm.interpreter`) and a WAT-style printer
+(:mod:`repro.wasm.text`).
+"""
+
+from .ast import (
+    Binop,
+    Const,
+    Cvtop,
+    GlobalGet,
+    GlobalSet,
+    Load,
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    MemoryGrow,
+    MemorySize,
+    PAGE_SIZE,
+    Relop,
+    StoreI,
+    Testop,
+    Unop,
+    ValType,
+    WasmData,
+    WasmFuncType,
+    WasmFunction,
+    WasmFunctionDecl,
+    WasmGlobal,
+    WasmImportedFunction,
+    WasmMemory,
+    WasmModule,
+    WasmTable,
+    WBlock,
+    WBr,
+    WBrIf,
+    WBrTable,
+    WCall,
+    WCallIndirect,
+    WDrop,
+    WIf,
+    WInstr,
+    WLoop,
+    WNop,
+    WReturn,
+    WSelect,
+    WUnreachable,
+    count_instrs,
+)
+from .interpreter import HostFunction, LinearMemory, WasmInstance, WasmInterpreter, WasmTrap, WasmValue
+from .text import format_instr, module_to_wat
+from .validation import WasmValidationError, validate_function, validate_module
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,170 @@
+"""A WAT-style textual printer for the Wasm substrate.
+
+The printer is used by the examples and by debugging output; it renders the
+instruction subset of :mod:`repro.wasm.ast` in a format close to the standard
+WebAssembly text format (folded expressions are not used; one instruction per
+line, indentation tracks block nesting).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ast import (
+    Binop,
+    Const,
+    Cvtop,
+    GlobalGet,
+    GlobalSet,
+    Load,
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    MemoryGrow,
+    MemorySize,
+    Relop,
+    StoreI,
+    Testop,
+    Unop,
+    WasmFunction,
+    WasmFuncType,
+    WasmImportedFunction,
+    WasmModule,
+    WBlock,
+    WBr,
+    WBrIf,
+    WBrTable,
+    WCall,
+    WCallIndirect,
+    WDrop,
+    WIf,
+    WInstr,
+    WLoop,
+    WNop,
+    WReturn,
+    WSelect,
+    WUnreachable,
+)
+
+
+def format_functype(functype: WasmFuncType) -> str:
+    parts = []
+    if functype.params:
+        parts.append("(param " + " ".join(str(p) for p in functype.params) + ")")
+    if functype.results:
+        parts.append("(result " + " ".join(str(r) for r in functype.results) + ")")
+    return " ".join(parts)
+
+
+def format_instr(instr: WInstr, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    if isinstance(instr, Const):
+        return [f"{pad}{instr.valtype}.const {instr.value}"]
+    if isinstance(instr, Binop):
+        return [f"{pad}{instr.valtype}.{instr.op}"]
+    if isinstance(instr, Unop):
+        return [f"{pad}{instr.valtype}.{instr.op}"]
+    if isinstance(instr, Testop):
+        return [f"{pad}{instr.valtype}.{instr.op}"]
+    if isinstance(instr, Relop):
+        return [f"{pad}{instr.valtype}.{instr.op}"]
+    if isinstance(instr, Cvtop):
+        return [f"{pad}{instr.target}.{instr.op}_{instr.source}"]
+    if isinstance(instr, WUnreachable):
+        return [f"{pad}unreachable"]
+    if isinstance(instr, WNop):
+        return [f"{pad}nop"]
+    if isinstance(instr, WDrop):
+        return [f"{pad}drop"]
+    if isinstance(instr, WSelect):
+        return [f"{pad}select"]
+    if isinstance(instr, WBlock):
+        lines = [f"{pad}block {format_functype(instr.blocktype)}".rstrip()]
+        for inner in instr.body:
+            lines.extend(format_instr(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(instr, WLoop):
+        lines = [f"{pad}loop {format_functype(instr.blocktype)}".rstrip()]
+        for inner in instr.body:
+            lines.extend(format_instr(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(instr, WIf):
+        lines = [f"{pad}if {format_functype(instr.blocktype)}".rstrip()]
+        for inner in instr.then_body:
+            lines.extend(format_instr(inner, indent + 1))
+        if instr.else_body:
+            lines.append(f"{pad}else")
+            for inner in instr.else_body:
+                lines.extend(format_instr(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(instr, WBr):
+        return [f"{pad}br {instr.depth}"]
+    if isinstance(instr, WBrIf):
+        return [f"{pad}br_if {instr.depth}"]
+    if isinstance(instr, WBrTable):
+        targets = " ".join(str(d) for d in instr.depths)
+        return [f"{pad}br_table {targets} {instr.default}"]
+    if isinstance(instr, WReturn):
+        return [f"{pad}return"]
+    if isinstance(instr, WCall):
+        return [f"{pad}call {instr.func_index}"]
+    if isinstance(instr, WCallIndirect):
+        return [f"{pad}call_indirect {format_functype(instr.functype)}".rstrip()]
+    if isinstance(instr, LocalGet):
+        return [f"{pad}local.get {instr.index}"]
+    if isinstance(instr, LocalSet):
+        return [f"{pad}local.set {instr.index}"]
+    if isinstance(instr, LocalTee):
+        return [f"{pad}local.tee {instr.index}"]
+    if isinstance(instr, GlobalGet):
+        return [f"{pad}global.get {instr.index}"]
+    if isinstance(instr, GlobalSet):
+        return [f"{pad}global.set {instr.index}"]
+    if isinstance(instr, Load):
+        suffix = "" if instr.width is None else f"{instr.width}_{'s' if instr.signed else 'u'}"
+        return [f"{pad}{instr.valtype}.load{suffix} offset={instr.offset}"]
+    if isinstance(instr, StoreI):
+        suffix = "" if instr.width is None else str(instr.width)
+        return [f"{pad}{instr.valtype}.store{suffix} offset={instr.offset}"]
+    if isinstance(instr, MemorySize):
+        return [f"{pad}memory.size"]
+    if isinstance(instr, MemoryGrow):
+        return [f"{pad}memory.grow"]
+    return [f"{pad};; <unknown {instr!r}>"]
+
+
+def module_to_wat(module: WasmModule) -> str:
+    """Render a whole module as WAT-like text."""
+
+    lines = ["(module"]
+    if module.memory is not None:
+        max_part = f" {module.memory.max_pages}" if module.memory.max_pages is not None else ""
+        lines.append(f"  (memory {module.memory.min_pages}{max_part})")
+    if module.table.entries:
+        entries = " ".join(str(e) for e in module.table.entries)
+        lines.append(f"  (table funcref (elem {entries}))")
+    for index, global_decl in enumerate(module.globals):
+        mutability = f"(mut {global_decl.valtype})" if global_decl.mutable else str(global_decl.valtype)
+        init = " ".join(" ".join(format_instr(i)) for i in global_decl.init).strip()
+        lines.append(f"  (global $g{index} {mutability} ({init}))")
+    for index, function in enumerate(module.functions):
+        if isinstance(function, WasmImportedFunction):
+            lines.append(
+                f'  (import "{function.module}" "{function.name}"'
+                f" (func $f{index} {format_functype(function.functype)}))"
+            )
+            continue
+        header = f"  (func $f{index} {format_functype(function.functype)}".rstrip()
+        lines.append(header)
+        if function.locals:
+            lines.append("    (local " + " ".join(str(l) for l in function.locals) + ")")
+        for instr in function.body:
+            lines.extend(format_instr(instr, 2))
+        lines.append("  )")
+        for export in function.exports:
+            lines.append(f'  (export "{export}" (func $f{index}))')
+    lines.append(")")
+    return "\n".join(lines)

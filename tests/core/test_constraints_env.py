@@ -1,0 +1,227 @@
+"""Unit tests for constraint contexts, environments and typing helpers."""
+
+import pytest
+
+from repro.core.syntax import (
+    LIN,
+    UNR,
+    Privilege,
+    SizeConst,
+    SizePlus,
+    SizeVar,
+    i32,
+    i64,
+    lin_loc,
+    prod,
+    ref,
+    struct_ht,
+    unit,
+)
+from repro.core.syntax.qualifiers import QualVar
+from repro.core.typing import (
+    LinearUse,
+    LocalEnv,
+    LocalSlot,
+    ModuleEnv,
+    QualContext,
+    SizeContext,
+    TypeVarContext,
+    closed_size_of_type,
+    empty_function_env,
+    types_equal,
+)
+from repro.core.typing.errors import LocalTypeError, QualifierError, SizeError, StoreTypeError
+from repro.core.typing.env import GlobalType, StoreTyping, MemEntryTyping
+from repro.core.typing.sizing import size_of_type
+from repro.core.typing.validity import check_type_valid, type_no_caps
+from repro.core.syntax.types import CapT, VarT, Type
+
+
+class TestQualContext:
+    def test_constants(self):
+        ctx = QualContext()
+        assert ctx.leq(UNR, LIN)
+        assert not ctx.leq(LIN, UNR)
+
+    def test_variable_with_upper_bound(self):
+        ctx = QualContext().push(upper=[UNR])
+        # δ0 ⪯ unr, therefore δ0 ⪯ unr ⪯ lin
+        assert ctx.leq(QualVar(0), UNR)
+        assert ctx.leq(QualVar(0), LIN)
+
+    def test_variable_with_lower_bound(self):
+        ctx = QualContext().push(lower=[LIN])
+        assert ctx.leq(LIN, QualVar(0))
+        assert ctx.is_linear(QualVar(0))
+
+    def test_unbounded_variable_is_unknown(self):
+        ctx = QualContext().push()
+        assert not ctx.leq(QualVar(0), UNR)
+        assert not ctx.leq(LIN, QualVar(0))
+        assert ctx.leq(QualVar(0), QualVar(0))
+        assert ctx.leq(QualVar(0), LIN)
+        assert ctx.leq(UNR, QualVar(0))
+
+    def test_chained_variables(self):
+        # δ1 pushed first, then δ0 with upper bound δ1 which itself is ⪯ unr.
+        ctx = QualContext().push(upper=[UNR]).push(upper=[QualVar(0)])
+        assert ctx.leq(QualVar(0), UNR)
+
+    def test_require_leq_raises(self):
+        with pytest.raises(QualifierError):
+            QualContext().require_leq(LIN, UNR)
+
+    def test_join(self):
+        ctx = QualContext()
+        assert ctx.join([UNR, UNR]) is UNR
+        assert ctx.join([UNR, LIN]) is LIN
+        assert ctx.join([]) is UNR
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(QualifierError):
+            QualContext().leq(QualVar(0), UNR)
+
+
+class TestSizeContext:
+    def test_constant_comparison(self):
+        ctx = SizeContext()
+        assert ctx.leq(SizeConst(32), SizeConst(64))
+        assert not ctx.leq(SizeConst(64), SizeConst(32))
+
+    def test_variable_upper_bound(self):
+        ctx = SizeContext().push(upper=[SizeConst(64)])
+        assert ctx.leq(SizeVar(0), SizeConst(64))
+        assert ctx.leq(SizeVar(0), SizeConst(128))
+        assert not ctx.leq(SizeVar(0), SizeConst(32))
+
+    def test_variable_lower_bound(self):
+        ctx = SizeContext().push(lower=[SizeConst(32)])
+        assert ctx.leq(SizeConst(32), SizeVar(0))
+        assert not ctx.leq(SizeConst(64), SizeVar(0))
+
+    def test_same_variable_cancels(self):
+        ctx = SizeContext().push()
+        size = SizeVar(0)
+        assert ctx.leq(size, size)
+        assert ctx.leq(size, SizePlus(size, SizeConst(8)))
+
+    def test_sum_with_bounded_variables(self):
+        # σ1 ≤ 32 and σ0 ≤ 32 imply σ0 + σ1 ≤ 64.
+        ctx = SizeContext().push(upper=[SizeConst(32)]).push(upper=[SizeConst(32)])
+        assert ctx.leq(SizePlus(SizeVar(0), SizeVar(1)), SizeConst(64))
+
+    def test_unbounded_variable_cannot_be_bounded(self):
+        ctx = SizeContext().push()
+        assert not ctx.leq(SizeVar(0), SizeConst(1024))
+
+    def test_require_leq_raises(self):
+        with pytest.raises(SizeError):
+            SizeContext().require_leq(SizeConst(64), SizeConst(32))
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(SizeError):
+            SizeContext().leq(SizeVar(0), SizeConst(0))
+
+
+class TestSizing:
+    def test_numeric_sizes(self):
+        assert closed_size_of_type(i32()) == SizeConst(32)
+        assert closed_size_of_type(i64()) == SizeConst(64)
+        assert closed_size_of_type(unit()) == SizeConst(0)
+
+    def test_tuple_size_is_sum(self):
+        assert closed_size_of_type(prod([i32(), i64()], UNR)) == SizeConst(96)
+
+    def test_ref_is_pointer_sized(self):
+        ty = ref(Privilege.RW, lin_loc(0), struct_ht([(i64(), SizeConst(64))]), LIN)
+        assert closed_size_of_type(ty) == SizeConst(32)
+
+    def test_cap_is_erased(self):
+        ty = Type(CapT(Privilege.RW, lin_loc(0), struct_ht([(i32(), SizeConst(32))])), LIN)
+        assert closed_size_of_type(ty) == SizeConst(0)
+
+    def test_type_variable_uses_declared_bound(self):
+        ctx = TypeVarContext().push(UNR, SizeConst(128))
+        assert size_of_type(Type(VarT(0), UNR), ctx) == SizeConst(128)
+
+
+class TestLocalEnv:
+    def test_get_and_set(self):
+        env = LocalEnv((LocalSlot(i32(), SizeConst(32)),))
+        assert env.get(0).type == i32()
+        updated = env.set_type(0, unit())
+        assert updated.get(0).type == unit()
+        # original unchanged (persistent structure)
+        assert env.get(0).type == i32()
+
+    def test_out_of_range(self):
+        with pytest.raises(LocalTypeError):
+            LocalEnv(()).get(0)
+
+
+class TestStoreTypingAndLinearUse:
+    def test_linear_use_rejects_duplication(self):
+        use = LinearUse()
+        use.claim(lin_loc(0))
+        with pytest.raises(StoreTypeError):
+            use.claim(lin_loc(0))
+
+    def test_unrestricted_locations_not_tracked(self):
+        from repro.core.syntax import unr_loc
+
+        use = LinearUse()
+        use.claim(unr_loc(0))
+        use.claim(unr_loc(0))  # fine: not a linear resource
+
+    def test_merge_disjoint(self):
+        left, right = LinearUse(), LinearUse()
+        left.claim(lin_loc(0))
+        right.claim(lin_loc(1))
+        left.merge(right)
+        assert left.used == {0, 1}
+
+    def test_merge_overlap_raises(self):
+        left, right = LinearUse(), LinearUse()
+        left.claim(lin_loc(0))
+        right.claim(lin_loc(0))
+        with pytest.raises(StoreTypeError):
+            left.merge(right)
+
+    def test_store_typing_lookup(self):
+        ht = struct_ht([(i32(), SizeConst(32))])
+        st = StoreTyping(lin={0: MemEntryTyping(ht, 32)})
+        assert st.lookup(lin_loc(0)).heaptype == ht
+        with pytest.raises(StoreTypeError):
+            st.lookup(lin_loc(1))
+
+
+class TestValidity:
+    def test_well_formed_type(self):
+        env = empty_function_env()
+        check_type_valid(env, prod([i32(), i64()], UNR))
+
+    def test_unbound_type_variable_rejected(self):
+        env = empty_function_env()
+        with pytest.raises(Exception):
+            check_type_valid(env, Type(VarT(0), UNR))
+
+    def test_unrestricted_tuple_with_linear_component_rejected(self):
+        env = empty_function_env()
+        linear_component = ref(Privilege.RW, lin_loc(0), struct_ht([(i32(), SizeConst(32))]), LIN)
+        with pytest.raises(QualifierError):
+            check_type_valid(env, prod([linear_component], UNR))
+
+    def test_no_caps(self):
+        env = empty_function_env()
+        assert type_no_caps(env, i32())
+        assert not type_no_caps(env, Type(CapT(Privilege.RW, lin_loc(0), struct_ht([(i32(), SizeConst(32))])), LIN))
+
+
+class TestTypeEquality:
+    def test_size_normalisation_in_struct(self):
+        lhs = ref(Privilege.RW, lin_loc(0), struct_ht([(i32(), SizePlus(SizeConst(16), SizeConst(16)))]), LIN)
+        rhs = ref(Privilege.RW, lin_loc(0), struct_ht([(i32(), SizeConst(32))]), LIN)
+        assert types_equal(lhs, rhs)
+
+    def test_qualifier_matters(self):
+        assert not types_equal(i32(), i32(LIN))

@@ -1,0 +1,522 @@
+"""Tests for the instruction/module type checker: positive and negative cases.
+
+These exercise the linearity, size, qualifier and capability side conditions
+of Fig. 7 — each negative test corresponds to a memory-safety violation the
+paper's type system is designed to rule out.
+"""
+
+import pytest
+
+from repro.core.syntax import (
+    ArrayFree,
+    ArrayGet,
+    ArrayMalloc,
+    ArraySet,
+    Block,
+    Br,
+    BrIf,
+    Call,
+    CapJoin,
+    CapSplit,
+    Drop,
+    Function,
+    GetGlobal,
+    GetLocal,
+    Global,
+    If,
+    IntBinop,
+    LIN,
+    Loop,
+    MemUnpack,
+    NumBinop,
+    NumConst,
+    NumRelop,
+    IntRelop,
+    NumTestop,
+    NumType,
+    Qualify,
+    RefJoin,
+    RefSplit,
+    Return,
+    Select,
+    SeqGroup,
+    SeqUngroup,
+    SetGlobal,
+    SetLocal,
+    SizeConst,
+    StructFree,
+    StructGet,
+    StructMalloc,
+    StructSet,
+    StructSwap,
+    Table,
+    TeeLocal,
+    UNR,
+    UnitT,
+    Unreachable,
+    VariantCase,
+    VariantMalloc,
+    arrow,
+    funtype,
+    i32,
+    i64,
+    make_module,
+    unit,
+    variant_ht,
+)
+from repro.core.typing import check_module
+from repro.core.typing.errors import (
+    LinearityError,
+    LocalTypeError,
+    ModuleTypeError,
+    QualifierError,
+    RichWasmTypeError,
+    SizeError,
+    StackTypeError,
+)
+
+
+def single_function_module(body, params=(), results=(), locals_sizes=(), globals=()):
+    function = Function(
+        funtype=funtype(list(params), list(results)),
+        locals_sizes=tuple(locals_sizes),
+        body=tuple(body),
+        exports=("main",),
+    )
+    return make_module(functions=[function], globals=list(globals))
+
+
+def check(body, **kwargs):
+    return check_module(single_function_module(body, **kwargs))
+
+
+class TestNumericAndControl:
+    def test_arithmetic(self):
+        check([NumConst(NumType.I32, 1), NumConst(NumType.I32, 2),
+               NumBinop(NumType.I32, IntBinop.ADD), Drop()])
+
+    def test_relop_produces_i32(self):
+        check([NumConst(NumType.I64, 1), NumConst(NumType.I64, 2),
+               NumRelop(NumType.I64, IntRelop.LT_S), Drop()])
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(StackTypeError):
+            check([NumConst(NumType.I32, 1), NumConst(NumType.I64, 2),
+                   NumBinop(NumType.I32, IntBinop.ADD), Drop()])
+
+    def test_stack_underflow_rejected(self):
+        with pytest.raises(StackTypeError):
+            check([NumBinop(NumType.I32, IntBinop.ADD), Drop()])
+
+    def test_block_and_branch(self):
+        check([
+            Block(arrow([], [i32()]), (), (NumConst(NumType.I32, 3), Br(0))),
+            Drop(),
+        ])
+
+    def test_loop_with_conditional_exit(self):
+        check([
+            Block(arrow([], []), (), (
+                Loop(arrow([], []), (
+                    NumConst(NumType.I32, 0), NumTestop(NumType.I32), BrIf(1), Br(0),
+                )),
+            )),
+        ])
+
+    def test_branch_with_wrong_result_type(self):
+        with pytest.raises(StackTypeError):
+            check([
+                Block(arrow([], [i32()]), (), (NumConst(NumType.I64, 3), Br(0))),
+                Drop(),
+            ])
+
+    def test_branch_depth_out_of_range(self):
+        with pytest.raises((LocalTypeError, RichWasmTypeError)):
+            check([Block(arrow([], []), (), (Br(5),))])
+
+    def test_if_requires_condition(self):
+        check([NumConst(NumType.I32, 1),
+               If(arrow([], [i32()]), (), (NumConst(NumType.I32, 1),), (NumConst(NumType.I32, 2),)),
+               Drop()])
+
+    def test_block_leaving_extra_values_rejected(self):
+        with pytest.raises(StackTypeError):
+            check([Block(arrow([], []), (), (NumConst(NumType.I32, 1),))])
+
+    def test_unreachable_makes_rest_dead(self):
+        check([Unreachable(), NumBinop(NumType.I32, IntBinop.ADD)], results=[i32()])
+
+    def test_return_checks_types(self):
+        check([NumConst(NumType.I32, 1), Return()], results=[i32()])
+        with pytest.raises(StackTypeError):
+            check([NumConst(NumType.I64, 1), Return()], results=[i32()])
+
+    def test_select_requires_equal_unrestricted(self):
+        check([NumConst(NumType.I32, 1), NumConst(NumType.I32, 2), NumConst(NumType.I32, 0),
+               Select(), Drop()])
+        with pytest.raises(StackTypeError):
+            check([NumConst(NumType.I32, 1), NumConst(NumType.I64, 2), NumConst(NumType.I32, 0),
+                   Select(), Drop()])
+
+
+class TestLocalsAndGlobals:
+    def test_set_then_get(self):
+        check([NumConst(NumType.I32, 7), SetLocal(0), GetLocal(0), Drop()],
+              locals_sizes=[SizeConst(32)])
+
+    def test_value_too_large_for_slot(self):
+        with pytest.raises(SizeError):
+            check([NumConst(NumType.I64, 7), SetLocal(0)], locals_sizes=[SizeConst(32)])
+
+    def test_tee_local(self):
+        check([NumConst(NumType.I32, 7), TeeLocal(0), Drop()], locals_sizes=[SizeConst(32)])
+
+    def test_get_linear_local_moves_value(self):
+        # Reading a linear local twice: the second read produces unit, which
+        # cannot be returned at the reference type.
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            SetLocal(0),
+            GetLocal(0, LIN),
+            Drop(),
+        ]
+        with pytest.raises(LinearityError):
+            check(body, locals_sizes=[SizeConst(64)])
+
+    def test_overwriting_linear_local_rejected(self):
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            SetLocal(0),
+            NumConst(NumType.I32, 0),
+            SetLocal(0),
+        ]
+        with pytest.raises(LinearityError):
+            check(body, locals_sizes=[SizeConst(64)])
+
+    def test_globals(self):
+        glob = Global(i32().pretype, True, (NumConst(NumType.I32, 0),), (), "g")
+        check([GetGlobal(0), Drop(), NumConst(NumType.I32, 4), SetGlobal(0)], globals=[glob])
+
+    def test_immutable_global_rejected(self):
+        glob = Global(i32().pretype, False, (NumConst(NumType.I32, 0),), (), "g")
+        with pytest.raises(RichWasmTypeError):
+            check([NumConst(NumType.I32, 4), SetGlobal(0)], globals=[glob])
+
+    def test_unknown_local_rejected(self):
+        with pytest.raises(LocalTypeError):
+            check([GetLocal(3), Drop()])
+
+
+class TestLinearity:
+    def test_dropping_linear_value_rejected(self):
+        with pytest.raises(LinearityError):
+            check([NumConst(NumType.I32, 1), StructMalloc((SizeConst(32),), LIN), Drop()])
+
+    def test_unrestricted_struct_can_be_dropped(self):
+        check([NumConst(NumType.I32, 1), StructMalloc((SizeConst(32),), UNR), Drop()])
+
+    def test_branch_dropping_linear_value_rejected(self):
+        body = [
+            Block(arrow([], []), (), (
+                NumConst(NumType.I32, 1),
+                StructMalloc((SizeConst(32),), LIN),
+                Br(0),
+            )),
+        ]
+        with pytest.raises((LinearityError, StackTypeError)):
+            check(body)
+
+    def test_linear_value_left_in_local_at_return_rejected(self):
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            SetLocal(0),
+        ]
+        with pytest.raises(LinearityError):
+            check(body, locals_sizes=[SizeConst(64)])
+
+    def test_qualify_cannot_weaken(self):
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            MemUnpack(arrow([], []), (), (Qualify(UNR), Drop())),
+        ]
+        with pytest.raises(QualifierError):
+            check(body)
+
+    def test_qualify_strengthened_value_cannot_be_dropped(self):
+        # unr -> lin strengthening is allowed, after which the value is linear
+        # and dropping it is a linearity error.
+        with pytest.raises(LinearityError):
+            check([NumConst(NumType.I32, 1), Qualify(LIN), Drop()])
+
+    def test_qualify_strengthened_value_can_be_returned(self):
+        check([NumConst(NumType.I32, 1), Qualify(LIN), Return()], results=[i32(LIN)])
+
+
+class TestStructs:
+    def roundtrip_body(self, qual):
+        return [
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(32),), qual),
+            MemUnpack(arrow([], [i32()]), (), (
+                StructGet(0),
+                SetLocal(0),
+                *( (StructFree(),) if qual is LIN else (Drop(),) ),
+                GetLocal(0),
+            )),
+            Return(),
+        ]
+
+    def test_linear_roundtrip(self):
+        check(self.roundtrip_body(LIN), results=[i32()], locals_sizes=[SizeConst(32)])
+
+    def test_unrestricted_roundtrip(self):
+        check(self.roundtrip_body(UNR), results=[i32()], locals_sizes=[SizeConst(32)])
+
+    def test_field_size_overflow_rejected(self):
+        with pytest.raises(SizeError):
+            check([NumConst(NumType.I64, 7), StructMalloc((SizeConst(32),), LIN), Drop()])
+
+    def test_strong_update_through_unrestricted_ref_rejected(self):
+        body = [
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(64),), UNR),
+            MemUnpack(arrow([], []), (), (
+                NumConst(NumType.I64, 1),
+                StructSet(0),
+                Drop(),
+            )),
+        ]
+        with pytest.raises(RichWasmTypeError):
+            check(body)
+
+    def test_strong_update_through_linear_ref_allowed(self):
+        body = [
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(64),), LIN),
+            MemUnpack(arrow([], []), (), (
+                NumConst(NumType.I64, 1),
+                StructSet(0),
+                StructFree(),
+            )),
+        ]
+        check(body)
+
+    def test_struct_get_of_linear_field_rejected(self):
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),       # inner linear cell
+            StructMalloc((SizeConst(64),), LIN),        # outer cell holding it
+            MemUnpack(arrow([], []), (), (
+                StructGet(0),
+                Drop(), Drop(),
+            )),
+        ]
+        with pytest.raises((LinearityError, StackTypeError, RichWasmTypeError)):
+            check(body)
+
+    def test_struct_free_with_linear_field_rejected(self):
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            StructMalloc((SizeConst(64),), LIN),
+            MemUnpack(arrow([], []), (), (StructFree(),)),
+        ]
+        with pytest.raises(LinearityError):
+            check(body)
+
+    def test_struct_swap_preserves_linearity(self):
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            StructMalloc((SizeConst(64),), LIN),
+            MemUnpack(arrow([], []), (), (
+                NumConst(NumType.I32, 5),
+                StructSwap(0),
+                # stack: ref', old linear cell — free the old cell, then the outer.
+                MemUnpack(arrow([], []), (), (StructFree(),)),
+                StructFree(),
+            )),
+        ]
+        check(body)
+
+    def test_double_free_rejected(self):
+        body = [
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(32),), LIN),
+            MemUnpack(arrow([], []), (), (StructFree(), StructFree())),
+        ]
+        with pytest.raises(StackTypeError):
+            check(body)
+
+    def test_free_of_unrestricted_ref_rejected(self):
+        body = [
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(32),), UNR),
+            MemUnpack(arrow([], []), (), (StructFree(),)),
+        ]
+        with pytest.raises(LinearityError):
+            check(body)
+
+
+class TestVariantsAndArrays:
+    def test_variant_case_linear(self):
+        cases = (unit(), i32())
+        body = [
+            NumConst(NumType.I32, 3),
+            VariantMalloc(1, cases, LIN),
+            MemUnpack(arrow([], [i32()]), (), (
+                VariantCase(LIN, variant_ht(cases), arrow([], [i32()]), (), (
+                    (Drop(), NumConst(NumType.I32, 0)),
+                    (),
+                )),
+            )),
+            Return(),
+        ]
+        check(body, results=[i32()])
+
+    def test_variant_case_unrestricted_returns_ref(self):
+        cases = (unit(), i32())
+        body = [
+            NumConst(NumType.I32, 3),
+            VariantMalloc(1, cases, UNR),
+            MemUnpack(arrow([], [i32()]), (), (
+                VariantCase(UNR, variant_ht(cases), arrow([], [i32()]), (), (
+                    (Drop(), NumConst(NumType.I32, 0)),
+                    (),
+                )),
+                # stack: ref, result
+                SetLocal(0),
+                Drop(),
+                GetLocal(0),
+            )),
+            Return(),
+        ]
+        check(body, results=[i32()], locals_sizes=[SizeConst(32)])
+
+    def test_variant_branch_count_mismatch(self):
+        cases = (unit(), i32())
+        body = [
+            NumConst(NumType.I32, 3),
+            VariantMalloc(1, cases, LIN),
+            MemUnpack(arrow([], [i32()]), (), (
+                VariantCase(LIN, variant_ht(cases), arrow([], [i32()]), (), (
+                    (Drop(), NumConst(NumType.I32, 0)),
+                )),
+            )),
+            Return(),
+        ]
+        with pytest.raises(RichWasmTypeError):
+            check(body, results=[i32()])
+
+    def test_variant_malloc_tag_out_of_range(self):
+        with pytest.raises(RichWasmTypeError):
+            check([NumConst(NumType.I32, 1), VariantMalloc(5, (i32(),), LIN), Drop()])
+
+    def test_array_roundtrip(self):
+        body = [
+            NumConst(NumType.I32, 0),
+            NumConst(NumType.UI32, 4),
+            ArrayMalloc(LIN),
+            MemUnpack(arrow([], [i32()]), (), (
+                NumConst(NumType.I32, 2), NumConst(NumType.I32, 99), ArraySet(),
+                NumConst(NumType.I32, 2), ArrayGet(),
+                SetLocal(0),
+                ArrayFree(),
+                GetLocal(0),
+            )),
+            Return(),
+        ]
+        check(body, results=[i32()], locals_sizes=[SizeConst(32)])
+
+    def test_array_of_linear_elements_rejected(self):
+        body = [
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            NumConst(NumType.UI32, 4),
+            ArrayMalloc(LIN),
+            Drop(),
+        ]
+        with pytest.raises(LinearityError):
+            check(body)
+
+    def test_array_set_wrong_element_type(self):
+        body = [
+            NumConst(NumType.I32, 0),
+            NumConst(NumType.UI32, 4),
+            ArrayMalloc(LIN),
+            MemUnpack(arrow([], []), (), (
+                NumConst(NumType.I32, 2), NumConst(NumType.I64, 1), ArraySet(),
+                ArrayFree(),
+            )),
+        ]
+        with pytest.raises(StackTypeError):
+            check(body)
+
+
+class TestCapabilitiesAndFunctions:
+    def test_ref_split_join_roundtrip(self):
+        body = [
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(32),), LIN),
+            MemUnpack(arrow([], []), (), (
+                RefSplit(),
+                RefJoin(),
+                StructFree(),
+            )),
+        ]
+        check(body)
+
+    def test_cap_split_join_roundtrip(self):
+        body = [
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(32),), LIN),
+            MemUnpack(arrow([], []), (), (
+                RefSplit(),
+                SetLocal(0),          # stash the pointer (unrestricted)
+                CapSplit(),
+                CapJoin(),
+                GetLocal(0),
+                RefJoin(),
+                StructFree(),
+            )),
+        ]
+        check(body, locals_sizes=[SizeConst(32)])
+
+    def test_direct_call(self):
+        callee = Function(
+            funtype=funtype([i32()], [i32()]),
+            locals_sizes=(),
+            body=(GetLocal(0), Return()),
+            exports=(),
+            name="id",
+        )
+        caller = Function(
+            funtype=funtype([], [i32()]),
+            locals_sizes=(),
+            body=(NumConst(NumType.I32, 5), Call(0, ()), Return()),
+            exports=("main",),
+        )
+        check_module(make_module(functions=[callee, caller]))
+
+    def test_call_argument_mismatch(self):
+        callee = Function(
+            funtype=funtype([i64()], [i64()]),
+            locals_sizes=(),
+            body=(GetLocal(0), Return()),
+        )
+        caller = Function(
+            funtype=funtype([], [i64()]),
+            locals_sizes=(),
+            body=(NumConst(NumType.I32, 5), Call(0, ()), Return()),
+        )
+        with pytest.raises(StackTypeError):
+            check_module(make_module(functions=[callee, caller]))
+
+    def test_table_entry_out_of_range(self):
+        function = Function(funtype=funtype([], []), locals_sizes=(), body=(Return(),))
+        with pytest.raises(ModuleTypeError):
+            check_module(make_module(functions=[function], table=Table(entries=(5,))))

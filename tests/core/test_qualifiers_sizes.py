@@ -1,0 +1,124 @@
+"""Unit tests for qualifiers, sizes and locations (core syntax)."""
+
+import pytest
+
+from repro.core.syntax import (
+    LIN,
+    UNR,
+    ConcreteLoc,
+    MemKind,
+    SizeConst,
+    SizePlus,
+    SizeVar,
+    eval_size,
+    lin_loc,
+    normalize_size,
+    qual_const_join,
+    qual_const_leq,
+    qual_const_meet,
+    size_plus,
+    size_structurally_equal,
+    size_sum,
+    unr_loc,
+)
+from repro.core.syntax.qualifiers import QualVar, shift_qual, substitute_qual
+from repro.core.syntax.sizes import shift_size, size_free_vars, substitute_size
+from repro.core.syntax.locations import LocVar, shift_loc, substitute_loc
+
+
+class TestQualifiers:
+    def test_ordering_unr_below_lin(self):
+        assert qual_const_leq(UNR, LIN)
+        assert qual_const_leq(UNR, UNR)
+        assert qual_const_leq(LIN, LIN)
+        assert not qual_const_leq(LIN, UNR)
+
+    def test_join_and_meet(self):
+        assert qual_const_join(UNR, UNR) is UNR
+        assert qual_const_join(UNR, LIN) is LIN
+        assert qual_const_join(LIN, LIN) is LIN
+        assert qual_const_meet(LIN, LIN) is LIN
+        assert qual_const_meet(UNR, LIN) is UNR
+
+    def test_properties(self):
+        assert LIN.is_linear and not LIN.is_unrestricted
+        assert UNR.is_unrestricted and not UNR.is_linear
+
+    def test_qual_var_index_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            QualVar(-1)
+
+    def test_shift_respects_cutoff(self):
+        assert shift_qual(QualVar(0), 2, cutoff=1) == QualVar(0)
+        assert shift_qual(QualVar(3), 2, cutoff=1) == QualVar(5)
+        assert shift_qual(UNR, 2) is UNR
+
+    def test_substitute(self):
+        assert substitute_qual(QualVar(1), {1: LIN}) is LIN
+        assert substitute_qual(QualVar(0), {1: LIN}) == QualVar(0)
+        assert substitute_qual(UNR, {0: LIN}) is UNR
+
+
+class TestSizes:
+    def test_eval_constant_sum(self):
+        assert eval_size(size_plus(SizeConst(32), SizeConst(64))) == 96
+
+    def test_plus_folds_constants(self):
+        assert size_plus(SizeConst(8), SizeConst(8)) == SizeConst(16)
+        assert size_plus(SizeConst(0), SizeVar(0)) == SizeVar(0)
+
+    def test_sum_of_list(self):
+        assert eval_size(size_sum([SizeConst(1), SizeConst(2), SizeConst(3)])) == 6
+
+    def test_eval_with_environment(self):
+        size = size_plus(SizeVar(0), SizeConst(32))
+        assert eval_size(size, {0: 64}) == 96
+
+    def test_eval_open_size_raises(self):
+        with pytest.raises(ValueError):
+            eval_size(SizeVar(0))
+
+    def test_free_vars(self):
+        size = SizePlus(SizeVar(1), SizePlus(SizeConst(4), SizeVar(3)))
+        assert size_free_vars(size) == {1, 3}
+
+    def test_structural_equality_commutes(self):
+        lhs = SizePlus(SizeVar(0), SizeConst(32))
+        rhs = SizePlus(SizeConst(32), SizeVar(0))
+        assert size_structurally_equal(lhs, rhs)
+        assert not size_structurally_equal(lhs, SizeVar(0))
+
+    def test_normalize_folds_constants(self):
+        size = SizePlus(SizeConst(8), SizePlus(SizeConst(8), SizeConst(16)))
+        assert normalize_size(size) == SizeConst(32)
+
+    def test_shift_and_substitute(self):
+        size = SizePlus(SizeVar(0), SizeVar(2))
+        assert size_free_vars(shift_size(size, 1, cutoff=1)) == {0, 3}
+        substituted = substitute_size(size, {0: SizeConst(8)})
+        assert eval_size(substituted, {2: 8}) == 16
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SizeConst(-1)
+
+
+class TestLocations:
+    def test_concrete_locations(self):
+        assert lin_loc(3).mem is MemKind.LIN
+        assert unr_loc(3).mem is MemKind.UNR
+        assert lin_loc(3) != unr_loc(3)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            ConcreteLoc(-1, MemKind.LIN)
+
+    def test_shift_and_substitute(self):
+        assert shift_loc(LocVar(2), 3) == LocVar(5)
+        assert shift_loc(LocVar(0), 3, cutoff=1) == LocVar(0)
+        assert substitute_loc(LocVar(0), {0: lin_loc(7)}) == lin_loc(7)
+        assert substitute_loc(lin_loc(1), {0: lin_loc(7)}) == lin_loc(1)
+
+    def test_mem_kind_predicates(self):
+        assert MemKind.LIN.is_linear and not MemKind.LIN.is_unrestricted
+        assert MemKind.UNR.is_unrestricted

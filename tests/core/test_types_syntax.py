@@ -1,0 +1,186 @@
+"""Unit tests for RichWasm types: construction, traversal, substitution."""
+
+import pytest
+
+from repro.core.syntax import (
+    LIN,
+    UNR,
+    ArrowType,
+    CapT,
+    ExLocT,
+    FunType,
+    LocIndex,
+    LocQuant,
+    NumType,
+    OwnT,
+    PretypeIndex,
+    Privilege,
+    ProdT,
+    QualIndex,
+    QualQuant,
+    RefT,
+    SizeConst,
+    SizeIndex,
+    SizeQuant,
+    StructHT,
+    Subst,
+    Type,
+    TypeQuant,
+    UnitT,
+    VarT,
+    VariantHT,
+    arrow,
+    cap,
+    funtype,
+    heaptype_contains_cap,
+    i32,
+    i64,
+    instantiate_funtype,
+    lin_loc,
+    own,
+    prod,
+    ptr,
+    ref,
+    struct_ht,
+    subst_type,
+    type_contains_cap,
+    unfold_rec,
+    unit,
+    unr_loc,
+    var,
+    variant_ht,
+)
+from repro.core.syntax.locations import LocVar
+from repro.core.syntax.types import RecT, Shift, shift_type, unpack_exloc
+
+
+def linear_ref(address=0):
+    return ref(Privilege.RW, lin_loc(address), struct_ht([(i32(), SizeConst(32))]), LIN)
+
+
+class TestTypeConstruction:
+    def test_numeric_types(self):
+        assert i32().pretype.numtype is NumType.I32
+        assert i64().qual is UNR
+        assert i32(LIN).qual is LIN
+
+    def test_numtype_widths(self):
+        assert NumType.I32.bit_width == 32
+        assert NumType.F64.bit_width == 64
+        assert NumType.UI64.is_integer and not NumType.UI64.is_signed
+        assert NumType.F32.is_float
+
+    def test_prod(self):
+        pair = prod([i32(), i64()], LIN)
+        assert isinstance(pair.pretype, ProdT)
+        assert len(pair.pretype.components) == 2
+
+    def test_struct_heaptype_accessors(self):
+        ht = struct_ht([(i32(), SizeConst(32)), (i64(), SizeConst(64))])
+        assert ht.field_types == (i32(), i64())
+        assert ht.field_sizes == (SizeConst(32), SizeConst(64))
+
+    def test_variant_heaptype(self):
+        ht = variant_ht([unit(), i32()])
+        assert len(ht.cases) == 2
+
+    def test_with_qual(self):
+        assert i32().with_qual(LIN).qual is LIN
+
+    def test_var_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            VarT(-1)
+
+
+class TestCapabilityDetection:
+    def test_bare_cap_detected(self):
+        assert type_contains_cap(cap(Privilege.RW, lin_loc(0), struct_ht([(i32(), SizeConst(32))])))
+        assert type_contains_cap(own(lin_loc(0)))
+
+    def test_refs_do_not_count_as_caps(self):
+        assert not type_contains_cap(linear_ref())
+        assert not type_contains_cap(ptr(lin_loc(0)))
+
+    def test_nested_cap_inside_tuple(self):
+        nested = prod([i32(), own(lin_loc(1), LIN)], LIN)
+        assert type_contains_cap(nested)
+
+    def test_heaptype_contains_cap(self):
+        ht = struct_ht([(own(lin_loc(0), LIN), SizeConst(0))])
+        assert heaptype_contains_cap(ht)
+        assert not heaptype_contains_cap(struct_ht([(i32(), SizeConst(32))]))
+
+
+class TestSubstitutionAndShifting:
+    def test_unfold_rec_substitutes_recursive_occurrence(self):
+        # rec α. (prod i32 α)  — unfolding exposes the recursive type inside.
+        body = prod([i32(), var(0, UNR)], UNR)
+        rec_pre = RecT(UNR, body)
+        unfolded = unfold_rec(rec_pre, UNR)
+        assert isinstance(unfolded.pretype, ProdT)
+        assert isinstance(unfolded.pretype.components[1].pretype, RecT)
+
+    def test_unpack_exloc(self):
+        packaged = ExLocT(Type(RefT(Privilege.RW, LocVar(0), struct_ht([(i32(), SizeConst(32))])), LIN))
+        opened = unpack_exloc(packaged, lin_loc(9))
+        assert opened.pretype.loc == lin_loc(9)
+
+    def test_subst_type_variable(self):
+        ty = var(0, UNR)
+        result = subst_type(ty, Subst(types={0: UnitT()}))
+        assert isinstance(result.pretype, UnitT)
+
+    def test_subst_does_not_capture_under_exloc(self):
+        # ∃ρ. ptr ρ — substituting location 0 from outside must not touch the
+        # bound variable (index 0 refers to the binder inside the body).
+        ty = Type(ExLocT(ptr(LocVar(0))), UNR)
+        result = subst_type(ty, Subst(locs={0: lin_loc(4)}))
+        assert result.pretype.body.pretype.loc == LocVar(0)
+
+    def test_shift_type_under_binder(self):
+        ty = Type(ExLocT(prod([ptr(LocVar(0)), ptr(LocVar(1))], UNR)), UNR)
+        shifted = shift_type(ty, Shift(locs=2))
+        inner = shifted.pretype.body.pretype.components
+        assert inner[0].pretype.loc == LocVar(0)  # bound: untouched
+        assert inner[1].pretype.loc == LocVar(3)  # free: shifted past the binder
+
+
+class TestFunctionTypes:
+    def test_instantiate_monomorphic(self):
+        ft = funtype([i32()], [i64()])
+        result = instantiate_funtype(ft, [])
+        assert result.params == (i32(),)
+        assert result.results == (i64(),)
+
+    def test_instantiate_size_and_qual(self):
+        ft = FunType(
+            (SizeQuant(), QualQuant()),
+            arrow([var(0, UNR)], [i32()]),
+        )
+        # index order matches quantifier order: size first, then qualifier.
+        inst = instantiate_funtype(ft, [SizeIndex(SizeConst(64)), QualIndex(LIN)])
+        assert inst.params == (var(0, UNR),)  # no pretype quantifier to substitute
+
+    def test_instantiate_pretype(self):
+        ft = FunType(
+            (TypeQuant(UNR, SizeConst(64)),),
+            arrow([var(0, UNR)], [var(0, UNR)]),
+        )
+        inst = instantiate_funtype(ft, [PretypeIndex(UnitT())])
+        assert isinstance(inst.params[0].pretype, UnitT)
+        assert isinstance(inst.results[0].pretype, UnitT)
+
+    def test_instantiate_location(self):
+        ft = FunType((LocQuant(),), arrow([ptr(LocVar(0))], []))
+        inst = instantiate_funtype(ft, [LocIndex(unr_loc(5))])
+        assert inst.params[0].pretype.loc == unr_loc(5)
+
+    def test_wrong_arity_rejected(self):
+        ft = FunType((LocQuant(),), arrow([], []))
+        with pytest.raises(ValueError):
+            instantiate_funtype(ft, [])
+
+    def test_wrong_index_kind_rejected(self):
+        ft = FunType((LocQuant(),), arrow([], []))
+        with pytest.raises(TypeError):
+            instantiate_funtype(ft, [SizeIndex(SizeConst(1))])

@@ -1,0 +1,190 @@
+"""Tests for the L3 frontend: linear type checker, compiler, behaviour."""
+
+import pytest
+
+from repro.core.semantics import Interpreter
+from repro.core.syntax import NumType, NumV, UnitV
+from repro.core.typing import check_module as rw_check_module
+from repro.l3 import (
+    L3Function,
+    L3TypeError,
+    LBang,
+    LBangI,
+    LBinOp,
+    LFree,
+    LInt,
+    LIntLit,
+    LJoin,
+    LLet,
+    LLetBang,
+    LLetPair,
+    LMLRef,
+    LNew,
+    LOwned,
+    LPair,
+    LSplit,
+    LSwap,
+    LTensor,
+    LUnit,
+    LUnitV,
+    LVar,
+    check_l3_module,
+    compile_l3_module,
+    l3_module,
+)
+from repro.lower import lower_module
+from repro.wasm import WasmInterpreter, validate_module
+
+
+def run_l3(module, calls):
+    richwasm = compile_l3_module(module)
+    rw_check_module(richwasm)
+    interp = Interpreter()
+    idx = interp.instantiate(richwasm)
+    results = []
+    for export, args in calls:
+        results.append([v.value for v in interp.invoke_export(idx, export, args).values])
+    return results, interp, richwasm
+
+
+class TestLinearTypechecker:
+    def test_linear_variable_used_once(self):
+        check_l3_module(l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(), LFree(LNew(LVar("x")))),
+        ]))
+
+    def test_duplicating_linear_variable_rejected(self):
+        with pytest.raises(L3TypeError):
+            check_l3_module(l3_module("m", functions=[
+                L3Function("f", "x", LInt(), LInt(),
+                           LLet("o", LNew(LVar("x")),
+                                LBinOp("+", LFree(LVar("o")), LFree(LVar("o"))))),
+            ]))
+
+    def test_dropping_linear_variable_rejected(self):
+        with pytest.raises(L3TypeError):
+            check_l3_module(l3_module("m", functions=[
+                L3Function("f", "x", LInt(), LInt(),
+                           LLet("o", LNew(LIntLit(1)), LVar("x"))),
+            ]))
+
+    def test_unrestricted_variables_may_be_duplicated(self):
+        check_l3_module(l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(), LBinOp("+", LVar("x"), LVar("x"))),
+        ]))
+
+    def test_bang_of_linear_value_rejected(self):
+        with pytest.raises(L3TypeError):
+            check_l3_module(l3_module("m", functions=[
+                L3Function("f", "x", LInt(), LOwned(LInt()), LBangI(LNew(LVar("x")))),
+            ]))
+
+    def test_free_of_non_owned_rejected(self):
+        with pytest.raises(L3TypeError):
+            check_l3_module(l3_module("m", functions=[
+                L3Function("f", "x", LInt(), LInt(), LFree(LVar("x"))),
+            ]))
+
+    def test_swap_produces_strong_update_type(self):
+        signatures = check_l3_module(l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LTensor(LInt(), LOwned(LBang(LInt()))),
+                       LSwap(LNew(LVar("x")), LBangI(LIntLit(1)))),
+        ]))
+        assert "f" in signatures
+
+    def test_call_argument_mismatch(self):
+        from repro.l3 import LCall
+
+        with pytest.raises(L3TypeError):
+            check_l3_module(l3_module("m", functions=[
+                L3Function("g", "x", LInt(), LInt(), LVar("x")),
+                L3Function("f", "u", LUnit(), LInt(), LCall("g", LUnitV())),
+            ]))
+
+
+class TestCompilationAndExecution:
+    def test_new_free_roundtrip(self):
+        results, interp, _ = run_l3(
+            l3_module("m", functions=[
+                L3Function("f", "x", LInt(), LInt(), LFree(LNew(LVar("x")))),
+            ]),
+            [("f", [NumV(NumType.I32, 42)])],
+        )
+        assert results == [[42]]
+        assert interp.store.stats()["linear_live"] == 0
+
+    def test_strong_update_via_swap(self):
+        module = l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(),
+                       LLet("o", LNew(LVar("x")),
+                            LLetPair("old", "o2", LSwap(LVar("o"), LIntLit(100)),
+                                     LBinOp("+", LVar("old"), LFree(LVar("o2")))))),
+        ])
+        results, _, _ = run_l3(module, [("f", [NumV(NumType.I32, 7)])])
+        assert results == [[107]]
+
+    def test_strong_update_changes_type_same_size(self):
+        # Store an int, swap in a !int: same slot size, different type.
+        module = l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(),
+                       LLet("o", LNew(LVar("x")),
+                            LLetPair("old", "o2", LSwap(LVar("o"), LBangI(LIntLit(99))),
+                                     LLet("ignored", LFree(LVar("o2")), LVar("old"))))),
+        ])
+        results, _, _ = run_l3(module, [("f", [NumV(NumType.I32, 13)])])
+        assert results == [[13]]
+
+    def test_strong_update_with_different_size_rejected(self):
+        # Swapping a unit (0 bits) into an int-sized cell changes the slot
+        # size; L3 capabilities track sizes (§5), so this is a type error.
+        module = l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(),
+                       LLet("o", LNew(LVar("x")),
+                            LLetPair("old", "o2", LSwap(LVar("o"), LUnitV()),
+                                     LLet("ignored", LFree(LVar("o2")), LVar("old"))))),
+        ])
+        with pytest.raises(L3TypeError):
+            check_l3_module(module)
+
+    def test_join_split_roundtrip(self):
+        module = l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(), LFree(LSplit(LJoin(LNew(LVar("x")))))),
+        ])
+        results, _, _ = run_l3(module, [("f", [NumV(NumType.I32, 9)])])
+        assert results == [[9]]
+
+    def test_nested_cells(self):
+        # A cell holding another (owned) cell: free both, return the content.
+        module = l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(),
+                       LFree(LFree(LNew(LNew(LVar("x")))))),
+        ])
+        results, interp, _ = run_l3(module, [("f", [NumV(NumType.I32, 5)])])
+        assert results == [[5]]
+        assert interp.store.stats()["linear_live"] == 0
+
+    def test_compiled_modules_lower_to_wasm(self):
+        module = l3_module("m", functions=[
+            L3Function("roundtrip", "x", LInt(), LInt(), LFree(LNew(LVar("x")))),
+            L3Function("arith", "x", LInt(), LInt(),
+                       LLetBang("y", LBangI(LVar("x")), LBinOp("*", LVar("y"), LVar("y")))),
+        ])
+        richwasm = compile_l3_module(module)
+        rw_check_module(richwasm)
+        lowered = lower_module(richwasm)
+        validate_module(lowered.wasm)
+        interp = WasmInterpreter()
+        inst = interp.instantiate(lowered.wasm)
+        assert interp.invoke(inst, "roundtrip", [11]) == [11]
+        assert interp.invoke(inst, "arith", [6]) == [36]
+
+    def test_capabilities_are_erased(self):
+        # The Owned representation carries capabilities/pointers at the type
+        # level; the lowered code must not grow because of them.
+        module = l3_module("m", functions=[
+            L3Function("f", "x", LInt(), LInt(), LFree(LNew(LVar("x")))),
+        ])
+        richwasm = compile_l3_module(module)
+        rw_check_module(richwasm)
+        lowered = lower_module(richwasm)
+        assert lowered.stats.erased_instructions >= 3

@@ -1,0 +1,304 @@
+"""Tests for the RichWasm → Wasm lowering: layouts, erasure, equivalence."""
+
+import pytest
+
+from repro.core.semantics import Interpreter
+from repro.core.syntax import (
+    Block,
+    Br,
+    BrIf,
+    Call,
+    Drop,
+    Function,
+    GetGlobal,
+    GetLocal,
+    Global,
+    If,
+    IntBinop,
+    LIN,
+    Loop,
+    MemUnpack,
+    NumBinop,
+    NumConst,
+    NumTestop,
+    NumType,
+    NumV,
+    Privilege,
+    Qualify,
+    RefJoin,
+    RefSplit,
+    Return,
+    SeqGroup,
+    SeqUngroup,
+    SetGlobal,
+    SetLocal,
+    SizeConst,
+    StructFree,
+    StructGet,
+    StructMalloc,
+    StructSet,
+    StructSwap,
+    UNR,
+    UnitT,
+    VariantCase,
+    VariantMalloc,
+    arrow,
+    f64,
+    funtype,
+    i32,
+    i64,
+    make_module,
+    prod,
+    struct_ht,
+    unit,
+    variant_ht,
+)
+from repro.core.typing import check_module
+from repro.lower import (
+    layout_bytes,
+    lower_module,
+    lower_type,
+    size_to_bytes,
+    struct_layout,
+    type_bytes,
+    variant_layout,
+)
+from repro.wasm import ValType, WasmInterpreter, validate_module
+
+
+def lower_and_run(module, export, args=(), init=False):
+    check_module(module)
+    lowered = lower_module(module)
+    validate_module(lowered.wasm)
+    interp = WasmInterpreter()
+    inst = interp.instantiate(lowered.wasm)
+    if init and "_init" in inst.exports:
+        interp.invoke(inst, "_init")
+    return interp.invoke(inst, export, list(args)), lowered
+
+
+def run_both(module, export, args_rw, args_wasm):
+    """Run the same export on the RichWasm interpreter and on lowered Wasm."""
+
+    check_module(module)
+    rw = Interpreter()
+    idx = rw.instantiate(module)
+    rw_result = [v.value for v in rw.invoke_export(idx, export, list(args_rw)).values]
+    wasm_result, _ = lower_and_run(module, export, args_wasm)
+    return rw_result, wasm_result
+
+
+class TestTypeLayouts:
+    def test_erased_types(self):
+        assert lower_type(unit()) == []
+        from repro.core.syntax import cap, lin_loc, own
+
+        assert lower_type(own(lin_loc(0))) == []
+        assert lower_type(cap(Privilege.RW, lin_loc(0), struct_ht([(i32(), SizeConst(32))]))) == []
+
+    def test_numeric_layouts(self):
+        assert lower_type(i32()) == [ValType.I32]
+        assert lower_type(i64()) == [ValType.I64]
+        assert lower_type(f64()) == [ValType.F64]
+
+    def test_tuple_flattened(self):
+        assert lower_type(prod([i32(), i64(), unit()], UNR)) == [ValType.I32, ValType.I64]
+
+    def test_refs_are_pointers(self):
+        from repro.core.syntax import lin_loc, ref
+
+        ty = ref(Privilege.RW, lin_loc(0), struct_ht([(i64(), SizeConst(64))]), LIN)
+        assert lower_type(ty) == [ValType.I32]
+        assert type_bytes(ty) == 4
+
+    def test_struct_layout_uses_declared_slot_sizes(self):
+        ht = struct_ht([(i32(), SizeConst(64)), (i64(), SizeConst(64))])
+        layout = struct_layout(ht)
+        assert layout.fields[0].offset == 0
+        assert layout.fields[1].offset == 8     # first slot is 64 bits = 8 bytes
+        assert layout.total_bytes == 16
+
+    def test_variant_layout_payload_is_max(self):
+        layout = variant_layout(variant_ht([unit(), i64(), i32()]))
+        assert layout.payload_bytes == 8
+        assert layout.total_bytes == 12
+
+    def test_size_to_bytes_rounds_up(self):
+        assert size_to_bytes(SizeConst(33)) == 5
+        assert size_to_bytes(SizeConst(0)) == 0
+
+
+class TestErasureAndStats:
+    def test_type_level_instructions_erased(self):
+        body = (
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(32),), LIN),
+            MemUnpack(arrow([], [i32()]), (), (
+                RefSplit(), RefJoin(),
+                StructGet(0), SetLocal(0),
+                StructFree(),
+                GetLocal(0),
+            )),
+            Return(),
+        )
+        module = make_module(functions=[Function(funtype([], [i32()]), (SizeConst(32),), body, ("main",))])
+        (result, lowered) = lower_and_run(module, "main")
+        assert result == [7]
+        assert lowered.stats.erased_instructions >= 2
+        assert lowered.stats.wasm_instructions > 0
+
+    def test_allocator_functions_are_appended(self):
+        module = make_module(functions=[Function(funtype([], []), (), (Return(),), ("main",))])
+        check_module(module)
+        lowered = lower_module(module)
+        # one user function + malloc + free
+        assert len(lowered.wasm.functions) == 3
+
+
+class TestBehaviouralEquivalence:
+    """The lowered Wasm must compute the same results as the RichWasm interpreter."""
+
+    def test_factorial(self):
+        body = (
+            NumConst(NumType.I32, 1), SetLocal(1),
+            Block(arrow([], []), (), (
+                Loop(arrow([], []), (
+                    GetLocal(0), NumTestop(NumType.I32), BrIf(1),
+                    GetLocal(0), GetLocal(1), NumBinop(NumType.I32, IntBinop.MUL), SetLocal(1),
+                    GetLocal(0), NumConst(NumType.I32, 1), NumBinop(NumType.I32, IntBinop.SUB), SetLocal(0),
+                    Br(0),
+                )),
+            )),
+            GetLocal(1), Return(),
+        )
+        module = make_module(functions=[
+            Function(funtype([i32()], [i32()]), (SizeConst(32),), body, ("fact",))
+        ])
+        rw, wasm = run_both(module, "fact", [NumV(NumType.I32, 7)], [7])
+        assert rw == wasm == [5040]
+
+    def test_struct_strong_update(self):
+        body = (
+            NumConst(NumType.I32, 7),
+            StructMalloc((SizeConst(64),), LIN),
+            MemUnpack(arrow([], [i64()]), (), (
+                NumConst(NumType.I64, 1 << 40),
+                StructSet(0),
+                StructGet(0), SetLocal(0),
+                StructFree(),
+                GetLocal(0),
+            )),
+            Return(),
+        )
+        module = make_module(functions=[
+            Function(funtype([], [i64()]), (SizeConst(64),), body, ("main",))
+        ])
+        rw, wasm = run_both(module, "main", [], [])
+        assert rw == wasm == [1 << 40]
+
+    def test_variant_dispatch(self):
+        cases = (unit(), i32())
+        def build(tag, payload):
+            body = (
+                payload,
+                VariantMalloc(tag, cases, LIN),
+                MemUnpack(arrow([], [i32()]), (), (
+                    VariantCase(LIN, variant_ht(cases), arrow([], [i32()]), (), (
+                        (Drop(), NumConst(NumType.I32, -5)),
+                        (NumConst(NumType.I32, 1), NumBinop(NumType.I32, IntBinop.ADD)),
+                    )),
+                )),
+                Return(),
+            )
+            return make_module(functions=[Function(funtype([], [i32()]), (), body, ("main",))])
+
+        from repro.core.syntax import UnitV
+
+        rw, wasm = run_both(build(1, NumConst(NumType.I32, 10)), "main", [], [])
+        assert rw == wasm == [11]
+        rw, wasm = run_both(build(0, UnitV()), "main", [], [])
+        assert rw == wasm == [0xFFFFFFFB]  # -5 as an unsigned bit pattern
+
+    def test_tuple_group_ungroup(self):
+        body = (
+            NumConst(NumType.I32, 3), NumConst(NumType.I64, 4),
+            SeqGroup(2, UNR),
+            SeqUngroup(),
+            Drop(),
+            Return(),
+        )
+        module = make_module(functions=[Function(funtype([], [i32()]), (), body, ("main",))])
+        rw, wasm = run_both(module, "main", [], [])
+        assert rw == wasm == [3]
+
+    def test_locals_holding_multi_component_values(self):
+        # A local holds a (i32, i64) tuple across a strong update.
+        body = (
+            NumConst(NumType.I32, 5), NumConst(NumType.I64, 6),
+            SeqGroup(2, UNR),
+            SetLocal(0),
+            GetLocal(0),
+            SeqUngroup(),
+            Drop(),
+            Return(),
+        )
+        module = make_module(functions=[
+            Function(funtype([], [i32()]), (SizeConst(96),), body, ("main",))
+        ])
+        rw, wasm = run_both(module, "main", [], [])
+        assert rw == wasm == [5]
+
+    def test_direct_calls(self):
+        add1 = Function(
+            funtype([i32()], [i32()]), (),
+            (GetLocal(0), NumConst(NumType.I32, 1), NumBinop(NumType.I32, IntBinop.ADD), Return()),
+            (), "add1",
+        )
+        main = Function(
+            funtype([i32()], [i32()]), (),
+            (GetLocal(0), Call(0, ()), Call(0, ()), Call(0, ()), Return()),
+            ("main",), "main",
+        )
+        module = make_module(functions=[add1, main])
+        rw, wasm = run_both(module, "main", [NumV(NumType.I32, 10)], [10])
+        assert rw == wasm == [13]
+
+    def test_globals(self):
+        glob = Global(i32().pretype, True, (NumConst(NumType.I32, 100),), (), "g")
+        main = Function(
+            funtype([], [i32()]), (),
+            (GetGlobal(0), NumConst(NumType.I32, 1), NumBinop(NumType.I32, IntBinop.ADD),
+             SetGlobal(0), GetGlobal(0), Return()),
+            ("main",),
+        )
+        module = make_module(functions=[main], globals=[glob])
+        rw, wasm = run_both(module, "main", [], [])
+        assert rw == wasm == [101]
+
+    def test_allocator_reuses_freed_blocks(self):
+        # Allocate and free in a loop; the free list must bound memory growth.
+        body = (
+            Block(arrow([], []), (), (
+                Loop(arrow([], []), (
+                    GetLocal(0), NumTestop(NumType.I32), BrIf(1),
+                    NumConst(NumType.I32, 1),
+                    StructMalloc((SizeConst(32),), LIN),
+                    MemUnpack(arrow([], []), (), (StructFree(),)),
+                    GetLocal(0), NumConst(NumType.I32, 1), NumBinop(NumType.I32, IntBinop.SUB), SetLocal(0),
+                    Br(0),
+                )),
+            )),
+            NumConst(NumType.I32, 0),
+            Return(),
+        )
+        module = make_module(functions=[
+            Function(funtype([i32()], [i32()]), (), body, ("churn",))
+        ])
+        check_module(module)
+        lowered = lower_module(module, memory_pages=1)
+        validate_module(lowered.wasm)
+        interp = WasmInterpreter()
+        inst = interp.instantiate(lowered.wasm)
+        # 1000 allocate/free pairs of a 4-byte cell must fit in one 64 KiB page
+        # only if freed blocks are actually reused.
+        assert interp.invoke(inst, "churn", [1000]) == [0]

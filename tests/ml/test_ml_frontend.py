@@ -1,0 +1,280 @@
+"""Tests for the ML frontend: type checker, compiler, end-to-end behaviour."""
+
+import pytest
+
+from repro.core.semantics import Interpreter, Trap
+from repro.core.syntax import NumType, NumV, UnitV
+from repro.core.typing import check_module as rw_check_module
+from repro.core.typing.errors import RichWasmTypeError
+from repro.lower import lower_module
+from repro.ml import (
+    App,
+    Assign,
+    BinOp,
+    BoolLit,
+    Case,
+    Deref,
+    Fst,
+    If,
+    Inl,
+    Inr,
+    IntLit,
+    Lam,
+    Let,
+    LinType,
+    MkRef,
+    MkRefToLin,
+    MLFunction,
+    MLGlobal,
+    MLImport,
+    MLTypeError,
+    Pair,
+    RefToLin,
+    Seq,
+    Snd,
+    TBool,
+    TFun,
+    TInt,
+    TPair,
+    TRef,
+    TSum,
+    TUnit,
+    Unit,
+    Var,
+    check_module,
+    compile_ml_module,
+    compile_type,
+    ml_module,
+)
+from repro.wasm import WasmInterpreter, validate_module
+
+
+def compile_and_run(module, calls):
+    """Compile an ML module, run each (export, args) call on both backends."""
+
+    richwasm = compile_ml_module(module)
+    rw_check_module(richwasm)
+    interp = Interpreter()
+    idx = interp.instantiate(richwasm)
+    rw_results = []
+    for export, args in calls:
+        rw_results.append([v.value if isinstance(v, NumV) else None
+                           for v in interp.invoke_export(idx, export, args).values])
+
+    lowered = lower_module(richwasm)
+    validate_module(lowered.wasm)
+    wasm = WasmInterpreter()
+    inst = wasm.instantiate(lowered.wasm)
+    if "_init" in inst.exports:
+        wasm.invoke(inst, "_init")
+    wasm_results = []
+    for export, args in calls:
+        raw = [a.value if isinstance(a, NumV) else 0 for a in args]
+        wasm_results.append(wasm.invoke(inst, export, raw))
+    return rw_results, wasm_results
+
+
+class TestMLTypechecker:
+    def test_simple_expressions(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(), BinOp("+", Var("x"), IntLit(1))),
+        ])
+        check_module(module)
+
+    def test_unbound_variable(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(), Var("nope")),
+        ])
+        with pytest.raises(MLTypeError):
+            check_module(module)
+
+    def test_application_type_mismatch(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(),
+                       App(Lam("y", TBool(), IntLit(1)), Var("x"))),
+        ])
+        with pytest.raises(MLTypeError):
+            check_module(module)
+
+    def test_if_branches_must_agree(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(),
+                       If(BoolLit(True), IntLit(1), Unit())),
+        ])
+        with pytest.raises(MLTypeError):
+            check_module(module)
+
+    def test_assignment_type_mismatch(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "r", TRef(TInt()), TUnit(), Assign(Var("r"), Unit())),
+        ])
+        with pytest.raises(MLTypeError):
+            check_module(module)
+
+    def test_result_type_mismatch(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TBool(), Var("x")),
+        ])
+        with pytest.raises(MLTypeError):
+            check_module(module)
+
+    def test_ref_to_lin_types(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "r", RefToLin(TRef(TInt())), LinType(TRef(TInt())), Deref(Var("r"))),
+        ])
+        check_module(module)
+
+    def test_case_on_non_sum_rejected(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(),
+                       Case(Var("x"), "a", IntLit(1), "b", IntLit(2))),
+        ])
+        with pytest.raises(MLTypeError):
+            check_module(module)
+
+
+class TestTypeTranslation:
+    def test_base_types(self):
+        from repro.core.syntax import UnitT, NumT
+
+        assert isinstance(compile_type(TUnit()).pretype, UnitT)
+        assert isinstance(compile_type(TInt()).pretype, NumT)
+
+    def test_ref_is_gc_struct(self):
+        from repro.core.syntax import ExLocT, UNR
+
+        compiled = compile_type(TRef(TInt()))
+        assert isinstance(compiled.pretype, ExLocT)
+        assert compiled.qual == UNR
+
+    def test_linear_ref_is_linear(self):
+        from repro.core.syntax import LIN
+
+        assert compile_type(LinType(TRef(TInt()))).qual == LIN
+
+    def test_function_type_is_closure_package(self):
+        from repro.core.syntax import ExLocT
+
+        compiled = compile_type(TFun(TInt(), TInt()))
+        assert isinstance(compiled.pretype, ExLocT)
+
+    def test_linking_types_agree_with_l3(self):
+        # The interop point: ML's (ref int)lin and L3's Ref !int compile to
+        # the same RichWasm type.
+        from repro.core.typing import types_equal
+        from repro.l3 import LBang, LInt, LMLRef, mlref_type
+
+        assert types_equal(compile_type(LinType(TRef(TInt()))), mlref_type(LBang(LInt())))
+
+
+class TestEndToEnd:
+    def test_arithmetic_and_pairs(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(),
+                       Let("p", Pair(Var("x"), IntLit(3)),
+                           BinOp("*", Fst(Var("p")), Snd(Var("p"))))),
+        ])
+        rw, wasm = compile_and_run(module, [("f", [NumV(NumType.I32, 7)])])
+        assert rw == wasm == [[21]]
+
+    def test_closures_capture_environment(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(),
+                       Let("k", BinOp("+", Var("x"), IntLit(1)),
+                           Let("g", Lam("y", TInt(), BinOp("*", Var("y"), Var("k"))),
+                               App(Var("g"), IntLit(10))))),
+        ])
+        rw, wasm = compile_and_run(module, [("f", [NumV(NumType.I32, 4)])])
+        assert rw == wasm == [[50]]
+
+    def test_higher_order_via_eta_expansion(self):
+        module = ml_module("m", functions=[
+            MLFunction("inc", "x", TInt(), TInt(), BinOp("+", Var("x"), IntLit(1))),
+            MLFunction("apply_twice", "x", TInt(), TInt(),
+                       Let("f", Var("inc"), App(Var("f"), App(Var("f"), Var("x"))))),
+        ])
+        rw, wasm = compile_and_run(module, [("apply_twice", [NumV(NumType.I32, 5)])])
+        assert rw == wasm == [[7]]
+
+    def test_sums_and_case(self):
+        sum_ty = TSum(TUnit(), TInt())
+        module = ml_module("m", functions=[
+            MLFunction("classify", "x", TInt(), TInt(),
+                       Case(If(BinOp("<", Var("x"), IntLit(0)), Inl(Unit(), sum_ty), Inr(Var("x"), sum_ty)),
+                            "n", IntLit(0),
+                            "p", BinOp("+", Var("p"), IntLit(1)))),
+        ])
+        rw, wasm = compile_and_run(module, [
+            ("classify", [NumV(NumType.I32, -3)]),
+            ("classify", [NumV(NumType.I32, 10)]),
+        ])
+        assert rw == wasm == [[0], [11]]
+
+    def test_module_state_through_references(self):
+        module = ml_module(
+            "m",
+            globals=[MLGlobal("acc", TRef(TInt()), MkRef(IntLit(0)))],
+            functions=[
+                MLFunction("add", "x", TInt(), TInt(),
+                           Seq(Assign(Var("acc"), BinOp("+", Deref(Var("acc")), Var("x"))),
+                               Deref(Var("acc")))),
+            ],
+        )
+        rw, wasm = compile_and_run(module, [
+            ("add", [NumV(NumType.I32, 5)]),
+            ("add", [NumV(NumType.I32, 7)]),
+        ])
+        assert rw == wasm == [[5], [12]]
+
+    def test_nested_data(self):
+        module = ml_module("m", functions=[
+            MLFunction("f", "x", TInt(), TInt(),
+                       Let("r", MkRef(Pair(Var("x"), IntLit(2))),
+                           BinOp("+", Fst(Deref(Var("r"))), Snd(Deref(Var("r")))))),
+        ])
+        rw, wasm = compile_and_run(module, [("f", [NumV(NumType.I32, 40)])])
+        assert rw == wasm == [[42]]
+
+
+class TestLinkingTypes:
+    def build_stash_module(self, return_ref: bool):
+        lin = LinType(TRef(TInt()))
+        body = Seq(Assign(Var("c"), Var("r")), Var("r")) if return_ref else Assign(Var("c"), Var("r"))
+        return ml_module(
+            "ml",
+            globals=[MLGlobal("c", RefToLin(TRef(TInt())), MkRefToLin(TRef(TInt())))],
+            functions=[
+                MLFunction("stash", "r", lin, lin if return_ref else TUnit(), body),
+                MLFunction("get_stashed", "u", TUnit(), lin, Deref(Var("c"))),
+            ],
+        )
+
+    def test_duplicating_stash_rejected_by_richwasm(self):
+        # The ML type checker does not track linearity of linking types...
+        module = self.build_stash_module(return_ref=True)
+        check_module(module)
+        # ...but the compiled RichWasm is rejected.
+        richwasm = compile_ml_module(module)
+        with pytest.raises(RichWasmTypeError):
+            rw_check_module(richwasm)
+
+    def test_consuming_stash_accepted(self):
+        richwasm = compile_ml_module(self.build_stash_module(return_ref=False))
+        rw_check_module(richwasm)
+
+    def test_discarding_a_linear_read_is_rejected(self):
+        # Binding the linear value read from a ref_to_lin cell and then
+        # silently discarding it would drop a linear resource: the compiled
+        # RichWasm cannot type check (the FFI tests cover the runtime trap for
+        # a genuine double read through take()).
+        module = ml_module(
+            "ml",
+            globals=[MLGlobal("c", RefToLin(TRef(TInt())), MkRefToLin(TRef(TInt())))],
+            functions=[
+                MLFunction("discard", "u", TUnit(), TUnit(),
+                           Let("a", Deref(Var("c")), Unit())),
+            ],
+        )
+        richwasm = compile_ml_module(module)
+        with pytest.raises(RichWasmTypeError):
+            rw_check_module(richwasm)

@@ -1,0 +1,292 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These stand in for the paper's mechanized metatheory: randomized evidence for
+size/qualifier algebra laws, numeric-semantics agreement between the RichWasm
+and Wasm interpreters, layout consistency, and the progress/preservation
+behaviour of randomly generated well-typed arithmetic programs.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.semantics import Interpreter, numerics
+from repro.core.syntax import (
+    Block,
+    Br,
+    Drop,
+    Function,
+    GetLocal,
+    IntBinop,
+    LIN,
+    NumBinop,
+    NumConst,
+    NumType,
+    NumV,
+    Return,
+    SetLocal,
+    SizeConst,
+    SizePlus,
+    SizeVar,
+    UNR,
+    funtype,
+    i32,
+    i64,
+    make_module,
+    normalize_size,
+    prod,
+    size_structurally_equal,
+    unit,
+)
+from repro.core.typing import QualContext, SizeContext, check_module, closed_size_of_type, types_equal
+from repro.core.syntax.qualifiers import QualConst
+from repro.lower import layout_bytes, lower_module, lower_type
+from repro.wasm import WasmInterpreter, validate_module
+from repro.analysis.safety import check_store_invariants
+
+
+# ---------------------------------------------------------------------------
+# Size algebra
+# ---------------------------------------------------------------------------
+
+size_consts = st.integers(min_value=0, max_value=1 << 16).map(SizeConst)
+
+
+@st.composite
+def size_exprs(draw, max_depth=3):
+    if max_depth == 0:
+        return draw(size_consts)
+    choice = draw(st.integers(0, 2))
+    if choice == 0:
+        return draw(size_consts)
+    if choice == 1:
+        return SizeVar(draw(st.integers(0, 2)))
+    return SizePlus(draw(size_exprs(max_depth=max_depth - 1)), draw(size_exprs(max_depth=max_depth - 1)))
+
+
+class TestSizeAlgebra:
+    @given(size_exprs(), size_exprs())
+    def test_plus_is_commutative_up_to_normalization(self, a, b):
+        assert size_structurally_equal(SizePlus(a, b), SizePlus(b, a))
+
+    @given(size_exprs())
+    def test_normalization_is_idempotent(self, a):
+        assert size_structurally_equal(normalize_size(a), a)
+
+    @given(size_consts, size_consts)
+    def test_leq_agrees_with_integers(self, a, b):
+        ctx = SizeContext()
+        assert ctx.leq(a, b) == (a.value <= b.value)
+
+    @given(size_consts, size_consts, size_consts)
+    def test_leq_transitive_on_constants(self, a, b, c):
+        ctx = SizeContext()
+        if ctx.leq(a, b) and ctx.leq(b, c):
+            assert ctx.leq(a, c)
+
+    @given(st.integers(0, 256), st.integers(0, 256))
+    def test_bounded_variable_respects_its_bound(self, bound, probe):
+        ctx = SizeContext().push(upper=[SizeConst(bound)])
+        if ctx.leq(SizeVar(0), SizeConst(probe)):
+            assert bound <= probe
+
+
+class TestQualifierAlgebra:
+    quals = st.sampled_from([QualConst.UNR, QualConst.LIN])
+
+    @given(quals, quals, quals)
+    def test_leq_transitive(self, a, b, c):
+        ctx = QualContext()
+        if ctx.leq(a, b) and ctx.leq(b, c):
+            assert ctx.leq(a, c)
+
+    @given(quals)
+    def test_leq_reflexive_and_bounded(self, a):
+        ctx = QualContext()
+        assert ctx.leq(a, a)
+        assert ctx.leq(QualConst.UNR, a)
+        assert ctx.leq(a, QualConst.LIN)
+
+    @given(st.lists(quals, max_size=5))
+    def test_join_is_upper_bound(self, qs):
+        ctx = QualContext()
+        joined = ctx.join(qs)
+        for q in qs:
+            assert ctx.leq(q, joined)
+
+
+# ---------------------------------------------------------------------------
+# Numeric semantics: RichWasm interpreter vs Wasm interpreter vs Python
+# ---------------------------------------------------------------------------
+
+
+class TestNumericSemantics:
+    i32_values = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+    @given(i32_values, i32_values)
+    @settings(max_examples=60)
+    def test_add_matches_modular_arithmetic(self, a, b):
+        assert numerics.int_add(a, b, 32) == (a + b) % 2**32
+
+    @given(i32_values, i32_values)
+    @settings(max_examples=60)
+    def test_signed_division_truncates_toward_zero(self, a, b):
+        sa, sb = numerics.to_signed(a, 32), numerics.to_signed(b, 32)
+        if sb == 0 or (sa == -(2**31) and sb == -1):
+            return
+        expected = numerics.wrap(int(sa / sb), 32)
+        assert numerics.int_div_s(a, b, 32) == expected
+
+    @given(i32_values)
+    @settings(max_examples=60)
+    def test_clz_ctz_popcnt_consistency(self, a):
+        assert numerics.int_popcnt(a, 32) == bin(a).count("1")
+        if a != 0:
+            assert numerics.int_clz(a, 32) == 32 - a.bit_length()
+        assert 0 <= numerics.int_ctz(a, 32) <= 32
+
+    @given(i32_values, i32_values, st.sampled_from([IntBinop.ADD, IntBinop.SUB, IntBinop.MUL,
+                                                    IntBinop.AND, IntBinop.OR, IntBinop.XOR]))
+    @settings(max_examples=40, deadline=None)
+    def test_interpreters_agree_on_binops(self, a, b, op):
+        """The RichWasm interpreter and the lowered Wasm compute the same value."""
+
+        body = (
+            GetLocal(0), GetLocal(1), NumBinop(NumType.I32, op), Return(),
+        )
+        module = make_module(functions=[
+            Function(funtype([i32(), i32()], [i32()]), (), body, ("f",))
+        ])
+        check_module(module)
+        interp = Interpreter()
+        idx = interp.instantiate(module)
+        rw = interp.invoke_export(idx, "f", [NumV(NumType.I32, a), NumV(NumType.I32, b)]).values[0].value
+
+        lowered = lower_module(module)
+        validate_module(lowered.wasm)
+        wi = WasmInterpreter()
+        inst = wi.instantiate(lowered.wasm)
+        wasm = wi.invoke(inst, "f", [a, b])[0]
+        assert rw == wasm
+
+
+# ---------------------------------------------------------------------------
+# Layout consistency
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def simple_types(draw, depth=2):
+    base = st.sampled_from([unit(), i32(), i64()])
+    if depth == 0:
+        return draw(base)
+    if draw(st.booleans()):
+        return draw(base)
+    components = draw(st.lists(simple_types(depth=depth - 1), min_size=1, max_size=3))
+    return prod(components, UNR)
+
+
+class TestLayoutConsistency:
+    @given(simple_types())
+    @settings(max_examples=60)
+    def test_layout_bytes_match_declared_size(self, ty):
+        """The Wasm byte layout never exceeds the RichWasm size bound."""
+
+        from repro.core.syntax import eval_size
+
+        declared_bits = eval_size(closed_size_of_type(ty))
+        assert layout_bytes(lower_type(ty)) * 8 == declared_bits
+
+    @given(simple_types(), simple_types())
+    @settings(max_examples=40)
+    def test_tuple_layout_is_concatenation(self, a, b):
+        assert lower_type(prod([a, b], UNR)) == lower_type(a) + lower_type(b)
+
+    @given(simple_types())
+    @settings(max_examples=40)
+    def test_types_equal_is_reflexive(self, ty):
+        assert types_equal(ty, ty)
+
+
+# ---------------------------------------------------------------------------
+# Random well-typed programs: progress & preservation, and backend agreement
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def arith_programs(draw, max_len=6):
+    """A random straight-line arithmetic program over two i32 locals."""
+
+    instrs = []
+    stack_depth = 0
+    length = draw(st.integers(1, max_len))
+    for _ in range(length):
+        if stack_depth >= 2 and draw(st.booleans()):
+            instrs.append(NumBinop(NumType.I32, draw(st.sampled_from(
+                [IntBinop.ADD, IntBinop.SUB, IntBinop.MUL, IntBinop.AND, IntBinop.OR, IntBinop.XOR]))))
+            stack_depth -= 1
+        else:
+            choice = draw(st.integers(0, 2))
+            if choice == 0:
+                instrs.append(NumConst(NumType.I32, draw(st.integers(0, 1000))))
+            else:
+                instrs.append(GetLocal(choice - 1))
+            stack_depth += 1
+    while stack_depth > 1:
+        instrs.append(NumBinop(NumType.I32, IntBinop.ADD))
+        stack_depth -= 1
+    instrs.append(Return())
+    return tuple(instrs)
+
+
+class TestRandomProgramSafety:
+    @given(arith_programs(), st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_well_typed_programs_do_not_get_stuck(self, body, x, y):
+        """Progress/preservation, empirically: type-checked programs run to
+        completion and both backends agree on the result."""
+
+        module = make_module(functions=[
+            Function(funtype([i32(), i32()], [i32()]), (), body, ("f",))
+        ])
+        check_module(module)
+
+        interp = Interpreter()
+        idx = interp.instantiate(module)
+        rw = interp.invoke_export(idx, "f", [NumV(NumType.I32, x), NumV(NumType.I32, y)]).values[0].value
+        assert not check_store_invariants(interp.store)
+
+        lowered = lower_module(module)
+        validate_module(lowered.wasm)
+        wi = WasmInterpreter()
+        inst = wi.instantiate(lowered.wasm)
+        assert wi.invoke(inst, "f", [x, y])[0] == rw
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_allocation_chains_preserve_store_invariants(self, count):
+        """Allocating and freeing a chain of linear cells keeps the store well
+        formed at every step and leaks nothing."""
+
+        body = []
+        for i in range(count):
+            body.extend([
+                NumConst(NumType.I32, i),
+                __import__("repro.core.syntax", fromlist=["StructMalloc"]).StructMalloc((SizeConst(32),), LIN),
+                __import__("repro.core.syntax", fromlist=["MemUnpack"]).MemUnpack(
+                    __import__("repro.core.syntax", fromlist=["arrow"]).arrow([], []), (),
+                    (__import__("repro.core.syntax", fromlist=["StructFree"]).StructFree(),),
+                ),
+            ])
+        body.append(NumConst(NumType.I32, 0))
+        body.append(Return())
+        module = make_module(functions=[
+            Function(funtype([], [i32()]), (), tuple(body), ("f",))
+        ])
+        check_module(module)
+        violations = []
+        interp = Interpreter(on_step=lambda _i, store: violations.extend(check_store_invariants(store)))
+        idx = interp.instantiate(module)
+        interp.invoke_export(idx, "f")
+        assert violations == []
+        assert interp.store.stats()["linear_live"] == 0

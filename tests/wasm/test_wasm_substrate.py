@@ -1,0 +1,282 @@
+"""Tests for the Wasm substrate: validation, interpretation, memory, text."""
+
+import pytest
+
+from repro.wasm import (
+    Binop,
+    Const,
+    Cvtop,
+    GlobalGet,
+    GlobalSet,
+    Load,
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    MemoryGrow,
+    MemorySize,
+    Relop,
+    StoreI,
+    Testop,
+    Unop,
+    ValType,
+    WasmFuncType,
+    WasmFunction,
+    WasmGlobal,
+    WasmImportedFunction,
+    WasmMemory,
+    WasmModule,
+    WasmTable,
+    WasmInterpreter,
+    WasmTrap,
+    WasmValidationError,
+    WBlock,
+    WBr,
+    WBrIf,
+    WBrTable,
+    WCall,
+    WCallIndirect,
+    WDrop,
+    WIf,
+    WLoop,
+    WReturn,
+    WSelect,
+    WUnreachable,
+    count_instrs,
+    module_to_wat,
+    validate_module,
+)
+
+
+def run(module, export, args=()):
+    validate_module(module)
+    interp = WasmInterpreter()
+    inst = interp.instantiate(module)
+    return interp.invoke(inst, export, list(args))
+
+
+def simple(body, params=(), results=(ValType.I32,), locals=(), **kwargs):
+    function = WasmFunction(WasmFuncType(tuple(params), tuple(results)), tuple(locals), tuple(body),
+                            exports=("main",))
+    return WasmModule(functions=(function,), **kwargs)
+
+
+class TestValidation:
+    def test_valid_module(self):
+        validate_module(simple([Const(ValType.I32, 1)]))
+
+    def test_stack_underflow(self):
+        with pytest.raises(WasmValidationError):
+            validate_module(simple([Binop(ValType.I32, "add")]))
+
+    def test_type_mismatch(self):
+        with pytest.raises(WasmValidationError):
+            validate_module(simple([Const(ValType.I32, 1), Const(ValType.I64, 2), Binop(ValType.I32, "add")]))
+
+    def test_leftover_values(self):
+        with pytest.raises(WasmValidationError):
+            validate_module(simple([Const(ValType.I32, 1), Const(ValType.I32, 2)]))
+
+    def test_unreachable_makes_stack_polymorphic(self):
+        validate_module(simple([WUnreachable(), Binop(ValType.I32, "add")]))
+
+    def test_branch_depth_out_of_range(self):
+        with pytest.raises(WasmValidationError):
+            validate_module(simple([WBlock(WasmFuncType((), ()), (WBr(4),)), Const(ValType.I32, 1)]))
+
+    def test_local_index_out_of_range(self):
+        with pytest.raises(WasmValidationError):
+            validate_module(simple([LocalGet(3)]))
+
+    def test_memory_instruction_without_memory(self):
+        with pytest.raises(WasmValidationError):
+            validate_module(simple([Const(ValType.I32, 0), Load(ValType.I32)]))
+
+    def test_immutable_global_assignment(self):
+        module = WasmModule(
+            functions=(WasmFunction(WasmFuncType((), ()), (), (Const(ValType.I32, 1), GlobalSet(0)), exports=("main",)),),
+            globals=(WasmGlobal(ValType.I32, False, (Const(ValType.I32, 0),)),),
+        )
+        with pytest.raises(WasmValidationError):
+            validate_module(module)
+
+    def test_table_entry_out_of_range(self):
+        module = WasmModule(functions=(), table=WasmTable((3,)))
+        with pytest.raises(WasmValidationError):
+            validate_module(module)
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        assert run(simple([Const(ValType.I32, 40), Const(ValType.I32, 2), Binop(ValType.I32, "add")]), "main") == [42]
+
+    def test_division_by_zero_traps(self):
+        module = simple([Const(ValType.I32, 1), Const(ValType.I32, 0), Binop(ValType.I32, "div_u")])
+        with pytest.raises(WasmTrap):
+            run(module, "main")
+
+    def test_select(self):
+        module = simple([Const(ValType.I32, 7), Const(ValType.I32, 9), Const(ValType.I32, 0), WSelect()])
+        assert run(module, "main") == [9]
+
+    def test_loop_sum(self):
+        # sum 1..n using a loop
+        body = (
+            Const(ValType.I32, 0), LocalSet(1),
+            WBlock(WasmFuncType((), ()), (
+                WLoop(WasmFuncType((), ()), (
+                    LocalGet(0), Testop(ValType.I32), WBrIf(1),
+                    LocalGet(1), LocalGet(0), Binop(ValType.I32, "add"), LocalSet(1),
+                    LocalGet(0), Const(ValType.I32, 1), Binop(ValType.I32, "sub"), LocalSet(0),
+                    WBr(0),
+                )),
+            )),
+            LocalGet(1),
+        )
+        module = simple(body, params=[ValType.I32], locals=[ValType.I32])
+        assert run(module, "main", [10]) == [55]
+
+    def test_br_table(self):
+        body = (
+            WBlock(WasmFuncType((), (ValType.I32,)), (
+                WBlock(WasmFuncType((), ()), (
+                    WBlock(WasmFuncType((), ()), (
+                        LocalGet(0),
+                        WBrTable((0, 1), 1),
+                    )),
+                    Const(ValType.I32, 100), WBr(1),
+                )),
+                Const(ValType.I32, 200),
+            )),
+        )
+        module = simple(body, params=[ValType.I32])
+        assert run(module, "main", [0]) == [100]
+        assert run(module, "main", [1]) == [200]
+        assert run(module, "main", [9]) == [200]
+
+    def test_multi_value_results(self):
+        function = WasmFunction(
+            WasmFuncType((), (ValType.I32, ValType.I32)),
+            (),
+            (Const(ValType.I32, 1), Const(ValType.I32, 2)),
+            exports=("pair",),
+        )
+        module = WasmModule(functions=(function,))
+        assert run(module, "pair") == [1, 2]
+
+    def test_call_and_call_indirect(self):
+        double = WasmFunction(WasmFuncType((ValType.I32,), (ValType.I32,)), (),
+                              (LocalGet(0), Const(ValType.I32, 2), Binop(ValType.I32, "mul")))
+        via_table = WasmFunction(
+            WasmFuncType((ValType.I32,), (ValType.I32,)), (),
+            (LocalGet(0), Const(ValType.I32, 0), WCallIndirect(WasmFuncType((ValType.I32,), (ValType.I32,)))),
+            exports=("indirect",),
+        )
+        direct = WasmFunction(
+            WasmFuncType((ValType.I32,), (ValType.I32,)), (),
+            (LocalGet(0), WCall(0)),
+            exports=("direct",),
+        )
+        module = WasmModule(functions=(double, via_table, direct), table=WasmTable((0,)))
+        assert run(module, "direct", [21]) == [42]
+        assert run(module, "indirect", [5]) == [10]
+
+    def test_call_indirect_out_of_bounds_traps(self):
+        f = WasmFunction(
+            WasmFuncType((), (ValType.I32,)), (),
+            (Const(ValType.I32, 0), Const(ValType.I32, 3),
+             WCallIndirect(WasmFuncType((ValType.I32,), (ValType.I32,)))),
+            exports=("main",),
+        )
+        module = WasmModule(functions=(f,), table=WasmTable(()))
+        with pytest.raises(WasmTrap):
+            run(module, "main")
+
+    def test_host_import(self):
+        imported = WasmImportedFunction(WasmFuncType((ValType.I32,), (ValType.I32,)), "env", "triple")
+        main = WasmFunction(WasmFuncType((ValType.I32,), (ValType.I32,)), (),
+                            (LocalGet(0), WCall(0)), exports=("main",))
+        module = WasmModule(functions=(imported, main))
+        interp = WasmInterpreter()
+        inst = interp.instantiate(module, {("env", "triple"): lambda x: [x * 3]})
+        assert interp.invoke(inst, "main", [4]) == [12]
+
+    def test_globals(self):
+        module = WasmModule(
+            functions=(WasmFunction(WasmFuncType((), (ValType.I32,)), (),
+                                    (GlobalGet(0), Const(ValType.I32, 1), Binop(ValType.I32, "add"),
+                                     GlobalSet(0), GlobalGet(0)), exports=("bump",)),),
+            globals=(WasmGlobal(ValType.I32, True, (Const(ValType.I32, 0),)),),
+        )
+        validate_module(module)
+        interp = WasmInterpreter()
+        inst = interp.instantiate(module)
+        assert interp.invoke(inst, "bump") == [1]
+        assert interp.invoke(inst, "bump") == [2]
+
+    def test_conversions(self):
+        module = simple([Const(ValType.I32, -1), Cvtop(ValType.I64, "extend_s", ValType.I32),
+                         Cvtop(ValType.I32, "wrap", ValType.I64)])
+        assert run(module, "main") == [0xFFFFFFFF]
+
+
+class TestMemory:
+    def make_memory_module(self, body, results=(ValType.I32,)):
+        return simple(body, results=results, memory=WasmMemory(1))
+
+    def test_store_load_roundtrip(self):
+        module = self.make_memory_module([
+            Const(ValType.I32, 8), Const(ValType.I32, 123), StoreI(ValType.I32),
+            Const(ValType.I32, 8), Load(ValType.I32),
+        ])
+        assert run(module, "main") == [123]
+
+    def test_narrow_store_load(self):
+        module = self.make_memory_module([
+            Const(ValType.I32, 8), Const(ValType.I32, 0xABCD), StoreI(ValType.I32, width=8),
+            Const(ValType.I32, 8), Load(ValType.I32, width=8),
+        ])
+        assert run(module, "main") == [0xCD]
+
+    def test_i64_and_f64_memory(self):
+        module = self.make_memory_module([
+            Const(ValType.I32, 16), Const(ValType.I64, 2**40), StoreI(ValType.I64),
+            Const(ValType.I32, 16), Load(ValType.I64),
+        ], results=(ValType.I64,))
+        assert run(module, "main") == [2**40]
+
+    def test_out_of_bounds_traps(self):
+        module = self.make_memory_module([
+            Const(ValType.I32, 70000), Load(ValType.I32),
+        ])
+        with pytest.raises(WasmTrap):
+            run(module, "main")
+
+    def test_memory_size_and_grow(self):
+        module = self.make_memory_module([
+            Const(ValType.I32, 2), MemoryGrow(), WDrop(),
+            MemorySize(),
+        ])
+        assert run(module, "main") == [3]
+
+    def test_data_segment(self):
+        from repro.wasm import WasmData
+
+        function = WasmFunction(WasmFuncType((), (ValType.I32,)), (),
+                                (Const(ValType.I32, 4), Load(ValType.I32)), exports=("main",))
+        module = WasmModule(functions=(function,), memory=WasmMemory(1),
+                            data=(WasmData(4, (77).to_bytes(4, "little")),))
+        assert run(module, "main") == [77]
+
+
+class TestText:
+    def test_wat_output_contains_structure(self):
+        module = simple([Const(ValType.I32, 1)], memory=WasmMemory(2))
+        wat = module_to_wat(module)
+        assert "(module" in wat
+        assert "(memory 2)" in wat
+        assert "i32.const 1" in wat
+        assert '(export "main"' in wat
+
+    def test_count_instrs_descends_into_blocks(self):
+        body = (WBlock(WasmFuncType((), ()), (WNop := Const(ValType.I32, 1), WDrop())),)
+        assert count_instrs(body) == 3
