@@ -4,10 +4,13 @@ type-safety (progress/preservation) harness."""
 from .metrics import (
     CategoryStats,
     FileStats,
+    InstructionDelta,
     analyze_file,
     count_typing_rules,
+    format_optimization_report,
     format_report,
     gather_metrics,
+    optimization_delta,
     repository_root,
 )
 from .safety import SafetyHarness, SafetyReport, SafetyViolation, check_store_invariants

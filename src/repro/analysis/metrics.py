@@ -148,6 +148,53 @@ def count_typing_rules() -> dict[str, int]:
     }
 
 
+# ---------------------------------------------------------------------------
+# Optimizer instruction-count deltas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InstructionDelta:
+    """Instruction-count change of one module through the optimizer."""
+
+    name: str
+    before: int
+    after: int
+
+    @property
+    def removed(self) -> int:
+        return self.before - self.after
+
+    @property
+    def reduction(self) -> float:
+        return self.removed / self.before if self.before else 0.0
+
+
+def optimization_delta(before, after, *, name: str = "module") -> InstructionDelta:
+    """The instruction-count delta between two Wasm modules (pre/post opt)."""
+
+    return InstructionDelta(name, before.instruction_count(), after.instruction_count())
+
+
+def format_optimization_report(deltas: Iterable[InstructionDelta]) -> str:
+    """A textual table of per-module optimizer instruction-count deltas."""
+
+    deltas = list(deltas)
+    lines = [f"{'module':<28} {'before':>8} {'after':>8} {'removed':>8} {'reduction':>10}"]
+    for delta in deltas:
+        lines.append(
+            f"{delta.name:<28} {delta.before:>8} {delta.after:>8} {delta.removed:>8} {delta.reduction:>9.1%}"
+        )
+    if deltas:
+        before = sum(d.before for d in deltas)
+        after = sum(d.after for d in deltas)
+        total = InstructionDelta("TOTAL", before, after)
+        lines.append(
+            f"{total.name:<28} {total.before:>8} {total.after:>8} {total.removed:>8} {total.reduction:>9.1%}"
+        )
+    return "\n".join(lines)
+
+
 def format_report(categories: list[CategoryStats]) -> str:
     """A textual table comparable to the paper's §4.1 size report."""
 

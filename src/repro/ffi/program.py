@@ -83,13 +83,18 @@ class Program:
 
         return link_modules(self.modules, name=name)
 
-    def lower(self, *, memory_pages: int = 4):
-        """Link and lower the whole program to a single Wasm module."""
+    def lower(self, *, memory_pages: int = 4, optimize: bool = False):
+        """Link and lower the whole program to a single Wasm module.
 
-        return lower_module(self.link(), memory_pages=memory_pages)
+        ``optimize=True`` runs the :mod:`repro.opt` pass pipeline over the
+        linked module, so cross-language programs get whole-program
+        optimization (the linker already resolved imports to direct calls).
+        """
 
-    def instantiate_wasm(self, *, memory_pages: int = 4) -> "WasmProgramInstance":
-        lowered = self.lower(memory_pages=memory_pages)
+        return lower_module(self.link(), memory_pages=memory_pages, optimize=optimize)
+
+    def instantiate_wasm(self, *, memory_pages: int = 4, optimize: bool = False) -> "WasmProgramInstance":
+        lowered = self.lower(memory_pages=memory_pages, optimize=optimize)
         validate_module(lowered.wasm)
         interpreter = WasmInterpreter()
         instance = interpreter.instantiate(lowered.wasm)

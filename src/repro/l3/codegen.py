@@ -452,8 +452,19 @@ def _bits(ty: Type) -> int:
     return eval_size(closed_size_of_type(ty))
 
 
-def compile_l3_module(module: L3Module) -> Module:
-    """Linearity-check and compile an L3 module to RichWasm."""
+def compile_l3_module(module: L3Module, *, lower: bool = False, optimize: bool = False, memory_pages: int = 4):
+    """Linearity-check and compile an L3 module to RichWasm.
+
+    By default this returns the RichWasm :class:`Module`.  With
+    ``lower=True`` (implied by ``optimize=True``) it continues down the
+    pipeline and returns the :class:`repro.lower.LoweredModule` instead,
+    optionally post-processed by the :mod:`repro.opt` pass pipeline.
+    """
 
     signatures = check_l3_module(module)
-    return L3Compiler(module, signatures).compile()
+    richwasm = L3Compiler(module, signatures).compile()
+    if lower or optimize:
+        from ..lower import lower_module
+
+        return lower_module(richwasm, memory_pages=memory_pages, optimize=optimize)
+    return richwasm

@@ -28,10 +28,23 @@ from .layout import (
 from .runtime import BLOCK_HEADER_BYTES, HEAP_BASE, RuntimeLayout, build_free, build_malloc
 
 
-def lower_module(module, *, memory_pages: int = 4) -> LoweredModule:
-    """Type-check-directed lowering of a RichWasm module to Wasm."""
+def lower_module(module, *, memory_pages: int = 4, optimize: bool = False, passes=None) -> LoweredModule:
+    """Type-check-directed lowering of a RichWasm module to Wasm.
 
-    return ModuleLowering(module, memory_pages=memory_pages).lower()
+    With ``optimize=True`` the lowered module is post-processed by the
+    :mod:`repro.opt` pass pipeline (``passes`` overrides the default one);
+    the :class:`LoweredModule` then carries the optimization statistics and
+    its ``wasm`` field is the optimized module.
+    """
+
+    lowered = ModuleLowering(module, memory_pages=memory_pages).lower()
+    if optimize:
+        from ..opt import optimize_module
+
+        result = optimize_module(lowered.wasm, passes)
+        lowered.wasm = result.module
+        lowered.optimization = result
+    return lowered
 
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -127,12 +127,18 @@ class LoweringStats:
 
 @dataclass
 class LoweredModule:
-    """The result of lowering: the Wasm module plus bookkeeping."""
+    """The result of lowering: the Wasm module plus bookkeeping.
+
+    When the module was lowered with ``optimize=True``, ``optimization``
+    holds the :class:`repro.opt.OptimizationResult` (per-pass statistics and
+    the instruction-count delta) and ``wasm`` is the optimized module.
+    """
 
     wasm: WasmModule
     stats: LoweringStats
     runtime: RuntimeLayout
     global_map: dict[int, tuple[int, list[ValType]]]
+    optimization: Optional[object] = None
 
 
 @dataclass

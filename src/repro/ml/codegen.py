@@ -933,8 +933,19 @@ def _size_bits(ty: Type) -> int:
     return eval_size(closed_size_of_type(ty))
 
 
-def compile_ml_module(module: MLModule) -> Module:
-    """Type-check and compile an ML module to RichWasm."""
+def compile_ml_module(module: MLModule, *, lower: bool = False, optimize: bool = False, memory_pages: int = 4):
+    """Type-check and compile an ML module to RichWasm.
+
+    By default this returns the RichWasm :class:`Module`.  With
+    ``lower=True`` (implied by ``optimize=True``) it continues down the
+    pipeline and returns the :class:`repro.lower.LoweredModule` instead,
+    optionally post-processed by the :mod:`repro.opt` pass pipeline.
+    """
 
     checked = check_module(module)
-    return MLCompiler(checked).compile()
+    richwasm = MLCompiler(checked).compile()
+    if lower or optimize:
+        from ..lower import lower_module
+
+        return lower_module(richwasm, memory_pages=memory_pages, optimize=optimize)
+    return richwasm

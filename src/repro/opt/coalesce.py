@@ -1,0 +1,167 @@
+"""Local coalescing: collapse the lowering's uniform ``i64`` local banks.
+
+Locals-splitting (:mod:`repro.lower.compiler`) stores every RichWasm local
+component in an ``i64`` Wasm local and brackets *every* access with
+conversions: an ``i32`` component is written as ``i64.extend_i32_u`` +
+``local.set`` and read as ``local.get`` + ``i32.wrap_i64`` (floats go through
+``reinterpret``).  For the common case — a local that only ever holds one
+value type — the bank slot can simply be retyped to that value type and all
+the conversions deleted.
+
+The pass analyses each declared ``i64`` local: if *every* write site is
+bracketed by the to-``i64`` conversion sequence of one candidate type and
+*every* read site by the matching from-``i64`` sequence (and the local is
+never ``tee``'d), the local is retyped and the conversion instructions
+removed.  Locals that genuinely hold different types over their lifetime
+(RichWasm strong updates) fail the site checks and are left untouched.
+
+Soundness relies on the conversion pairs being exact inverses on the values
+that reach them: ``extend_u``/``wrap`` on a normalized ``i32`` and the
+``reinterpret`` round-trips are bit-exact, and the interpreter normalizes
+function arguments and constants, so every runtime stack value is in
+normalized form.  An uninitialized bank slot reads as ``0``/``0.0`` under
+both the old and the new typing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..wasm.ast import (
+    Cvtop,
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    ValType,
+    WasmFunction,
+    WasmModule,
+    WInstr,
+)
+from .manager import FunctionPass
+from .rewrite import iter_sequences, map_sequences
+
+#: Conversion sequence emitted immediately *before* ``local.set`` when a value
+#: of the key type is stored into an i64 bank slot (``_to_i64`` in the
+#: lowering compiler).
+_WRITE_CONVS: dict[ValType, tuple[Cvtop, ...]] = {
+    ValType.I32: (Cvtop(ValType.I64, "extend_u", ValType.I32),),
+    ValType.F32: (
+        Cvtop(ValType.I32, "reinterpret", ValType.F32),
+        Cvtop(ValType.I64, "extend_u", ValType.I32),
+    ),
+    ValType.F64: (Cvtop(ValType.I64, "reinterpret", ValType.F64),),
+}
+
+#: Conversion sequence emitted immediately *after* ``local.get`` when the slot
+#: is read back at the key type (``_from_i64`` in the lowering compiler).
+_READ_CONVS: dict[ValType, tuple[Cvtop, ...]] = {
+    ValType.I32: (Cvtop(ValType.I32, "wrap", ValType.I64),),
+    ValType.F32: (
+        Cvtop(ValType.I32, "wrap", ValType.I64),
+        Cvtop(ValType.F32, "reinterpret", ValType.I32),
+    ),
+    ValType.F64: (Cvtop(ValType.F64, "reinterpret", ValType.I64),),
+}
+
+#: Candidate retypings, widest removal first: an F32 site also matches the I32
+#: patterns as a suffix/prefix, so F32 must be tried before I32.
+_CANDIDATES = (ValType.F32, ValType.F64, ValType.I32)
+
+
+class LocalCoalescingPass(FunctionPass):
+    """Retype single-typed i64 bank locals and drop their access conversions."""
+
+    name = "coalesce"
+
+    def run(self, function: WasmFunction, module: WasmModule) -> tuple[WasmFunction, int]:
+        param_count = len(function.functype.params)
+        coalesced: dict[int, ValType] = {}
+        for offset, valtype in enumerate(function.locals):
+            if valtype is not ValType.I64:
+                continue
+            index = param_count + offset
+            chosen = self._qualify(function, index)
+            if chosen is not None:
+                coalesced[index] = chosen
+        if not coalesced:
+            return function, 0
+
+        rewrites = 0
+
+        def rewrite(seq: tuple[WInstr, ...]) -> tuple[WInstr, ...]:
+            nonlocal rewrites
+            out: list[WInstr] = []
+            i = 0
+            while i < len(seq):
+                instr = seq[i]
+                target = self._write_target(seq, i, coalesced)
+                if target is not None:
+                    convs = len(_WRITE_CONVS[coalesced[target]])
+                    out.append(seq[i + convs])  # the local.set itself
+                    rewrites += convs
+                    i += convs + 1
+                    continue
+                out.append(instr)
+                if isinstance(instr, LocalGet) and instr.index in coalesced:
+                    convs = len(_READ_CONVS[coalesced[instr.index]])
+                    rewrites += convs
+                    i += convs
+                i += 1
+            return tuple(out)
+
+        body = map_sequences(function.body, rewrite)
+        locals_ = tuple(
+            coalesced.get(param_count + offset, valtype) for offset, valtype in enumerate(function.locals)
+        )
+        if rewrites == 0:
+            # Sites matched vacuously (local unreferenced); leave it for the
+            # dead-local pass rather than reporting a no-op rewrite.
+            return function, 0
+        return replace(function, locals=locals_, body=body), rewrites
+
+    # -- analysis ---------------------------------------------------------------
+
+    @staticmethod
+    def _qualify(function: WasmFunction, index: int) -> Optional[ValType]:
+        """The value type all accesses of local ``index`` agree on, if any."""
+
+        for candidate in _CANDIDATES:
+            write = _WRITE_CONVS[candidate]
+            read = _READ_CONVS[candidate]
+            sites = 0
+            ok = True
+            for seq in iter_sequences(function.body):
+                for position, instr in enumerate(seq):
+                    if isinstance(instr, LocalTee) and instr.index == index:
+                        ok = False
+                    elif isinstance(instr, LocalSet) and instr.index == index:
+                        sites += 1
+                        if tuple(seq[position - len(write) : position]) != write or position < len(write):
+                            ok = False
+                    elif isinstance(instr, LocalGet) and instr.index == index:
+                        sites += 1
+                        if tuple(seq[position + 1 : position + 1 + len(read)]) != read:
+                            ok = False
+                    if not ok:
+                        break
+                if not ok:
+                    break
+            if ok and sites:
+                return candidate
+        return None
+
+    @staticmethod
+    def _write_target(seq: tuple[WInstr, ...], i: int, coalesced: dict[int, ValType]) -> Optional[int]:
+        """If a coalesced write pattern starts at ``seq[i]``, its local index."""
+
+        if not isinstance(seq[i], Cvtop):
+            return None
+        for length in (2, 1):
+            follower = seq[i + length] if i + length < len(seq) else None
+            if not isinstance(follower, LocalSet) or follower.index not in coalesced:
+                continue
+            target_type = coalesced[follower.index]
+            if tuple(seq[i : i + length]) == _WRITE_CONVS[target_type] and len(_WRITE_CONVS[target_type]) == length:
+                return follower.index
+        return None

@@ -1,0 +1,98 @@
+"""Copy propagation for the single-assignment copies the prologue emits.
+
+The lowering's function prologue copies every Wasm parameter into its local
+bank (``local.get p`` / ``local.set b``), and after coalescing has stripped
+the conversions these are plain same-typed copies.  When the copy is the
+*only* write to ``b``, the source is never written at all, and every read of
+``b`` happens after the copy, each ``local.get b`` can read ``p`` directly
+and the copy disappears (the orphaned local is later pruned by the
+dead-local pass).
+
+Restricting copies to the top-level body sequence gives dominance for free:
+function-level control flow cannot jump backwards past an earlier top-level
+instruction, so every read in the suffix observes the copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..wasm.ast import (
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    ValType,
+    WasmFunction,
+    WasmModule,
+    WInstr,
+)
+from .manager import FunctionPass
+from .rewrite import iter_sequences, map_sequences
+
+
+def _local_type(function: WasmFunction, index: int) -> ValType:
+    params = function.functype.params
+    if index < len(params):
+        return params[index]
+    return function.locals[index - len(params)]
+
+
+class CopyPropagationPass(FunctionPass):
+    """Forward never-written sources through single-assignment copies."""
+
+    name = "copyprop"
+
+    def run(self, function: WasmFunction, module: WasmModule) -> tuple[WasmFunction, int]:
+        writes: dict[int, int] = {}
+        reads: dict[int, int] = {}
+        for seq in iter_sequences(function.body):
+            for instr in seq:
+                if isinstance(instr, (LocalSet, LocalTee)):
+                    writes[instr.index] = writes.get(instr.index, 0) + 1
+                elif isinstance(instr, LocalGet):
+                    reads[instr.index] = reads.get(instr.index, 0) + 1
+
+        body = function.body
+        # Copy targets found at top level: target -> source.
+        forwarded: dict[int, int] = {}
+        reads_seen: set[int] = set()
+        kept: list[WInstr] = []
+        for position, instr in enumerate(body):
+            if (
+                isinstance(instr, LocalSet)
+                and kept
+                and isinstance(kept[-1], LocalGet)
+                and instr.index != kept[-1].index
+                and writes.get(instr.index, 0) == 1
+                and writes.get(kept[-1].index, 0) == 0
+                and instr.index not in reads_seen
+                and instr.index not in forwarded
+                and kept[-1].index not in forwarded
+                and _local_type(function, instr.index) is _local_type(function, kept[-1].index)
+            ):
+                source = kept.pop().index
+                forwarded[instr.index] = source
+                continue
+            kept.append(instr)
+            for seq in iter_sequences((instr,)):
+                for nested in seq:
+                    if isinstance(nested, LocalGet):
+                        reads_seen.add(nested.index)
+
+        if not forwarded:
+            return function, 0
+
+        rewrites = len(forwarded)
+
+        def redirect(seq: tuple[WInstr, ...]) -> tuple[WInstr, ...]:
+            nonlocal rewrites
+            out: list[WInstr] = []
+            for instr in seq:
+                if isinstance(instr, LocalGet) and instr.index in forwarded:
+                    rewrites += 1
+                    out.append(LocalGet(forwarded[instr.index]))
+                else:
+                    out.append(instr)
+            return tuple(out)
+
+        return replace(function, body=map_sequences(tuple(kept), redirect)), rewrites

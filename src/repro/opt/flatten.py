@@ -1,0 +1,103 @@
+"""Block flattening: splice out ``block`` wrappers nobody branches to.
+
+The lowering wraps ``mem.unpack``/``exist.unpack`` bodies and several other
+constructs in ``block``s for label bookkeeping, but many of them are never
+the target of a branch.  Such a block is transparent — its parameters and
+results just pass through the operand stack — so its body can be spliced
+into the enclosing sequence.  Branches inside that cross the removed level
+have their depths decremented.
+
+Flattening also merges instruction sequences, exposing additional matches to
+the peephole and coalescing passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..wasm.ast import (
+    WasmFunction,
+    WasmModule,
+    WBlock,
+    WBr,
+    WBrIf,
+    WBrTable,
+    WIf,
+    WInstr,
+    WLoop,
+)
+from .manager import FunctionPass
+from .rewrite import map_sequences
+
+_NESTING = (WBlock, WLoop, WIf)
+
+
+def _targets_level(body: tuple[WInstr, ...], level: int) -> bool:
+    """Does any branch in ``body`` target the frame ``level`` labels out?"""
+
+    for instr in body:
+        if isinstance(instr, (WBr, WBrIf)) and instr.depth == level:
+            return True
+        if isinstance(instr, WBrTable) and (instr.default == level or level in instr.depths):
+            return True
+        if isinstance(instr, (WBlock, WLoop)):
+            if _targets_level(instr.body, level + 1):
+                return True
+        elif isinstance(instr, WIf):
+            if _targets_level(instr.then_body, level + 1) or _targets_level(instr.else_body, level + 1):
+                return True
+    return False
+
+
+def _shift_branches(body: tuple[WInstr, ...], level: int) -> tuple[WInstr, ...]:
+    """Decrement branch depths that cross the removed frame at ``level``."""
+
+    out: list[WInstr] = []
+    for instr in body:
+        if isinstance(instr, (WBr, WBrIf)) and instr.depth > level:
+            out.append(type(instr)(instr.depth - 1))
+        elif isinstance(instr, WBrTable):
+            out.append(
+                WBrTable(
+                    tuple(d - 1 if d > level else d for d in instr.depths),
+                    instr.default - 1 if instr.default > level else instr.default,
+                )
+            )
+        elif isinstance(instr, (WBlock, WLoop)):
+            out.append(replace(instr, body=_shift_branches(instr.body, level + 1)))
+        elif isinstance(instr, WIf):
+            out.append(
+                replace(
+                    instr,
+                    then_body=_shift_branches(instr.then_body, level + 1),
+                    else_body=_shift_branches(instr.else_body, level + 1),
+                )
+            )
+        else:
+            out.append(instr)
+    return tuple(out)
+
+
+class BlockFlatteningPass(FunctionPass):
+    """Inline ``block`` bodies whose label is never branched to."""
+
+    name = "flatten"
+
+    def run(self, function: WasmFunction, module: WasmModule) -> tuple[WasmFunction, int]:
+        rewrites = 0
+
+        def flatten(seq: tuple[WInstr, ...]) -> tuple[WInstr, ...]:
+            nonlocal rewrites
+            out: list[WInstr] = []
+            for instr in seq:
+                if isinstance(instr, WBlock) and not _targets_level(instr.body, 0):
+                    rewrites += 1
+                    out.extend(_shift_branches(instr.body, 0))
+                else:
+                    out.append(instr)
+            return tuple(out)
+
+        body = map_sequences(function.body, flatten)
+        if rewrites == 0:
+            return function, 0
+        return replace(function, body=body), rewrites

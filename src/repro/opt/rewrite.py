@@ -1,0 +1,72 @@
+"""Shared instruction-tree rewriting helpers for the optimization passes.
+
+Wasm function bodies are immutable tuples of instructions with nested
+sequences inside ``block``/``loop``/``if``.  Passes express themselves as
+*sequence rewriters*: a function taking one flat instruction sequence and
+returning a new one.  :func:`map_sequences` applies such a rewriter to every
+sequence in a body, bottom-up, so a rewriter never needs to recurse itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence
+
+from ..wasm.ast import (
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    WBlock,
+    WIf,
+    WInstr,
+    WLoop,
+)
+
+SequenceRewriter = Callable[[tuple[WInstr, ...]], tuple[WInstr, ...]]
+
+
+def map_sequences(body: Sequence[WInstr], rewriter: SequenceRewriter) -> tuple[WInstr, ...]:
+    """Apply ``rewriter`` to every instruction sequence in ``body``, bottom-up."""
+
+    rebuilt: list[WInstr] = []
+    for instr in body:
+        if isinstance(instr, (WBlock, WLoop)):
+            rebuilt.append(replace(instr, body=map_sequences(instr.body, rewriter)))
+        elif isinstance(instr, WIf):
+            rebuilt.append(
+                replace(
+                    instr,
+                    then_body=map_sequences(instr.then_body, rewriter),
+                    else_body=map_sequences(instr.else_body, rewriter),
+                )
+            )
+        else:
+            rebuilt.append(instr)
+    return rewriter(tuple(rebuilt))
+
+
+def iter_sequences(body: Sequence[WInstr]) -> Iterable[tuple[WInstr, ...]]:
+    """Yield every instruction sequence in ``body`` (including ``body`` itself)."""
+
+    for instr in body:
+        if isinstance(instr, (WBlock, WLoop)):
+            yield from iter_sequences(instr.body)
+        elif isinstance(instr, WIf):
+            yield from iter_sequences(instr.then_body)
+            yield from iter_sequences(instr.else_body)
+    yield tuple(body)
+
+
+def remap_locals(body: Sequence[WInstr], mapping: dict[int, int]) -> tuple[WInstr, ...]:
+    """Renumber every local reference in ``body`` through ``mapping``."""
+
+    def rewrite(seq: tuple[WInstr, ...]) -> tuple[WInstr, ...]:
+        out: list[WInstr] = []
+        for instr in seq:
+            if isinstance(instr, (LocalGet, LocalSet, LocalTee)):
+                out.append(type(instr)(mapping[instr.index]))
+            else:
+                out.append(instr)
+        return tuple(out)
+
+    return map_sequences(body, rewrite)

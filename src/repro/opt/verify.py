@@ -1,0 +1,146 @@
+"""Differential verification of optimized modules.
+
+The evidence standing in for a translation-validation proof: run an optimized
+module and its unoptimized twin side by side in
+:class:`~repro.wasm.interpreter.WasmInterpreter` — same exports, same
+arguments, in the same order on one shared pair of instances — and require
+identical observable behaviour: results (bit-exact, NaN-aware), traps, and
+optionally the final linear memory and globals.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from ..wasm.ast import WasmModule
+from ..wasm.interpreter import HostFunction, WasmInterpreter, WasmTrap, WasmValue
+
+HostImports = dict[tuple[str, str], HostFunction]
+HostImportFactory = Callable[[], HostImports]
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One export call to replay on both modules."""
+
+    export: str
+    args: tuple[WasmValue, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallOutcome:
+    export: str
+    args: tuple[WasmValue, ...]
+    baseline: Union[list[WasmValue], str]  # results, or the trap message
+    candidate: Union[list[WasmValue], str]
+    matches: bool
+
+
+@dataclass
+class DifferentialReport:
+    outcomes: list[CallOutcome] = field(default_factory=list)
+    state_matches: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return self.state_matches and all(outcome.matches for outcome in self.outcomes)
+
+    def mismatches(self) -> list[CallOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.matches]
+
+    def format_report(self) -> str:
+        lines = [f"differential check: {len(self.outcomes)} call(s), ok={self.ok}"]
+        for outcome in self.mismatches():
+            lines.append(
+                f"  MISMATCH {outcome.export}{outcome.args!r}: "
+                f"baseline={outcome.baseline!r} candidate={outcome.candidate!r}"
+            )
+        if not self.state_matches:
+            lines.append("  MISMATCH in final memory/global state")
+        return "\n".join(lines)
+
+
+def _values_equal(a: Sequence[WasmValue], b: Sequence[WasmValue]) -> bool:
+    """Bit-exact comparison: floats by their f64 bit pattern, so NaN payloads
+    and signed zeros must agree; an int/float type divergence is a mismatch."""
+
+    if len(a) != len(b):
+        return False
+    for left, right in zip(a, b):
+        if isinstance(left, float) != isinstance(right, float):
+            return False
+        if isinstance(left, float):
+            if struct.pack("<d", left) != struct.pack("<d", right):
+                return False
+        elif left != right:
+            return False
+    return True
+
+
+def _resolve_hosts(host_imports: Union[HostImports, HostImportFactory, None]) -> HostImports:
+    if host_imports is None:
+        return {}
+    if callable(host_imports):
+        return host_imports()
+    return host_imports
+
+
+def run_differential(
+    baseline: WasmModule,
+    candidate: WasmModule,
+    calls: Sequence[Union[Invocation, tuple]],
+    *,
+    host_imports: Union[HostImports, HostImportFactory, None] = None,
+    compare_state: bool = True,
+    max_steps: Optional[int] = None,
+) -> DifferentialReport:
+    """Replay ``calls`` on both modules and compare every observation.
+
+    ``host_imports`` may be a dict (shared by both runs — fine for stateless
+    hosts) or a zero-argument factory called once per module so stateful
+    hosts do not leak observations across the two runs.
+    """
+
+    normalized_calls = [call if isinstance(call, Invocation) else Invocation(call[0], tuple(call[1])) for call in calls]
+
+    baseline_interp = WasmInterpreter(max_steps=max_steps)
+    candidate_interp = WasmInterpreter(max_steps=max_steps)
+    baseline_instance = baseline_interp.instantiate(baseline, _resolve_hosts(host_imports))
+    candidate_instance = candidate_interp.instantiate(candidate, _resolve_hosts(host_imports))
+
+    report = DifferentialReport()
+    for call in normalized_calls:
+        outcomes: list[Union[list[WasmValue], str]] = []
+        for interp, instance in ((baseline_interp, baseline_instance), (candidate_interp, candidate_instance)):
+            try:
+                outcomes.append(interp.invoke(instance, call.export, list(call.args)))
+            except WasmTrap as trap:
+                outcomes.append(f"trap: {trap}")
+        first, second = outcomes
+        if isinstance(first, str) or isinstance(second, str):
+            # Both must trap, for the same reason.
+            matches = first == second
+        else:
+            matches = _values_equal(first, second)
+        report.outcomes.append(CallOutcome(call.export, call.args, first, second, matches))
+
+    if compare_state:
+        baseline_memory = bytes(baseline_instance.memory.data) if baseline_instance.memory else b""
+        candidate_memory = bytes(candidate_instance.memory.data) if candidate_instance.memory else b""
+        report.state_matches = baseline_memory == candidate_memory and _values_equal(
+            baseline_instance.globals, candidate_instance.globals
+        )
+    return report
+
+
+def verify_optimization(
+    module: WasmModule,
+    optimized: WasmModule,
+    calls: Sequence[Union[Invocation, tuple]],
+    **kwargs,
+) -> DifferentialReport:
+    """Alias of :func:`run_differential` with the argument roles spelled out."""
+
+    return run_differential(module, optimized, calls, **kwargs)

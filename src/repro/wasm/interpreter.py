@@ -76,6 +76,21 @@ class _Return(Exception):
         self.values = values
 
 
+def _normalize(valtype: ValType, value: WasmValue) -> WasmValue:
+    """Normalize a host-supplied value to its canonical runtime form.
+
+    Wasm values are bit patterns: an ``i32`` argument of ``-5`` denotes the
+    same value as ``0xFFFFFFFB``.  Normalizing at the boundary (function
+    arguments, host-call results, constant expressions) guarantees every
+    value on the operand stack is in wrapped/canonical form — an invariant
+    the optimizer's conversion-elimination passes rely on.
+    """
+
+    if valtype.is_integer:
+        return numerics.wrap(int(value), valtype.bit_width)
+    return numerics.float_canon(float(value), valtype.bit_width)
+
+
 @dataclass
 class LinearMemory:
     """A byte-addressed linear memory made of 64 KiB pages."""
@@ -175,7 +190,7 @@ class WasmInterpreter:
         stack: list[WasmValue] = []
         for instr in body:
             if isinstance(instr, Const):
-                stack.append(instr.value)
+                stack.append(_normalize(instr.valtype, instr.value))
             elif isinstance(instr, GlobalGet):
                 stack.append(instance.globals[instr.index])
             else:
@@ -196,6 +211,8 @@ class WasmInterpreter:
             return list(results) if results is not None else []
         assert isinstance(target, WasmFunction)
         locals_: list[WasmValue] = list(args)
+        for position, valtype in enumerate(target.functype.params[: len(locals_)]):
+            locals_[position] = _normalize(valtype, locals_[position])
         for valtype in target.locals:
             locals_.append(0 if valtype.is_integer else 0.0)
         stack: list[WasmValue] = []
@@ -227,10 +244,7 @@ class WasmInterpreter:
             raise WasmTrap("step budget exhausted")
 
         if isinstance(instr, Const):
-            if instr.valtype.is_integer:
-                stack.append(numerics.wrap(int(instr.value), instr.valtype.bit_width))
-            else:
-                stack.append(numerics.float_canon(float(instr.value), instr.valtype.bit_width))
+            stack.append(_normalize(instr.valtype, instr.value))
         elif isinstance(instr, Binop):
             rhs, lhs = stack.pop(), stack.pop()
             stack.append(self._binop(instr, lhs, rhs))
@@ -357,6 +371,11 @@ class WasmInterpreter:
                 raise WasmTrap("indirect call type mismatch")
         args = [stack.pop() for _ in functype.params][::-1]
         results = self.invoke_index(instance, index, args)
+        if not isinstance(target, WasmFunction):
+            # Host results enter the stack unchecked; normalize them so the
+            # all-values-normalized invariant holds (defined functions already
+            # return normalized values).
+            results = [_normalize(valtype, value) for valtype, value in zip(functype.results, results)]
         stack.extend(results)
 
     # -- numeric helpers -------------------------------------------------------

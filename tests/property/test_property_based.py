@@ -40,7 +40,9 @@ from repro.core.syntax import (
 )
 from repro.core.typing import QualContext, SizeContext, check_module, closed_size_of_type, types_equal
 from repro.core.syntax.qualifiers import QualConst
+from repro.core.syntax import TeeLocal
 from repro.lower import layout_bytes, lower_module, lower_type
+from repro.opt import optimize_module, run_differential
 from repro.wasm import WasmInterpreter, validate_module
 from repro.analysis.safety import check_store_invariants
 
@@ -237,6 +239,75 @@ def arith_programs(draw, max_len=6):
         stack_depth -= 1
     instrs.append(Return())
     return tuple(instrs)
+
+
+@st.composite
+def stateful_programs(draw, max_len=10):
+    """Random straight-line i32 programs with local reads, writes and tees —
+    the access patterns the optimizer's coalescing/copy-propagation rewrite."""
+
+    instrs = []
+    stack_depth = 0
+    length = draw(st.integers(2, max_len))
+    ops = [IntBinop.ADD, IntBinop.SUB, IntBinop.MUL, IntBinop.AND, IntBinop.OR, IntBinop.XOR]
+    for _ in range(length):
+        options = ["const", "get"]
+        if stack_depth >= 2:
+            options.append("binop")
+        if stack_depth >= 1:
+            options.extend(["set", "tee"])
+        choice = draw(st.sampled_from(options))
+        if choice == "binop":
+            instrs.append(NumBinop(NumType.I32, draw(st.sampled_from(ops))))
+            stack_depth -= 1
+        elif choice == "set":
+            instrs.append(SetLocal(draw(st.integers(0, 1))))
+            stack_depth -= 1
+        elif choice == "tee":
+            instrs.append(TeeLocal(draw(st.integers(0, 1))))
+        elif choice == "const":
+            instrs.append(NumConst(NumType.I32, draw(st.integers(0, 0xFFFFFFFF))))
+            stack_depth += 1
+        else:
+            instrs.append(GetLocal(draw(st.integers(0, 1))))
+            stack_depth += 1
+    while stack_depth > 1:
+        instrs.append(NumBinop(NumType.I32, IntBinop.ADD))
+        stack_depth -= 1
+    if stack_depth == 0:
+        instrs.append(GetLocal(0))
+    instrs.append(Return())
+    return tuple(instrs)
+
+
+class TestOptimizerDifferential:
+    """Differential correctness of repro.opt: for every compiled module the
+    optimized and unoptimized Wasm produce identical interpreter results."""
+
+    @given(arith_programs(), st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=30, deadline=None)
+    def test_optimizer_preserves_arith_program_results(self, body, x, y):
+        module = make_module(functions=[
+            Function(funtype([i32(), i32()], [i32()]), (), body, ("f",))
+        ])
+        check_module(module)
+        lowered = lower_module(module)
+        result = optimize_module(lowered.wasm)
+        report = run_differential(lowered.wasm, result.module, [("f", (x, y))])
+        assert report.ok, report.format_report()
+
+    @given(stateful_programs(), st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=30, deadline=None)
+    def test_optimizer_preserves_local_store_semantics(self, body, x, y):
+        module = make_module(functions=[
+            Function(funtype([i32(), i32()], [i32()]), (), body, ("f",))
+        ])
+        check_module(module)
+        lowered = lower_module(module)
+        result = optimize_module(lowered.wasm)
+        assert result.instructions_after <= result.instructions_before
+        report = run_differential(lowered.wasm, result.module, [("f", (x, y))])
+        assert report.ok, report.format_report()
 
 
 class TestRandomProgramSafety:
