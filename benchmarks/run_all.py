@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and write a machine-readable BENCH_results.json.
+
+Tracks the perf trajectory across PRs: every run records, per workload, the
+step count, best wall time, steps/sec, and static instruction count, plus
+the tree-walker-vs-flat-VM differential cross-check verdicts.  In full mode
+every ``bench_*.py`` file is additionally executed under pytest and its wall
+time and exit status recorded.
+
+Usage::
+
+    python benchmarks/run_all.py            # full run (pytest over bench_*)
+    python benchmarks/run_all.py --smoke    # workloads + cross-check only
+    python benchmarks/run_all.py --engine tree --output /tmp/results.json
+
+The process exits non-zero if any engine cross-check reports a divergence or
+any benchmark file fails — the CI smoke job is gated on exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+for path in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))
+
+from repro.opt import run_engine_cross_check  # noqa: E402
+from repro.wasm import available_engines  # noqa: E402
+
+from workloads import WORKLOADS, measure_engine  # noqa: E402
+
+
+def measure_workloads(engine: str) -> dict:
+    results: dict[str, dict] = {}
+    for name, build in sorted(WORKLOADS.items()):
+        wasm, calls = build()
+        steps, best = measure_engine(wasm, calls, engine)
+        results[name] = {
+            "engine": engine,
+            "calls": len(calls),
+            "steps": steps,
+            "instructions": wasm.instruction_count(),
+            "wall_s": round(best, 6),
+            "steps_per_sec": round(steps / best) if best else None,
+        }
+    return results
+
+
+def cross_check_workloads() -> tuple[dict, bool]:
+    results: dict[str, dict] = {}
+    all_ok = True
+    for name, build in sorted(WORKLOADS.items()):
+        wasm, calls = build()
+        report = run_engine_cross_check(wasm, calls)
+        results[name] = {
+            "ok": report.ok,
+            "calls": len(report.outcomes),
+            "steps": report.baseline_steps,
+            "detail": None if report.ok else report.format_report(),
+        }
+        all_ok = all_ok and report.ok
+    return results, all_ok
+
+
+def run_bench_files() -> tuple[dict, bool]:
+    results: dict[str, dict] = {}
+    all_ok = True
+    for bench in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(bench), "-q", "--benchmark-disable"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        wall = time.perf_counter() - start
+        ok = proc.returncode == 0
+        results[bench.name] = {
+            "ok": ok,
+            "wall_s": round(wall, 3),
+            "returncode": proc.returncode,
+        }
+        if not ok:
+            results[bench.name]["tail"] = proc.stdout.splitlines()[-15:]
+            all_ok = False
+        print(f"  {bench.name}: {'ok' if ok else 'FAIL'} ({wall:.1f}s)")
+    return results, all_ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="workload timings + engine cross-check only (skip the pytest benchmark files)")
+    parser.add_argument("--engine", default="flat", choices=available_engines(),
+                        help="engine used for the workload timings (default: flat)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_results.json"),
+                        help="where to write the JSON results")
+    args = parser.parse_args(argv)
+
+    results = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+    }
+
+    print(f"workload timings on the {args.engine!r} engine ...")
+    results["workloads"] = measure_workloads(args.engine)
+    for name, entry in results["workloads"].items():
+        print(f"  {name}: {entry['steps_per_sec']:,} steps/s ({entry['steps']} steps, {entry['calls']} calls)")
+
+    print("tree-walker vs flat-VM differential cross-check ...")
+    results["cross_check"], cross_ok = cross_check_workloads()
+    for name, entry in results["cross_check"].items():
+        print(f"  {name}: {'ok' if entry['ok'] else 'DIVERGENCE'}")
+        if not entry["ok"]:
+            print(entry["detail"])
+
+    bench_ok = True
+    if not args.smoke:
+        print("benchmark files ...")
+        results["benchmarks"], bench_ok = run_bench_files()
+
+    results["ok"] = cross_ok and bench_ok
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} (ok={results['ok']})")
+    return 0 if results["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

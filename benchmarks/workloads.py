@@ -1,0 +1,185 @@
+"""Shared benchmark workloads: lowered Wasm modules plus call scripts.
+
+Used by ``bench_interpreters.py`` (engine head-to-head) and ``run_all.py``
+(the cross-PR perf tracker and the tree-vs-flat cross-check smoke gate), so
+the numbers and the differential checks always talk about the same programs:
+
+* ``sum_loop`` — a hand-written RichWasm counting loop (branch heavy);
+* ``ml_pipeline`` — the §5 ML workload (closures, sums, GC'd refs);
+* ``l3_churn`` — the §5 L3 workload (linear allocation churn);
+* ``linked_counter`` — the Fig. 9 ML/L3 counter program statically linked
+  into one Wasm module (cross-language calls, shared heap).
+
+Each entry builds a ``(WasmModule, calls)`` pair where ``calls`` is a list of
+``(export, args)`` invocations replayable on any execution engine or by
+:func:`repro.opt.run_engine_cross_check`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.syntax import (
+    Block,
+    Br,
+    BrIf,
+    Function,
+    GetLocal,
+    IntBinop,
+    Loop,
+    NumBinop,
+    NumConst,
+    NumTestop,
+    NumType,
+    Return,
+    SetLocal,
+    SizeConst,
+    arrow,
+    funtype,
+    i32,
+    make_module,
+)
+from repro.core.typing import check_module
+from repro.ffi import Program, counter_program
+from repro.l3 import (
+    L3Function,
+    LBinOp,
+    LFree,
+    LInt,
+    LIntLit,
+    LLet,
+    LLetPair,
+    LNew,
+    LSwap,
+    LVar,
+    compile_l3_module,
+    l3_module,
+)
+from repro.lower import lower_module
+from repro.ml import (
+    App,
+    BinOp,
+    Case,
+    If,
+    Inl,
+    Inr,
+    IntLit,
+    Lam,
+    Let,
+    MLFunction,
+    TInt,
+    TSum,
+    TUnit,
+    Unit,
+    Var,
+    compile_ml_module,
+    ml_module,
+)
+from repro.wasm import WasmInterpreter, validate_module
+
+SUM_N = 2000
+COUNTER_TICKS = 30
+
+
+def _sum_loop():
+    body = (
+        NumConst(NumType.I32, 0), SetLocal(1),
+        Block(arrow([], []), (), (
+            Loop(arrow([], []), (
+                GetLocal(0), NumTestop(NumType.I32), BrIf(1),
+                GetLocal(1), GetLocal(0), NumBinop(NumType.I32, IntBinop.ADD), SetLocal(1),
+                GetLocal(0), NumConst(NumType.I32, 1), NumBinop(NumType.I32, IntBinop.SUB), SetLocal(0),
+                Br(0),
+            )),
+        )),
+        GetLocal(1), Return(),
+    )
+    module = make_module(functions=[
+        Function(funtype([i32()], [i32()]), (SizeConst(32),), body, ("sum",))
+    ])
+    check_module(module)
+    wasm = lower_module(module).wasm
+    validate_module(wasm)
+    return wasm, [("sum", (SUM_N,))]
+
+
+def _ml_pipeline():
+    sum_ty = TSum(TUnit(), TInt())
+    module = ml_module("work", functions=[
+        MLFunction("pipeline", "x", TInt(), TInt(),
+                   Let("double", Lam("y", TInt(), BinOp("*", Var("y"), IntLit(2))),
+                       Case(If(BinOp("<", Var("x"), IntLit(0)), Inl(Unit(), sum_ty), Inr(Var("x"), sum_ty)),
+                            "n", IntLit(0),
+                            "p", App(Var("double"), Var("p"))))),
+    ])
+    wasm = compile_ml_module(module, lower=True).wasm
+    validate_module(wasm)
+    calls = [("pipeline", (value,)) for value in (21, -3, 0, 100, 7, -1, 55, 13)]
+    return wasm, calls
+
+
+def _l3_churn():
+    module = l3_module("work", functions=[
+        L3Function("churn", "x", LInt(), LInt(),
+                   LLet("o", LNew(LVar("x")),
+                        LLetPair("old", "o2", LSwap(LVar("o"), LIntLit(1)),
+                                 LBinOp("+", LVar("old"), LFree(LVar("o2")))))),
+    ])
+    wasm = compile_l3_module(module, lower=True).wasm
+    validate_module(wasm)
+    calls = [("churn", (value,)) for value in (9, 1, 42, 0, 17, 3, 8, 26)]
+    return wasm, calls
+
+
+def _linked_counter():
+    program = Program(counter_program().modules())
+    wasm = program.lower().wasm
+    validate_module(wasm)
+    calls = [(export, ()) for export in sorted(wasm.exported_functions()) if export.endswith("._init")]
+    calls.append(("client.client_init", (0,)))
+    calls.extend(("client.client_tick", (0,)) for _ in range(COUNTER_TICKS))
+    calls.append(("client.client_total", (0,)))
+    return wasm, calls
+
+
+WORKLOADS: dict[str, Callable[[], tuple]] = {
+    "sum_loop": _sum_loop,
+    "ml_pipeline": _ml_pipeline,
+    "l3_churn": _l3_churn,
+    "linked_counter": _linked_counter,
+}
+
+
+def run_calls(interpreter: WasmInterpreter, instance, calls) -> list:
+    """Replay a call script, returning the per-call results."""
+
+    return [interpreter.invoke(instance, export, list(args)) for export, args in calls]
+
+
+def measure_engine(wasm, calls, engine: str, *, min_time: float = 0.3, max_rounds: int = 300):
+    """Time repeated replays of ``calls`` on one engine.
+
+    Returns ``(steps_per_call_script, best_seconds_per_call_script)`` using
+    best-of timing over enough rounds to fill ``min_time`` seconds, so the
+    steps/sec ratio between engines is stable under scheduler noise.
+    """
+
+    interpreter = WasmInterpreter(engine=engine)
+    instance = interpreter.instantiate(wasm)
+    run_calls(interpreter, instance, calls)  # warm-up
+    before = interpreter.steps
+    run_calls(interpreter, instance, calls)
+    steps = interpreter.steps - before
+
+    best = float("inf")
+    elapsed_total = 0.0
+    rounds = 0
+    while elapsed_total < min_time and rounds < max_rounds:
+        start = time.perf_counter()
+        run_calls(interpreter, instance, calls)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        elapsed_total += elapsed
+        rounds += 1
+    return steps, best

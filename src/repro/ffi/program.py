@@ -83,20 +83,30 @@ class Program:
 
         return link_modules(self.modules, name=name)
 
-    def lower(self, *, memory_pages: int = 4, optimize: bool = False):
+    def lower(self, *, memory_pages: int = 4, optimize: bool = False, engine=None):
         """Link and lower the whole program to a single Wasm module.
 
         ``optimize=True`` runs the :mod:`repro.opt` pass pipeline over the
         linked module, so cross-language programs get whole-program
         optimization (the linker already resolved imports to direct calls).
+        ``engine`` records the execution-engine preference on the result.
         """
 
-        return lower_module(self.link(), memory_pages=memory_pages, optimize=optimize)
+        return lower_module(self.link(), memory_pages=memory_pages, optimize=optimize, engine=engine)
 
-    def instantiate_wasm(self, *, memory_pages: int = 4, optimize: bool = False) -> "WasmProgramInstance":
-        lowered = self.lower(memory_pages=memory_pages, optimize=optimize)
+    def instantiate_wasm(
+        self, *, memory_pages: int = 4, optimize: bool = False, engine=None
+    ) -> "WasmProgramInstance":
+        """Lower and run the whole program on a Wasm execution engine.
+
+        ``engine`` selects the engine (``"flat"``/``"tree"`` or an
+        :class:`~repro.wasm.engine.ExecutionEngine`); the default is the
+        flat VM.
+        """
+
+        lowered = self.lower(memory_pages=memory_pages, optimize=optimize, engine=engine if isinstance(engine, str) else None)
         validate_module(lowered.wasm)
-        interpreter = WasmInterpreter()
+        interpreter = WasmInterpreter(engine=engine)
         instance = interpreter.instantiate(lowered.wasm)
         program = WasmProgramInstance(self, interpreter, instance, lowered)
         program.run_initializers()

@@ -28,16 +28,21 @@ from .layout import (
 from .runtime import BLOCK_HEADER_BYTES, HEAP_BASE, RuntimeLayout, build_free, build_malloc
 
 
-def lower_module(module, *, memory_pages: int = 4, optimize: bool = False, passes=None) -> LoweredModule:
+def lower_module(module, *, memory_pages: int = 4, optimize: bool = False, passes=None, engine=None) -> LoweredModule:
     """Type-check-directed lowering of a RichWasm module to Wasm.
 
     With ``optimize=True`` the lowered module is post-processed by the
     :mod:`repro.opt` pass pipeline (``passes`` overrides the default one);
     the :class:`LoweredModule` then carries the optimization statistics and
     its ``wasm`` field is the optimized module.
+
+    ``engine`` records an execution-engine preference (``"flat"``/``"tree"``)
+    on the result, consumed by :meth:`LoweredModule.instantiate`; ``None``
+    means the default engine (the flat VM).
     """
 
     lowered = ModuleLowering(module, memory_pages=memory_pages).lower()
+    lowered.engine = engine
     if optimize:
         from ..opt import optimize_module
 

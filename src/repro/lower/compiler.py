@@ -132,6 +132,10 @@ class LoweredModule:
     When the module was lowered with ``optimize=True``, ``optimization``
     holds the :class:`repro.opt.OptimizationResult` (per-pass statistics and
     the instruction-count delta) and ``wasm`` is the optimized module.
+
+    ``engine`` records the execution-engine preference threaded through the
+    compile entry points (``None`` means the default, the flat VM); it is
+    consumed by :meth:`instantiate`.
     """
 
     wasm: WasmModule
@@ -139,6 +143,19 @@ class LoweredModule:
     runtime: RuntimeLayout
     global_map: dict[int, tuple[int, list[ValType]]]
     optimization: Optional[object] = None
+    engine: Optional[str] = None
+
+    def instantiate(self, *, host_imports=None, max_steps: Optional[int] = None, engine=None):
+        """Instantiate the lowered Wasm on an execution engine.
+
+        Returns ``(interpreter, instance)``.  ``engine`` overrides the
+        preference recorded at compile time; both default to the flat VM.
+        """
+
+        from ..wasm.interpreter import WasmInterpreter
+
+        interpreter = WasmInterpreter(max_steps=max_steps, engine=engine if engine is not None else self.engine)
+        return interpreter, interpreter.instantiate(self.wasm, host_imports)
 
 
 @dataclass

@@ -933,19 +933,24 @@ def _size_bits(ty: Type) -> int:
     return eval_size(closed_size_of_type(ty))
 
 
-def compile_ml_module(module: MLModule, *, lower: bool = False, optimize: bool = False, memory_pages: int = 4):
+def compile_ml_module(
+    module: MLModule, *, lower: bool = False, optimize: bool = False, memory_pages: int = 4, engine=None
+):
     """Type-check and compile an ML module to RichWasm.
 
     By default this returns the RichWasm :class:`Module`.  With
-    ``lower=True`` (implied by ``optimize=True``) it continues down the
-    pipeline and returns the :class:`repro.lower.LoweredModule` instead,
-    optionally post-processed by the :mod:`repro.opt` pass pipeline.
+    ``lower=True`` (implied by ``optimize=True`` or ``engine=...``) it
+    continues down the pipeline and returns the
+    :class:`repro.lower.LoweredModule` instead, optionally post-processed by
+    the :mod:`repro.opt` pass pipeline.  ``engine`` records the
+    execution-engine preference (default: the flat VM) consumed by
+    :meth:`repro.lower.LoweredModule.instantiate`.
     """
 
     checked = check_module(module)
     richwasm = MLCompiler(checked).compile()
-    if lower or optimize:
+    if lower or optimize or engine is not None:
         from ..lower import lower_module
 
-        return lower_module(richwasm, memory_pages=memory_pages, optimize=optimize)
+        return lower_module(richwasm, memory_pages=memory_pages, optimize=optimize, engine=engine)
     return richwasm

@@ -42,6 +42,7 @@ from .verify import (
     DifferentialReport,
     Invocation,
     run_differential,
+    run_engine_cross_check,
     verify_optimization,
 )
 

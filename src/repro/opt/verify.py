@@ -1,4 +1,4 @@
-"""Differential verification of optimized modules.
+"""Differential verification of optimized modules and execution engines.
 
 The evidence standing in for a translation-validation proof: run an optimized
 module and its unoptimized twin side by side in
@@ -6,6 +6,13 @@ module and its unoptimized twin side by side in
 arguments, in the same order on one shared pair of instances — and require
 identical observable behaviour: results (bit-exact, NaN-aware), traps, and
 optionally the final linear memory and globals.
+
+The same machinery doubles as the engine cross-check: with the execution
+engine now pluggable (:mod:`repro.wasm.engine`), ``engine=`` pins both runs
+to one engine, and :func:`run_engine_cross_check` replays one module on the
+tree-walker and the flat VM and requires the two engines to agree on every
+observation — including the cumulative step count, so ``max_steps`` budgets
+trap at the same instruction on either engine.
 """
 
 from __future__ import annotations
@@ -42,10 +49,13 @@ class CallOutcome:
 class DifferentialReport:
     outcomes: list[CallOutcome] = field(default_factory=list)
     state_matches: bool = True
+    steps_match: bool = True
+    baseline_steps: int = 0
+    candidate_steps: int = 0
 
     @property
     def ok(self) -> bool:
-        return self.state_matches and all(outcome.matches for outcome in self.outcomes)
+        return self.state_matches and self.steps_match and all(outcome.matches for outcome in self.outcomes)
 
     def mismatches(self) -> list[CallOutcome]:
         return [outcome for outcome in self.outcomes if not outcome.matches]
@@ -59,6 +69,10 @@ class DifferentialReport:
             )
         if not self.state_matches:
             lines.append("  MISMATCH in final memory/global state")
+        if not self.steps_match:
+            lines.append(
+                f"  MISMATCH in step counts: baseline={self.baseline_steps} candidate={self.candidate_steps}"
+            )
         return "\n".join(lines)
 
 
@@ -87,31 +101,18 @@ def _resolve_hosts(host_imports: Union[HostImports, HostImportFactory, None]) ->
     return host_imports
 
 
-def run_differential(
-    baseline: WasmModule,
-    candidate: WasmModule,
-    calls: Sequence[Union[Invocation, tuple]],
+def _compare_runs(
+    baseline_interp: WasmInterpreter,
+    baseline_instance,
+    candidate_interp: WasmInterpreter,
+    candidate_instance,
+    calls: Sequence[Invocation],
     *,
-    host_imports: Union[HostImports, HostImportFactory, None] = None,
-    compare_state: bool = True,
-    max_steps: Optional[int] = None,
+    compare_state: bool,
+    compare_steps: bool = False,
 ) -> DifferentialReport:
-    """Replay ``calls`` on both modules and compare every observation.
-
-    ``host_imports`` may be a dict (shared by both runs — fine for stateless
-    hosts) or a zero-argument factory called once per module so stateful
-    hosts do not leak observations across the two runs.
-    """
-
-    normalized_calls = [call if isinstance(call, Invocation) else Invocation(call[0], tuple(call[1])) for call in calls]
-
-    baseline_interp = WasmInterpreter(max_steps=max_steps)
-    candidate_interp = WasmInterpreter(max_steps=max_steps)
-    baseline_instance = baseline_interp.instantiate(baseline, _resolve_hosts(host_imports))
-    candidate_instance = candidate_interp.instantiate(candidate, _resolve_hosts(host_imports))
-
     report = DifferentialReport()
-    for call in normalized_calls:
+    for call in calls:
         outcomes: list[Union[list[WasmValue], str]] = []
         for interp, instance in ((baseline_interp, baseline_instance), (candidate_interp, candidate_instance)):
             try:
@@ -132,7 +133,109 @@ def run_differential(
         report.state_matches = baseline_memory == candidate_memory and _values_equal(
             baseline_instance.globals, candidate_instance.globals
         )
+    report.baseline_steps = baseline_interp.steps
+    report.candidate_steps = candidate_interp.steps
+    if compare_steps:
+        report.steps_match = baseline_interp.steps == candidate_interp.steps
     return report
+
+
+def _normalize_calls(calls: Sequence[Union[Invocation, tuple]]) -> list[Invocation]:
+    return [call if isinstance(call, Invocation) else Invocation(call[0], tuple(call[1])) for call in calls]
+
+
+def _fresh_engine_spec(engine, max_steps: Optional[int]):
+    """Make an engine spec safe to use for two independent runs.
+
+    Passing one :class:`~repro.wasm.engine.ExecutionEngine` *instance* would
+    share its cumulative ``steps`` counter (and ``max_steps`` budget) between
+    the baseline and candidate runs — a self-comparison could then diverge.
+    Resolve instances to their registry name (inheriting the instance's
+    ``max_steps`` unless overridden) so each side gets a fresh engine of the
+    same kind.
+    """
+
+    from ..wasm.engine import ExecutionEngine
+
+    if isinstance(engine, ExecutionEngine):
+        return engine.name, max_steps if max_steps is not None else engine.max_steps
+    return engine, max_steps
+
+
+def run_differential(
+    baseline: WasmModule,
+    candidate: WasmModule,
+    calls: Sequence[Union[Invocation, tuple]],
+    *,
+    host_imports: Union[HostImports, HostImportFactory, None] = None,
+    compare_state: bool = True,
+    max_steps: Optional[int] = None,
+    engine=None,
+) -> DifferentialReport:
+    """Replay ``calls`` on both modules and compare every observation.
+
+    ``host_imports`` may be a dict (shared by both runs — fine for stateless
+    hosts) or a zero-argument factory called once per module so stateful
+    hosts do not leak observations across the two runs.  ``engine`` pins both
+    runs to one execution engine (name or instance spec accepted by
+    :func:`repro.wasm.create_engine`); ``None`` uses the default (flat VM).
+    """
+
+    normalized_calls = _normalize_calls(calls)
+    engine, max_steps = _fresh_engine_spec(engine, max_steps)
+
+    baseline_interp = WasmInterpreter(max_steps=max_steps, engine=engine)
+    candidate_interp = WasmInterpreter(max_steps=max_steps, engine=engine)
+    baseline_instance = baseline_interp.instantiate(baseline, _resolve_hosts(host_imports))
+    candidate_instance = candidate_interp.instantiate(candidate, _resolve_hosts(host_imports))
+
+    return _compare_runs(
+        baseline_interp,
+        baseline_instance,
+        candidate_interp,
+        candidate_instance,
+        normalized_calls,
+        compare_state=compare_state,
+    )
+
+
+def run_engine_cross_check(
+    module: WasmModule,
+    calls: Sequence[Union[Invocation, tuple]],
+    *,
+    engines: tuple = ("tree", "flat"),
+    host_imports: Union[HostImports, HostImportFactory, None] = None,
+    compare_state: bool = True,
+    compare_steps: bool = True,
+    max_steps: Optional[int] = None,
+) -> DifferentialReport:
+    """Replay one module on two execution engines and require agreement.
+
+    The cross-check mode of the differential harness: ``baseline`` is the
+    first engine (tree-walker by default), ``candidate`` the second (flat
+    VM).  Results, traps, final memory, globals, and — unlike the
+    module-vs-module check — the cumulative step counters must all match, so
+    ``repro.analysis`` step deltas stay engine-independent.
+    """
+
+    normalized_calls = _normalize_calls(calls)
+    first_engine, first_steps = _fresh_engine_spec(engines[0], max_steps)
+    second_engine, second_steps = _fresh_engine_spec(engines[1], max_steps)
+
+    baseline_interp = WasmInterpreter(max_steps=first_steps, engine=first_engine)
+    candidate_interp = WasmInterpreter(max_steps=second_steps, engine=second_engine)
+    baseline_instance = baseline_interp.instantiate(module, _resolve_hosts(host_imports))
+    candidate_instance = candidate_interp.instantiate(module, _resolve_hosts(host_imports))
+
+    return _compare_runs(
+        baseline_interp,
+        baseline_instance,
+        candidate_interp,
+        candidate_instance,
+        normalized_calls,
+        compare_state=compare_state,
+        compare_steps=compare_steps,
+    )
 
 
 def verify_optimization(

@@ -1,9 +1,11 @@
 """A WebAssembly 1.0 (+ multi-value) substrate.
 
 This package is the execution target for lowered RichWasm modules: an AST
-(:mod:`repro.wasm.ast`), a validator (:mod:`repro.wasm.validation`), an
-interpreter with a byte-addressed linear memory
-(:mod:`repro.wasm.interpreter`) and a WAT-style printer
+(:mod:`repro.wasm.ast`), a validator (:mod:`repro.wasm.validation`), a
+pluggable execution-engine layer (:mod:`repro.wasm.engine`: a pre-decoded
+flat-code VM — the default — and the reference tree-walker) behind the
+:class:`WasmInterpreter` facade (:mod:`repro.wasm.interpreter`), the flat
+pre-decoder (:mod:`repro.wasm.decode`), and a WAT-style printer
 (:mod:`repro.wasm.text`).
 """
 
@@ -49,6 +51,16 @@ from .ast import (
     WSelect,
     WUnreachable,
     count_instrs,
+)
+from .decode import FlatFunction, decode_function, decode_instance
+from .engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    ExecutionEngine,
+    FlatVMEngine,
+    TreeWalkingEngine,
+    available_engines,
+    create_engine,
 )
 from .interpreter import HostFunction, LinearMemory, WasmInstance, WasmInterpreter, WasmTrap, WasmValue
 from .text import format_instr, module_to_wat

@@ -1,0 +1,884 @@
+"""Pluggable execution engines for the Wasm substrate.
+
+:class:`ExecutionEngine` is the abstraction every execution path in the repo
+(differential verification, the FFI ``Program`` layer, benchmarks, examples)
+runs on.  Two implementations ship:
+
+* :class:`TreeWalkingEngine` (``"tree"``) — the original recursive
+  tree-walker: structured bodies are re-entered on every execution and
+  ``br``/``return`` unwind Python exceptions.  It is the reference
+  implementation and the baseline for the differential cross-check.
+* :class:`FlatVMEngine` (``"flat"``) — a pre-decoded flat-code VM: each
+  function body is flattened once at instantiation
+  (:mod:`repro.wasm.decode`), branches are program-counter updates over an
+  explicit label stack, and calls push explicit frames — no exceptions on
+  the hot path.  This is the default engine.
+
+Both engines share instantiation, export lookup and constant-expression
+evaluation (implemented on the base class), count ``steps`` identically
+(one step per executed instruction that the tree walker would have visited),
+and produce bit-identical results, traps, memories and globals — a property
+enforced by :func:`repro.opt.run_engine_cross_check` and the property suite.
+
+Select an engine by name via :func:`create_engine`, the ``engine=`` argument
+of :class:`repro.wasm.WasmInterpreter`, or the ``REPRO_WASM_ENGINE``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar, Optional, Sequence, Union
+
+from ..core.semantics import numerics
+from ..core.typing.errors import WasmError
+from .ast import (
+    Binop,
+    Const,
+    Cvtop,
+    GlobalGet,
+    GlobalSet,
+    Load,
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    MemoryGrow,
+    MemorySize,
+    PAGE_SIZE,
+    Relop,
+    StoreI,
+    Testop,
+    Unop,
+    ValType,
+    WasmFunction,
+    WasmFuncType,
+    WasmImportedFunction,
+    WasmModule,
+    WBlock,
+    WBr,
+    WBrIf,
+    WBrTable,
+    WCall,
+    WCallIndirect,
+    WDrop,
+    WIf,
+    WInstr,
+    WLoop,
+    WNop,
+    WReturn,
+    WSelect,
+    WUnreachable,
+)
+from .decode import (
+    OP_BLOCK,
+    OP_BR,
+    OP_BR_IF,
+    OP_BR_TABLE,
+    OP_CALL,
+    OP_CALL_INDIRECT,
+    OP_CONST,
+    OP_CVT,
+    OP_DROP,
+    OP_END,
+    OP_F_BINOP,
+    OP_F_RELOP,
+    OP_GLOBAL_GET,
+    OP_GLOBAL_SET,
+    OP_I_BINOP,
+    OP_I_RELOP,
+    OP_IF,
+    OP_JUMP,
+    OP_LOAD_F,
+    OP_LOAD_I,
+    OP_LOCAL_GET,
+    OP_LOCAL_SET,
+    OP_LOCAL_TEE,
+    OP_LOOP,
+    OP_MEMORY_GROW,
+    OP_MEMORY_SIZE,
+    OP_NOP,
+    OP_RETURN,
+    OP_SELECT,
+    OP_STORE_F,
+    OP_STORE_I,
+    OP_TESTOP,
+    OP_UNOP,
+    OP_UNREACHABLE,
+    FlatFunction,
+    HostEntry,
+    _INT_BINOPS,
+    _INT_UNOPS,
+    decode_instance,
+)
+from .interpreter import (
+    HostFunction,
+    LinearMemory,
+    WasmInstance,
+    WasmTrap,
+    WasmValue,
+    _normalize,
+)
+
+DEFAULT_ENGINE = "flat"
+_ENGINE_ENV_VAR = "REPRO_WASM_ENGINE"
+
+
+class _Branch(Exception):
+    """Tree-walker branch unwinding (never crosses the engine boundary)."""
+
+    def __init__(self, depth: int, values: list[WasmValue]):
+        super().__init__(depth)
+        self.depth = depth
+        self.values = values
+
+
+class _Return(Exception):
+    def __init__(self, values: list[WasmValue]):
+        super().__init__()
+        self.values = values
+
+
+class ExecutionEngine(ABC):
+    """Instantiates Wasm modules and executes exported functions.
+
+    Engines are stateful in exactly two counters: ``steps`` (cumulative
+    executed-instruction count across all invocations) and ``max_steps``
+    (trap with ``"step budget exhausted"`` once exceeded).  Both engines
+    count the same instruction stream, so a program traps at the same step
+    number regardless of engine.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, *, max_steps: Optional[int] = None) -> None:
+        self.max_steps = max_steps
+        self.steps = 0
+
+    # -- instantiation -----------------------------------------------------
+
+    def instantiate(
+        self,
+        module: WasmModule,
+        host_imports: Optional[dict[tuple[str, str], HostFunction]] = None,
+    ) -> WasmInstance:
+        host_imports = host_imports or {}
+        instance = WasmInstance(module=module)
+
+        for function in module.functions:
+            if isinstance(function, WasmImportedFunction):
+                key = (function.module, function.name)
+                if key not in host_imports:
+                    raise WasmError(f"unresolved Wasm import {key!r}")
+                instance.funcs.append(host_imports[key])
+            else:
+                instance.funcs.append(function)
+
+        for index, function in enumerate(module.functions):
+            for export in function.exports:
+                instance.exports[export] = index
+
+        if module.memory is not None:
+            instance.memory = LinearMemory(module.memory.min_pages, module.memory.max_pages)
+            for segment in module.data:
+                instance.memory.write(segment.offset, segment.data)
+
+        instance.table = list(module.table.entries)
+
+        for global_decl in module.globals:
+            value = self._eval_const_expr(global_decl.init, instance)
+            instance.globals.append(value)
+
+        self._prepare_instance(instance)
+
+        if module.start is not None:
+            self.invoke_index(instance, module.start, [])
+        return instance
+
+    def _prepare_instance(self, instance: WasmInstance) -> None:
+        """Engine hook run after the instance is built, before ``start``."""
+
+    def _eval_const_expr(self, body: Sequence[WInstr], instance: WasmInstance) -> WasmValue:
+        stack: list[WasmValue] = []
+        for instr in body:
+            if isinstance(instr, Const):
+                stack.append(_normalize(instr.valtype, instr.value))
+            elif isinstance(instr, GlobalGet):
+                stack.append(instance.globals[instr.index])
+            else:
+                raise WasmError(f"unsupported instruction in constant expression: {instr!r}")
+        return stack[-1] if stack else 0
+
+    # -- invocation --------------------------------------------------------
+
+    def invoke(self, instance: WasmInstance, name: str, args: Sequence[WasmValue] = ()) -> list[WasmValue]:
+        if name not in instance.exports:
+            raise WasmError(f"no export named {name!r}")
+        return self.invoke_index(instance, instance.exports[name], list(args))
+
+    @abstractmethod
+    def invoke_index(self, instance: WasmInstance, index: int, args: list[WasmValue]) -> list[WasmValue]:
+        """Execute function ``index`` of ``instance`` with ``args``."""
+
+
+# ---------------------------------------------------------------------------
+# The tree-walking reference engine
+# ---------------------------------------------------------------------------
+
+
+class TreeWalkingEngine(ExecutionEngine):
+    """The original recursive AST interpreter (reference semantics)."""
+
+    name: ClassVar[str] = "tree"
+
+    def invoke_index(self, instance: WasmInstance, index: int, args: list[WasmValue]) -> list[WasmValue]:
+        target = instance.funcs[index]
+        if callable(target) and not isinstance(target, WasmFunction):
+            results = target(*args)
+            return list(results) if results is not None else []
+        assert isinstance(target, WasmFunction)
+        locals_: list[WasmValue] = list(args)
+        for position, valtype in enumerate(target.functype.params[: len(locals_)]):
+            locals_[position] = _normalize(valtype, locals_[position])
+        for valtype in target.locals:
+            locals_.append(0 if valtype.is_integer else 0.0)
+        stack: list[WasmValue] = []
+        try:
+            self._exec_seq(target.body, stack, locals_, instance)
+            count = len(target.functype.results)
+            return stack[len(stack) - count :] if count else []
+        except _Return as ret:
+            count = len(target.functype.results)
+            return ret.values[len(ret.values) - count :] if count else []
+        except _Branch as branch:  # pragma: no cover - validation prevents this
+            raise WasmTrap(f"branch escaped function body (depth {branch.depth})")
+
+    # -- execution ---------------------------------------------------------
+
+    def _exec_seq(
+        self,
+        body: Sequence[WInstr],
+        stack: list[WasmValue],
+        locals_: list[WasmValue],
+        instance: WasmInstance,
+    ) -> None:
+        for instr in body:
+            self._step(instr, stack, locals_, instance)
+
+    def _step(self, instr: WInstr, stack: list[WasmValue], locals_: list[WasmValue], instance: WasmInstance) -> None:
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise WasmTrap("step budget exhausted")
+
+        if isinstance(instr, Const):
+            stack.append(_normalize(instr.valtype, instr.value))
+        elif isinstance(instr, Binop):
+            rhs, lhs = stack.pop(), stack.pop()
+            stack.append(self._binop(instr, lhs, rhs))
+        elif isinstance(instr, Unop):
+            operand = stack.pop()
+            stack.append(self._unop(instr, operand))
+        elif isinstance(instr, Testop):
+            operand = stack.pop()
+            stack.append(numerics.int_eqz(int(operand), instr.valtype.bit_width))
+        elif isinstance(instr, Relop):
+            rhs, lhs = stack.pop(), stack.pop()
+            stack.append(self._relop(instr, lhs, rhs))
+        elif isinstance(instr, Cvtop):
+            operand = stack.pop()
+            stack.append(self._cvtop(instr, operand))
+        elif isinstance(instr, WUnreachable):
+            raise WasmTrap("unreachable executed")
+        elif isinstance(instr, WNop):
+            return
+        elif isinstance(instr, WDrop):
+            stack.pop()
+        elif isinstance(instr, WSelect):
+            condition = stack.pop()
+            second, first = stack.pop(), stack.pop()
+            stack.append(first if int(condition) != 0 else second)
+        elif isinstance(instr, WBlock):
+            self._run_block(instr.body, instr.blocktype, stack, locals_, instance, loop=False)
+        elif isinstance(instr, WLoop):
+            self._run_block(instr.body, instr.blocktype, stack, locals_, instance, loop=True)
+        elif isinstance(instr, WIf):
+            condition = stack.pop()
+            body = instr.then_body if int(condition) != 0 else instr.else_body
+            self._run_block(body, instr.blocktype, stack, locals_, instance, loop=False)
+        elif isinstance(instr, WBr):
+            raise _Branch(instr.depth, list(stack))
+        elif isinstance(instr, WBrIf):
+            condition = stack.pop()
+            if int(condition) != 0:
+                raise _Branch(instr.depth, list(stack))
+        elif isinstance(instr, WBrTable):
+            index = int(stack.pop())
+            depth = instr.depths[index] if 0 <= index < len(instr.depths) else instr.default
+            raise _Branch(depth, list(stack))
+        elif isinstance(instr, WReturn):
+            raise _Return(list(stack))
+        elif isinstance(instr, WCall):
+            self._call(instance, instr.func_index, stack)
+        elif isinstance(instr, WCallIndirect):
+            table_index = int(stack.pop())
+            if table_index < 0 or table_index >= len(instance.table):
+                raise WasmTrap(f"call_indirect index {table_index} out of table bounds")
+            self._call(instance, instance.table[table_index], stack, expected=instr.functype)
+        elif isinstance(instr, LocalGet):
+            stack.append(locals_[instr.index])
+        elif isinstance(instr, LocalSet):
+            locals_[instr.index] = stack.pop()
+        elif isinstance(instr, LocalTee):
+            locals_[instr.index] = stack[-1]
+        elif isinstance(instr, GlobalGet):
+            stack.append(instance.globals[instr.index])
+        elif isinstance(instr, GlobalSet):
+            instance.globals[instr.index] = stack.pop()
+        elif isinstance(instr, Load):
+            address = int(stack.pop()) + instr.offset
+            stack.append(self._load(instance, instr, address))
+        elif isinstance(instr, StoreI):
+            value = stack.pop()
+            address = int(stack.pop()) + instr.offset
+            self._store(instance, instr, address, value)
+        elif isinstance(instr, MemorySize):
+            stack.append(self._memory(instance).size_pages())
+        elif isinstance(instr, MemoryGrow):
+            delta = int(stack.pop())
+            stack.append(numerics.wrap(self._memory(instance).grow(delta), 32))
+        else:
+            raise WasmError(f"no execution rule for Wasm instruction {instr!r}")
+
+    def _run_block(
+        self,
+        body: Sequence[WInstr],
+        blocktype: WasmFuncType,
+        stack: list[WasmValue],
+        locals_: list[WasmValue],
+        instance: WasmInstance,
+        *,
+        loop: bool,
+    ) -> None:
+        params = [stack.pop() for _ in blocktype.params][::-1]
+        inner = list(params)
+        while True:
+            try:
+                self._exec_seq(body, inner, locals_, instance)
+                count = len(blocktype.results)
+                stack.extend(inner[len(inner) - count :] if count else [])
+                return
+            except _Branch as branch:
+                if branch.depth > 0:
+                    raise _Branch(branch.depth - 1, branch.values)
+                if not loop:
+                    count = len(blocktype.results)
+                    stack.extend(branch.values[len(branch.values) - count :] if count else [])
+                    return
+                count = len(blocktype.params)
+                inner = branch.values[len(branch.values) - count :] if count else []
+
+    def _call(
+        self,
+        instance: WasmInstance,
+        index: int,
+        stack: list[WasmValue],
+        expected: Optional[WasmFuncType] = None,
+    ) -> None:
+        target = instance.funcs[index]
+        if isinstance(target, WasmFunction):
+            functype = target.functype
+        elif expected is not None:
+            functype = expected
+        else:
+            # A direct call of an imported (host) function: take the type from
+            # the module's import declaration.
+            functype = instance.module.functions[index].functype
+        if expected is not None and isinstance(target, WasmFunction):
+            if target.functype != expected:
+                raise WasmTrap("indirect call type mismatch")
+        args = [stack.pop() for _ in functype.params][::-1]
+        results = self.invoke_index(instance, index, args)
+        if not isinstance(target, WasmFunction):
+            # Host results enter the stack unchecked; normalize them so the
+            # all-values-normalized invariant holds (defined functions already
+            # return normalized values).
+            results = [_normalize(valtype, value) for valtype, value in zip(functype.results, results)]
+        stack.extend(results)
+
+    # -- numeric helpers ---------------------------------------------------
+
+    @staticmethod
+    def _binop(instr: Binop, lhs: WasmValue, rhs: WasmValue) -> WasmValue:
+        width = instr.valtype.bit_width
+        try:
+            if instr.valtype.is_integer:
+                return _INT_BINOPS[instr.op](int(lhs), int(rhs), width)
+            return numerics.float_binop(instr.op, float(lhs), float(rhs), width)
+        except numerics.NumericTrap as exc:
+            raise WasmTrap(str(exc)) from exc
+
+    @staticmethod
+    def _unop(instr: Unop, operand: WasmValue) -> WasmValue:
+        width = instr.valtype.bit_width
+        if instr.valtype.is_integer:
+            return _INT_UNOPS[instr.op](int(operand), width)
+        return numerics.float_unop(instr.op, float(operand), width)
+
+    @staticmethod
+    def _relop(instr: Relop, lhs: WasmValue, rhs: WasmValue) -> int:
+        width = instr.valtype.bit_width
+        if instr.valtype.is_integer:
+            base = instr.op.split("_")[0]
+            signed = instr.op.endswith("_s")
+            return numerics.int_relop(base, int(lhs), int(rhs), width, signed)
+        return numerics.float_relop(instr.op, float(lhs), float(rhs))
+
+    @staticmethod
+    def _cvtop(instr: Cvtop, operand: WasmValue) -> WasmValue:
+        try:
+            if instr.op == "wrap":
+                return numerics.wrap(int(operand), 32)
+            if instr.op in ("extend_s", "extend_u"):
+                signed = instr.op == "extend_s"
+                value = numerics.to_signed(int(operand), 32) if signed else numerics.to_unsigned(int(operand), 32)
+                return numerics.wrap(value, 64)
+            if instr.op in ("trunc_s", "trunc_u"):
+                return numerics.trunc_float_to_int(float(operand), instr.target.bit_width, instr.op == "trunc_s")
+            if instr.op in ("convert_s", "convert_u"):
+                return numerics.convert_int_to_float(
+                    int(operand), instr.source.bit_width, instr.op == "convert_s", instr.target.bit_width
+                )
+            if instr.op == "promote":
+                return float(operand)
+            if instr.op == "demote":
+                return numerics.float_canon(float(operand), 32)
+            if instr.op == "reinterpret":
+                if instr.source.is_integer:
+                    return numerics.reinterpret_int_to_float(int(operand), instr.source.bit_width)
+                return numerics.reinterpret_float_to_int(float(operand), instr.source.bit_width)
+        except numerics.NumericTrap as exc:
+            raise WasmTrap(str(exc)) from exc
+        raise WasmError(f"unknown conversion {instr.op!r}")
+
+    # -- memory ------------------------------------------------------------
+
+    @staticmethod
+    def _memory(instance: WasmInstance) -> LinearMemory:
+        if instance.memory is None:
+            raise WasmTrap("module has no memory")
+        return instance.memory
+
+    def _load(self, instance: WasmInstance, instr: Load, address: int) -> WasmValue:
+        memory = self._memory(instance)
+        if instr.width is not None:
+            raw = memory.read(address, instr.width // 8)
+            value = int.from_bytes(raw, "little", signed=False)
+            if instr.signed:
+                value = numerics.to_signed(value, instr.width)
+            return numerics.wrap(value, instr.valtype.bit_width)
+        raw = memory.read(address, instr.valtype.byte_width)
+        if instr.valtype is ValType.I32:
+            return int.from_bytes(raw, "little")
+        if instr.valtype is ValType.I64:
+            return int.from_bytes(raw, "little")
+        if instr.valtype is ValType.F32:
+            return struct.unpack("<f", raw)[0]
+        return struct.unpack("<d", raw)[0]
+
+    def _store(self, instance: WasmInstance, instr: StoreI, address: int, value: WasmValue) -> None:
+        memory = self._memory(instance)
+        if instr.width is not None:
+            payload = (int(value) & ((1 << instr.width) - 1)).to_bytes(instr.width // 8, "little")
+        elif instr.valtype is ValType.I32:
+            payload = numerics.wrap(int(value), 32).to_bytes(4, "little")
+        elif instr.valtype is ValType.I64:
+            payload = numerics.wrap(int(value), 64).to_bytes(8, "little")
+        elif instr.valtype is ValType.F32:
+            payload = struct.pack("<f", float(value))
+        else:
+            payload = struct.pack("<d", float(value))
+        memory.write(address, payload)
+
+
+# ---------------------------------------------------------------------------
+# Cold-opcode handlers for the flat VM (pure stack effects, no control flow)
+# ---------------------------------------------------------------------------
+
+
+def _h_unop(ins, stack) -> None:
+    stack[-1] = ins[1](stack[-1])
+
+
+def _h_select(ins, stack) -> None:
+    condition = stack.pop()
+    second, first = stack.pop(), stack.pop()
+    stack.append(first if int(condition) != 0 else second)
+
+
+def _h_nop(ins, stack) -> None:
+    pass
+
+
+def _h_unreachable(ins, stack) -> None:
+    raise WasmTrap("unreachable executed")
+
+
+def _h_f_relop(ins, stack) -> None:
+    rhs = stack.pop()
+    stack[-1] = numerics.float_relop(ins[1], float(stack[-1]), float(rhs))
+
+
+_PURE_HANDLERS: dict[int, Callable] = {
+    OP_UNOP: _h_unop,
+    OP_SELECT: _h_select,
+    OP_NOP: _h_nop,
+    OP_UNREACHABLE: _h_unreachable,
+    OP_F_RELOP: _h_f_relop,
+}
+
+
+# ---------------------------------------------------------------------------
+# The flat VM
+# ---------------------------------------------------------------------------
+
+
+class FlatVMEngine(ExecutionEngine):
+    """Pre-decoded flat-code VM: pc loop, explicit frame and label stacks.
+
+    Hot opcodes are dispatched inline in :meth:`_run` (ordered by frequency
+    in lowered RichWasm code); cold pure-stack opcodes go through
+    :data:`_PURE_HANDLERS`, the per-opcode handler table the decoder targets.
+    """
+
+    name: ClassVar[str] = "flat"
+
+    def _prepare_instance(self, instance: WasmInstance) -> None:
+        instance.decoded = decode_instance(instance)
+
+    def invoke_index(self, instance: WasmInstance, index: int, args: list[WasmValue]) -> list[WasmValue]:
+        target = instance.funcs[index]
+        if callable(target) and not isinstance(target, WasmFunction):
+            results = target(*args)
+            return list(results) if results is not None else []
+        decoded = instance.decoded
+        if decoded is None:
+            # Instance was created by another engine; decode on first use.
+            decoded = instance.decoded = decode_instance(instance)
+        return self._run(instance, decoded, index, args)
+
+    def _run(self, instance: WasmInstance, decoded: list, index: int, args: list[WasmValue]) -> list[WasmValue]:
+        flat: FlatFunction = decoded[index]
+
+        funcs_table = instance.table
+        globals_ = instance.globals
+        memory = instance.memory
+        mdata = memory.data if memory is not None else None
+
+        # Entry frame: normalize arguments (mirrors the tree walker, which
+        # normalizes the provided prefix of the parameter list).
+        locals_: list[WasmValue] = list(args)
+        params = flat.functype.params
+        for position in range(min(len(params), len(locals_))):
+            locals_[position] = _normalize(params[position], locals_[position])
+        locals_.extend(flat.local_inits)
+
+        stack: list[WasmValue] = []
+        labels: list[tuple] = []
+        frames: list[tuple] = []
+        code = flat.code
+        code_len = len(code)
+        pc = 0
+        cur_base = 0
+        cur_nres = flat.n_results
+
+        steps = self.steps
+        limit = self.max_steps if self.max_steps is not None else float("inf")
+
+        NumericTrap = numerics.NumericTrap
+        wrap = numerics.wrap
+        to_signed = numerics.to_signed
+        int_eqz = numerics.int_eqz
+        int_relop = numerics.int_relop
+        float_binop = numerics.float_binop
+        from_bytes = int.from_bytes
+        unpack_from = struct.unpack_from
+        pack_into = struct.pack_into
+        pure_handlers = _PURE_HANDLERS
+
+        try:
+            while True:
+                if pc >= code_len:
+                    # Fell off the end of a function body: implicit return.
+                    if cur_nres:
+                        if len(stack) != cur_base + cur_nres:
+                            stack[cur_base:] = stack[len(stack) - cur_nres :]
+                    else:
+                        del stack[cur_base:]
+                    if not frames:
+                        return stack
+                    code, pc, locals_, labels, cur_base, cur_nres = frames.pop()
+                    code_len = len(code)
+                    continue
+
+                ins = code[pc]
+                op = ins[0]
+                if op >= 0:
+                    steps += 1
+                    if steps > limit:
+                        raise WasmTrap("step budget exhausted")
+                pc += 1
+
+                if op == OP_LOCAL_GET:
+                    stack.append(locals_[ins[1]])
+                elif op == OP_CONST:
+                    stack.append(ins[1])
+                elif op == OP_I_BINOP:
+                    rhs = stack.pop()
+                    try:
+                        stack[-1] = ins[1](stack[-1], rhs, ins[2])
+                    except NumericTrap as exc:
+                        raise WasmTrap(str(exc)) from exc
+                elif op == OP_LOCAL_SET:
+                    locals_[ins[1]] = stack.pop()
+                elif op == OP_LOCAL_TEE:
+                    locals_[ins[1]] = stack[-1]
+                elif op == OP_I_RELOP:
+                    rhs = stack.pop()
+                    stack[-1] = int_relop(ins[1], stack[-1], rhs, ins[3], ins[2])
+                elif op == OP_TESTOP:
+                    stack[-1] = int_eqz(stack[-1], ins[1])
+                elif op == OP_BR_IF:
+                    if stack.pop():
+                        depth = ins[1]
+                        label_index = len(labels) - 1 - depth
+                        if label_index < 0:
+                            raise WasmTrap(f"branch escaped function body (depth {depth - len(labels)})")
+                        target, arity, _end_arity, base, is_loop = labels[label_index]
+                        del labels[label_index + 1 if is_loop else label_index :]
+                        if arity:
+                            if len(stack) != base + arity:
+                                stack[base:] = stack[len(stack) - arity :]
+                        else:
+                            del stack[base:]
+                        pc = target
+                elif op == OP_BR:
+                    depth = ins[1]
+                    label_index = len(labels) - 1 - depth
+                    if label_index < 0:
+                        raise WasmTrap(f"branch escaped function body (depth {depth - len(labels)})")
+                    target, arity, _end_arity, base, is_loop = labels[label_index]
+                    del labels[label_index + 1 if is_loop else label_index :]
+                    if arity:
+                        if len(stack) != base + arity:
+                            stack[base:] = stack[len(stack) - arity :]
+                    else:
+                        del stack[base:]
+                    pc = target
+                elif op == OP_END:
+                    # Fallthrough keeps the label's *result* values (for a
+                    # loop these differ from the branch arity, its params).
+                    target, _br_arity, arity, base, is_loop = labels.pop()
+                    if len(stack) != base + arity:
+                        if arity:
+                            stack[base:] = stack[len(stack) - arity :]
+                        else:
+                            del stack[base:]
+                elif op == OP_BLOCK:
+                    labels.append((ins[1], ins[2], ins[2], len(stack) - ins[3], False))
+                elif op == OP_LOOP:
+                    labels.append((ins[1], ins[2], ins[3], len(stack) - ins[2], True))
+                elif op == OP_JUMP:
+                    pc = ins[1]
+                elif op == OP_IF:
+                    condition = stack.pop()
+                    labels.append((ins[2], ins[3], ins[3], len(stack) - ins[4], False))
+                    if not condition:
+                        pc = ins[1]
+                elif op == OP_CVT:
+                    try:
+                        stack[-1] = ins[1](stack[-1])
+                    except NumericTrap as exc:
+                        raise WasmTrap(str(exc)) from exc
+                elif op == OP_CALL or op == OP_CALL_INDIRECT:
+                    if op == OP_CALL_INDIRECT:
+                        table_index = stack.pop()
+                        if table_index < 0 or table_index >= len(funcs_table):
+                            raise WasmTrap(f"call_indirect index {table_index} out of table bounds")
+                        findex = funcs_table[table_index]
+                        expected = ins[1]
+                    else:
+                        findex = ins[1]
+                        expected = None
+                    callee = decoded[findex]
+                    if type(callee) is FlatFunction:
+                        if expected is not None and callee.functype != expected:
+                            raise WasmTrap("indirect call type mismatch")
+                        n_params = callee.n_params
+                        if n_params:
+                            new_locals = stack[len(stack) - n_params :]
+                            del stack[len(stack) - n_params :]
+                            callee_params = callee.functype.params
+                            for position in range(n_params):
+                                new_locals[position] = _normalize(callee_params[position], new_locals[position])
+                        else:
+                            new_locals = []
+                        new_locals.extend(callee.local_inits)
+                        frames.append((code, pc, locals_, labels, cur_base, cur_nres))
+                        code = callee.code
+                        code_len = len(code)
+                        pc = 0
+                        locals_ = new_locals
+                        labels = []
+                        cur_base = len(stack)
+                        cur_nres = callee.n_results
+                    else:
+                        functype = expected if expected is not None else callee.functype
+                        n_args = len(functype.params)
+                        host_args = stack[len(stack) - n_args :] if n_args else []
+                        if n_args:
+                            del stack[len(stack) - n_args :]
+                        # Host code may re-enter the engine: keep the shared
+                        # step counter coherent across the boundary, even when
+                        # the host call (or reentrant execution) raises —
+                        # otherwise the outer finally would clobber the
+                        # reentrant increments with the stale local value.
+                        self.steps = steps
+                        try:
+                            results = callee.fn(*host_args)
+                        finally:
+                            steps = self.steps
+                        results = list(results) if results is not None else []
+                        stack.extend(
+                            _normalize(valtype, value) for valtype, value in zip(functype.results, results)
+                        )
+                elif op == OP_RETURN:
+                    pc = code_len
+                elif op == OP_LOAD_I:
+                    address = stack[-1] + ins[1]
+                    nbytes = ins[2]
+                    end = address + nbytes
+                    if mdata is None:
+                        raise WasmTrap("module has no memory")
+                    if address < 0 or end > len(mdata):
+                        raise WasmTrap(
+                            f"out-of-bounds memory access at {address} (+{nbytes}), memory is {len(mdata)} bytes"
+                        )
+                    value = from_bytes(mdata[address:end], "little")
+                    signed_width = ins[3]
+                    if signed_width:
+                        value = wrap(to_signed(value, signed_width), ins[4])
+                    stack[-1] = value
+                elif op == OP_STORE_I:
+                    value = stack.pop()
+                    address = stack.pop() + ins[1]
+                    nbytes = ins[2]
+                    end = address + nbytes
+                    if mdata is None:
+                        raise WasmTrap("module has no memory")
+                    if address < 0 or end > len(mdata):
+                        raise WasmTrap(
+                            f"out-of-bounds memory access at {address} (+{nbytes}), memory is {len(mdata)} bytes"
+                        )
+                    mdata[address:end] = (int(value) & ins[3]).to_bytes(nbytes, "little")
+                elif op == OP_GLOBAL_GET:
+                    stack.append(globals_[ins[1]])
+                elif op == OP_GLOBAL_SET:
+                    globals_[ins[1]] = stack.pop()
+                elif op == OP_DROP:
+                    stack.pop()
+                elif op == OP_BR_TABLE:
+                    branch_index = int(stack.pop())
+                    depths = ins[1]
+                    depth = depths[branch_index] if 0 <= branch_index < len(depths) else ins[2]
+                    label_index = len(labels) - 1 - depth
+                    if label_index < 0:
+                        raise WasmTrap(f"branch escaped function body (depth {depth - len(labels)})")
+                    target, arity, _end_arity, base, is_loop = labels[label_index]
+                    del labels[label_index + 1 if is_loop else label_index :]
+                    if arity:
+                        if len(stack) != base + arity:
+                            stack[base:] = stack[len(stack) - arity :]
+                    else:
+                        del stack[base:]
+                    pc = target
+                elif op == OP_F_BINOP:
+                    rhs = stack.pop()
+                    try:
+                        stack[-1] = float_binop(ins[1], float(stack[-1]), float(rhs), ins[2])
+                    except NumericTrap as exc:
+                        raise WasmTrap(str(exc)) from exc
+                elif op == OP_LOAD_F:
+                    address = stack[-1] + ins[1]
+                    nbytes = ins[3]
+                    end = address + nbytes
+                    if mdata is None:
+                        raise WasmTrap("module has no memory")
+                    if address < 0 or end > len(mdata):
+                        raise WasmTrap(
+                            f"out-of-bounds memory access at {address} (+{nbytes}), memory is {len(mdata)} bytes"
+                        )
+                    stack[-1] = unpack_from(ins[2], mdata, address)[0]
+                elif op == OP_STORE_F:
+                    value = stack.pop()
+                    address = stack.pop() + ins[1]
+                    nbytes = ins[3]
+                    end = address + nbytes
+                    if mdata is None:
+                        raise WasmTrap("module has no memory")
+                    if address < 0 or end > len(mdata):
+                        raise WasmTrap(
+                            f"out-of-bounds memory access at {address} (+{nbytes}), memory is {len(mdata)} bytes"
+                        )
+                    pack_into(ins[2], mdata, address, float(value))
+                elif op == OP_MEMORY_SIZE:
+                    if memory is None:
+                        raise WasmTrap("module has no memory")
+                    stack.append(len(mdata) // PAGE_SIZE)
+                elif op == OP_MEMORY_GROW:
+                    if memory is None:
+                        raise WasmTrap("module has no memory")
+                    delta = stack.pop()
+                    stack.append(wrap(memory.grow(int(delta)), 32))
+                    mdata = memory.data
+                else:
+                    pure_handlers[op](ins, stack)
+        finally:
+            self.steps = steps
+
+
+# ---------------------------------------------------------------------------
+# Engine registry
+# ---------------------------------------------------------------------------
+
+ENGINES: dict[str, type[ExecutionEngine]] = {
+    TreeWalkingEngine.name: TreeWalkingEngine,
+    FlatVMEngine.name: FlatVMEngine,
+}
+
+EngineSpec = Union[str, ExecutionEngine, None]
+
+
+def available_engines() -> tuple[str, ...]:
+    return tuple(sorted(ENGINES))
+
+
+def create_engine(spec: EngineSpec = None, *, max_steps: Optional[int] = None) -> ExecutionEngine:
+    """Resolve an engine from a name, an instance, or the environment.
+
+    ``None`` selects ``$REPRO_WASM_ENGINE`` when set, else
+    :data:`DEFAULT_ENGINE` (the flat VM).  Passing an existing
+    :class:`ExecutionEngine` returns it unchanged (``max_steps`` must then be
+    unset or match).
+    """
+
+    if isinstance(spec, ExecutionEngine):
+        if max_steps is not None and spec.max_steps != max_steps:
+            raise ValueError("cannot override max_steps on an existing engine instance")
+        return spec
+    name = spec if spec is not None else os.environ.get(_ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    try:
+        engine_cls = ENGINES[name]
+    except KeyError:
+        raise ValueError(f"unknown execution engine {name!r}; available: {', '.join(available_engines())}") from None
+    return engine_cls(max_steps=max_steps)

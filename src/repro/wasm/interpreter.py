@@ -1,58 +1,32 @@
-"""A WebAssembly 1.0 (+ multi-value) interpreter.
+"""The Wasm execution facade and shared runtime state.
 
-This is the execution substrate for lowered RichWasm modules: the paper runs
-its compiled output "in all hosts of WebAssembly"; offline we provide our own
-host.  The interpreter supports the instruction subset of
-:mod:`repro.wasm.ast`, a single linear byte memory with little-endian sized
-accesses, a function table for ``call_indirect``, imported host functions
-(used by the lowering runtime for debugging hooks), and multi-value returns.
+This module holds the runtime objects every execution engine shares —
+:class:`LinearMemory`, :class:`WasmInstance`, :class:`WasmTrap`, value
+normalization — plus :class:`WasmInterpreter`, the stable entry point the
+rest of the repo (``opt.verify``, ``ffi.program``, ``lower``, examples,
+tests) programs against.
+
+The actual instruction execution lives in :mod:`repro.wasm.engine` behind
+the :class:`~repro.wasm.engine.ExecutionEngine` abstraction:
+
+* ``engine="flat"`` (default) — the pre-decoded flat-code VM;
+* ``engine="tree"`` — the original recursive tree-walker.
+
+``WasmInterpreter`` is a thin facade: it resolves an engine once in its
+constructor and forwards ``instantiate``/``invoke``/``invoke_index`` and the
+``steps``/``max_steps`` counters, so existing call sites keep working
+unchanged while the engine stays swappable (also via the
+``REPRO_WASM_ENGINE`` environment variable).
 """
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
 from ..core.semantics import numerics
 from ..core.typing.errors import WasmError
-from .ast import (
-    Binop,
-    Const,
-    Cvtop,
-    GlobalGet,
-    GlobalSet,
-    Load,
-    LocalGet,
-    LocalSet,
-    LocalTee,
-    MemoryGrow,
-    MemorySize,
-    PAGE_SIZE,
-    Relop,
-    StoreI,
-    Testop,
-    Unop,
-    ValType,
-    WasmFunction,
-    WasmFuncType,
-    WasmImportedFunction,
-    WasmModule,
-    WBlock,
-    WBr,
-    WBrIf,
-    WBrTable,
-    WCall,
-    WCallIndirect,
-    WDrop,
-    WIf,
-    WInstr,
-    WLoop,
-    WNop,
-    WReturn,
-    WSelect,
-    WUnreachable,
-)
+from .ast import PAGE_SIZE, ValType, WasmModule
 
 
 class WasmTrap(WasmError):
@@ -61,19 +35,6 @@ class WasmTrap(WasmError):
 
 WasmValue = Union[int, float]
 HostFunction = Callable[..., Sequence[WasmValue]]
-
-
-class _Branch(Exception):
-    def __init__(self, depth: int, values: list[WasmValue]):
-        super().__init__(depth)
-        self.depth = depth
-        self.values = values
-
-
-class _Return(Exception):
-    def __init__(self, values: list[WasmValue]):
-        super().__init__()
-        self.values = values
 
 
 def _normalize(valtype: ValType, value: WasmValue) -> WasmValue:
@@ -93,7 +54,16 @@ def _normalize(valtype: ValType, value: WasmValue) -> WasmValue:
 
 @dataclass
 class LinearMemory:
-    """A byte-addressed linear memory made of 64 KiB pages."""
+    """A byte-addressed linear memory made of 64 KiB pages.
+
+    Reads go through a cached :class:`memoryview` over the backing
+    ``bytearray``, so :meth:`read` is zero-copy; writes are in-place slice
+    assignments.  :meth:`grow` extends the backing store in place (object
+    identity is preserved, so engines that bound ``memory.data`` locally stay
+    valid) after releasing and re-creating the cached view.  Callers must not
+    hold a view returned by :meth:`read` across a :meth:`grow` — growing
+    requires the buffer to be unexported.
+    """
 
     pages: int = 1
     max_pages: Optional[int] = None
@@ -102,6 +72,9 @@ class LinearMemory:
     def __post_init__(self) -> None:
         if not self.data:
             self.data = bytearray(self.pages * PAGE_SIZE)
+        elif not isinstance(self.data, bytearray):
+            self.data = bytearray(self.data)
+        self._view = memoryview(self.data)
 
     def size_pages(self) -> int:
         return len(self.data) // PAGE_SIZE
@@ -111,7 +84,11 @@ class LinearMemory:
         new = old + delta_pages
         if self.max_pages is not None and new > self.max_pages:
             return -1
-        self.data.extend(bytes(delta_pages * PAGE_SIZE))
+        self._view.release()
+        try:
+            self.data.extend(bytes(delta_pages * PAGE_SIZE))
+        finally:
+            self._view = memoryview(self.data)
         return old
 
     def _check(self, address: int, length: int) -> None:
@@ -120,7 +97,15 @@ class LinearMemory:
                 f"out-of-bounds memory access at {address} (+{length}), memory is {len(self.data)} bytes"
             )
 
-    def read(self, address: int, length: int) -> bytes:
+    def read(self, address: int, length: int) -> memoryview:
+        """Bounds-checked zero-copy read of ``length`` bytes."""
+
+        self._check(address, length)
+        return self._view[address : address + length]
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Bounds-checked read returning an owned :class:`bytes` copy."""
+
         self._check(address, length)
         return bytes(self.data[address : address + length])
 
@@ -139,357 +124,58 @@ class WasmInstance:
     memory: Optional[LinearMemory] = None
     table: list[int] = field(default_factory=list)
     exports: dict[str, int] = field(default_factory=dict)
+    # Flat-code cache filled by the flat VM at instantiation (or lazily on
+    # first invoke when the instance was built by another engine).
+    decoded: Optional[list] = field(default=None, repr=False, compare=False)
 
 
 class WasmInterpreter:
-    """Instantiates and executes Wasm modules."""
+    """Instantiates and executes Wasm modules on a pluggable engine.
 
-    def __init__(self, *, max_steps: Optional[int] = None) -> None:
-        self.max_steps = max_steps
-        self.steps = 0
+    ``engine`` accepts an engine name (``"flat"``, ``"tree"``), an
+    :class:`~repro.wasm.engine.ExecutionEngine` instance, or ``None`` for the
+    default (``$REPRO_WASM_ENGINE`` when set, else the flat VM).
+    """
 
-    # -- instantiation -------------------------------------------------------
+    def __init__(self, *, max_steps: Optional[int] = None, engine=None) -> None:
+        from .engine import create_engine
+
+        self.engine = create_engine(engine, max_steps=max_steps)
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
+
+    @property
+    def max_steps(self) -> Optional[int]:
+        return self.engine.max_steps
+
+    @max_steps.setter
+    def max_steps(self, value: Optional[int]) -> None:
+        self.engine.max_steps = value
+
+    @property
+    def steps(self) -> int:
+        return self.engine.steps
+
+    @steps.setter
+    def steps(self, value: int) -> None:
+        self.engine.steps = value
+
+    # -- delegation --------------------------------------------------------
 
     def instantiate(
         self,
         module: WasmModule,
         host_imports: Optional[dict[tuple[str, str], HostFunction]] = None,
     ) -> WasmInstance:
-        host_imports = host_imports or {}
-        instance = WasmInstance(module=module)
-
-        for function in module.functions:
-            if isinstance(function, WasmImportedFunction):
-                key = (function.module, function.name)
-                if key not in host_imports:
-                    raise WasmError(f"unresolved Wasm import {key!r}")
-                instance.funcs.append(host_imports[key])
-            else:
-                instance.funcs.append(function)
-
-        for index, function in enumerate(module.functions):
-            for export in function.exports:
-                instance.exports[export] = index
-
-        if module.memory is not None:
-            instance.memory = LinearMemory(module.memory.min_pages, module.memory.max_pages)
-            for segment in module.data:
-                instance.memory.write(segment.offset, segment.data)
-
-        instance.table = list(module.table.entries)
-
-        for global_decl in module.globals:
-            value = self._eval_const_expr(global_decl.init, instance)
-            instance.globals.append(value)
-
-        if module.start is not None:
-            self.invoke_index(instance, module.start, [])
-        return instance
-
-    def _eval_const_expr(self, body: Sequence[WInstr], instance: WasmInstance) -> WasmValue:
-        stack: list[WasmValue] = []
-        for instr in body:
-            if isinstance(instr, Const):
-                stack.append(_normalize(instr.valtype, instr.value))
-            elif isinstance(instr, GlobalGet):
-                stack.append(instance.globals[instr.index])
-            else:
-                raise WasmError(f"unsupported instruction in constant expression: {instr!r}")
-        return stack[-1] if stack else 0
-
-    # -- invocation ----------------------------------------------------------
+        return self.engine.instantiate(module, host_imports)
 
     def invoke(self, instance: WasmInstance, name: str, args: Sequence[WasmValue] = ()) -> list[WasmValue]:
-        if name not in instance.exports:
-            raise WasmError(f"no export named {name!r}")
-        return self.invoke_index(instance, instance.exports[name], list(args))
+        return self.engine.invoke(instance, name, args)
 
     def invoke_index(self, instance: WasmInstance, index: int, args: list[WasmValue]) -> list[WasmValue]:
-        target = instance.funcs[index]
-        if callable(target) and not isinstance(target, WasmFunction):
-            results = target(*args)
-            return list(results) if results is not None else []
-        assert isinstance(target, WasmFunction)
-        locals_: list[WasmValue] = list(args)
-        for position, valtype in enumerate(target.functype.params[: len(locals_)]):
-            locals_[position] = _normalize(valtype, locals_[position])
-        for valtype in target.locals:
-            locals_.append(0 if valtype.is_integer else 0.0)
-        stack: list[WasmValue] = []
-        try:
-            self._exec_seq(target.body, stack, locals_, instance)
-            count = len(target.functype.results)
-            return stack[len(stack) - count :] if count else []
-        except _Return as ret:
-            count = len(target.functype.results)
-            return ret.values[len(ret.values) - count :] if count else []
-        except _Branch as branch:  # pragma: no cover - validation prevents this
-            raise WasmTrap(f"branch escaped function body (depth {branch.depth})")
+        return self.engine.invoke_index(instance, index, args)
 
-    # -- execution -----------------------------------------------------------
-
-    def _exec_seq(
-        self,
-        body: Sequence[WInstr],
-        stack: list[WasmValue],
-        locals_: list[WasmValue],
-        instance: WasmInstance,
-    ) -> None:
-        for instr in body:
-            self._step(instr, stack, locals_, instance)
-
-    def _step(self, instr: WInstr, stack: list[WasmValue], locals_: list[WasmValue], instance: WasmInstance) -> None:
-        self.steps += 1
-        if self.max_steps is not None and self.steps > self.max_steps:
-            raise WasmTrap("step budget exhausted")
-
-        if isinstance(instr, Const):
-            stack.append(_normalize(instr.valtype, instr.value))
-        elif isinstance(instr, Binop):
-            rhs, lhs = stack.pop(), stack.pop()
-            stack.append(self._binop(instr, lhs, rhs))
-        elif isinstance(instr, Unop):
-            operand = stack.pop()
-            stack.append(self._unop(instr, operand))
-        elif isinstance(instr, Testop):
-            operand = stack.pop()
-            stack.append(numerics.int_eqz(int(operand), instr.valtype.bit_width))
-        elif isinstance(instr, Relop):
-            rhs, lhs = stack.pop(), stack.pop()
-            stack.append(self._relop(instr, lhs, rhs))
-        elif isinstance(instr, Cvtop):
-            operand = stack.pop()
-            stack.append(self._cvtop(instr, operand))
-        elif isinstance(instr, WUnreachable):
-            raise WasmTrap("unreachable executed")
-        elif isinstance(instr, WNop):
-            return
-        elif isinstance(instr, WDrop):
-            stack.pop()
-        elif isinstance(instr, WSelect):
-            condition = stack.pop()
-            second, first = stack.pop(), stack.pop()
-            stack.append(first if int(condition) != 0 else second)
-        elif isinstance(instr, WBlock):
-            self._run_block(instr.body, instr.blocktype, stack, locals_, instance, loop=False)
-        elif isinstance(instr, WLoop):
-            self._run_block(instr.body, instr.blocktype, stack, locals_, instance, loop=True)
-        elif isinstance(instr, WIf):
-            condition = stack.pop()
-            body = instr.then_body if int(condition) != 0 else instr.else_body
-            self._run_block(body, instr.blocktype, stack, locals_, instance, loop=False)
-        elif isinstance(instr, WBr):
-            raise _Branch(instr.depth, list(stack))
-        elif isinstance(instr, WBrIf):
-            condition = stack.pop()
-            if int(condition) != 0:
-                raise _Branch(instr.depth, list(stack))
-        elif isinstance(instr, WBrTable):
-            index = int(stack.pop())
-            depth = instr.depths[index] if 0 <= index < len(instr.depths) else instr.default
-            raise _Branch(depth, list(stack))
-        elif isinstance(instr, WReturn):
-            raise _Return(list(stack))
-        elif isinstance(instr, WCall):
-            self._call(instance, instr.func_index, stack)
-        elif isinstance(instr, WCallIndirect):
-            table_index = int(stack.pop())
-            if table_index < 0 or table_index >= len(instance.table):
-                raise WasmTrap(f"call_indirect index {table_index} out of table bounds")
-            self._call(instance, instance.table[table_index], stack, expected=instr.functype)
-        elif isinstance(instr, LocalGet):
-            stack.append(locals_[instr.index])
-        elif isinstance(instr, LocalSet):
-            locals_[instr.index] = stack.pop()
-        elif isinstance(instr, LocalTee):
-            locals_[instr.index] = stack[-1]
-        elif isinstance(instr, GlobalGet):
-            stack.append(instance.globals[instr.index])
-        elif isinstance(instr, GlobalSet):
-            instance.globals[instr.index] = stack.pop()
-        elif isinstance(instr, Load):
-            address = int(stack.pop()) + instr.offset
-            stack.append(self._load(instance, instr, address))
-        elif isinstance(instr, StoreI):
-            value = stack.pop()
-            address = int(stack.pop()) + instr.offset
-            self._store(instance, instr, address, value)
-        elif isinstance(instr, MemorySize):
-            stack.append(self._memory(instance).size_pages())
-        elif isinstance(instr, MemoryGrow):
-            delta = int(stack.pop())
-            stack.append(numerics.wrap(self._memory(instance).grow(delta), 32))
-        else:
-            raise WasmError(f"no execution rule for Wasm instruction {instr!r}")
-
-    def _run_block(
-        self,
-        body: Sequence[WInstr],
-        blocktype: WasmFuncType,
-        stack: list[WasmValue],
-        locals_: list[WasmValue],
-        instance: WasmInstance,
-        *,
-        loop: bool,
-    ) -> None:
-        params = [stack.pop() for _ in blocktype.params][::-1]
-        inner = list(params)
-        while True:
-            try:
-                self._exec_seq(body, inner, locals_, instance)
-                count = len(blocktype.results)
-                stack.extend(inner[len(inner) - count :] if count else [])
-                return
-            except _Branch as branch:
-                if branch.depth > 0:
-                    raise _Branch(branch.depth - 1, branch.values)
-                if not loop:
-                    count = len(blocktype.results)
-                    stack.extend(branch.values[len(branch.values) - count :] if count else [])
-                    return
-                count = len(blocktype.params)
-                inner = branch.values[len(branch.values) - count :] if count else []
-
-    def _call(
-        self,
-        instance: WasmInstance,
-        index: int,
-        stack: list[WasmValue],
-        expected: Optional[WasmFuncType] = None,
-    ) -> None:
-        target = instance.funcs[index]
-        if isinstance(target, WasmFunction):
-            functype = target.functype
-        elif expected is not None:
-            functype = expected
-        else:
-            # A direct call of an imported (host) function: take the type from
-            # the module's import declaration.
-            functype = instance.module.functions[index].functype
-        if expected is not None and isinstance(target, WasmFunction):
-            if target.functype != expected:
-                raise WasmTrap("indirect call type mismatch")
-        args = [stack.pop() for _ in functype.params][::-1]
-        results = self.invoke_index(instance, index, args)
-        if not isinstance(target, WasmFunction):
-            # Host results enter the stack unchecked; normalize them so the
-            # all-values-normalized invariant holds (defined functions already
-            # return normalized values).
-            results = [_normalize(valtype, value) for valtype, value in zip(functype.results, results)]
-        stack.extend(results)
-
-    # -- numeric helpers -------------------------------------------------------
-
-    @staticmethod
-    def _binop(instr: Binop, lhs: WasmValue, rhs: WasmValue) -> WasmValue:
-        width = instr.valtype.bit_width
-        try:
-            if instr.valtype.is_integer:
-                table = {
-                    "add": numerics.int_add,
-                    "sub": numerics.int_sub,
-                    "mul": numerics.int_mul,
-                    "div_s": numerics.int_div_s,
-                    "div_u": numerics.int_div_u,
-                    "rem_s": numerics.int_rem_s,
-                    "rem_u": numerics.int_rem_u,
-                    "and": numerics.int_and,
-                    "or": numerics.int_or,
-                    "xor": numerics.int_xor,
-                    "shl": numerics.int_shl,
-                    "shr_s": numerics.int_shr_s,
-                    "shr_u": numerics.int_shr_u,
-                    "rotl": numerics.int_rotl,
-                    "rotr": numerics.int_rotr,
-                }
-                return table[instr.op](int(lhs), int(rhs), width)
-            return numerics.float_binop(instr.op, float(lhs), float(rhs), width)
-        except numerics.NumericTrap as exc:
-            raise WasmTrap(str(exc)) from exc
-
-    @staticmethod
-    def _unop(instr: Unop, operand: WasmValue) -> WasmValue:
-        width = instr.valtype.bit_width
-        if instr.valtype.is_integer:
-            table = {
-                "clz": numerics.int_clz,
-                "ctz": numerics.int_ctz,
-                "popcnt": numerics.int_popcnt,
-            }
-            return table[instr.op](int(operand), width)
-        return numerics.float_unop(instr.op, float(operand), width)
-
-    @staticmethod
-    def _relop(instr: Relop, lhs: WasmValue, rhs: WasmValue) -> int:
-        width = instr.valtype.bit_width
-        if instr.valtype.is_integer:
-            base = instr.op.split("_")[0]
-            signed = instr.op.endswith("_s")
-            return numerics.int_relop(base, int(lhs), int(rhs), width, signed)
-        return numerics.float_relop(instr.op, float(lhs), float(rhs))
-
-    @staticmethod
-    def _cvtop(instr: Cvtop, operand: WasmValue) -> WasmValue:
-        try:
-            if instr.op == "wrap":
-                return numerics.wrap(int(operand), 32)
-            if instr.op in ("extend_s", "extend_u"):
-                signed = instr.op == "extend_s"
-                value = numerics.to_signed(int(operand), 32) if signed else numerics.to_unsigned(int(operand), 32)
-                return numerics.wrap(value, 64)
-            if instr.op in ("trunc_s", "trunc_u"):
-                return numerics.trunc_float_to_int(float(operand), instr.target.bit_width, instr.op == "trunc_s")
-            if instr.op in ("convert_s", "convert_u"):
-                return numerics.convert_int_to_float(
-                    int(operand), instr.source.bit_width, instr.op == "convert_s", instr.target.bit_width
-                )
-            if instr.op == "promote":
-                return float(operand)
-            if instr.op == "demote":
-                return numerics.float_canon(float(operand), 32)
-            if instr.op == "reinterpret":
-                if instr.source.is_integer:
-                    return numerics.reinterpret_int_to_float(int(operand), instr.source.bit_width)
-                return numerics.reinterpret_float_to_int(float(operand), instr.source.bit_width)
-        except numerics.NumericTrap as exc:
-            raise WasmTrap(str(exc)) from exc
-        raise WasmError(f"unknown conversion {instr.op!r}")
-
-    # -- memory -------------------------------------------------------------------
-
-    @staticmethod
-    def _memory(instance: WasmInstance) -> LinearMemory:
-        if instance.memory is None:
-            raise WasmTrap("module has no memory")
-        return instance.memory
-
-    def _load(self, instance: WasmInstance, instr: Load, address: int) -> WasmValue:
-        memory = self._memory(instance)
-        if instr.width is not None:
-            raw = memory.read(address, instr.width // 8)
-            value = int.from_bytes(raw, "little", signed=False)
-            if instr.signed:
-                value = numerics.to_signed(value, instr.width)
-            return numerics.wrap(value, instr.valtype.bit_width)
-        raw = memory.read(address, instr.valtype.byte_width)
-        if instr.valtype is ValType.I32:
-            return int.from_bytes(raw, "little")
-        if instr.valtype is ValType.I64:
-            return int.from_bytes(raw, "little")
-        if instr.valtype is ValType.F32:
-            return struct.unpack("<f", raw)[0]
-        return struct.unpack("<d", raw)[0]
-
-    def _store(self, instance: WasmInstance, instr: StoreI, address: int, value: WasmValue) -> None:
-        memory = self._memory(instance)
-        if instr.width is not None:
-            payload = (int(value) & ((1 << instr.width) - 1)).to_bytes(instr.width // 8, "little")
-        elif instr.valtype is ValType.I32:
-            payload = numerics.wrap(int(value), 32).to_bytes(4, "little")
-        elif instr.valtype is ValType.I64:
-            payload = numerics.wrap(int(value), 64).to_bytes(8, "little")
-        elif instr.valtype is ValType.F32:
-            payload = struct.pack("<f", float(value))
-        else:
-            payload = struct.pack("<d", float(value))
-        memory.write(address, payload)
+    def _eval_const_expr(self, body, instance: WasmInstance) -> WasmValue:
+        return self.engine._eval_const_expr(body, instance)

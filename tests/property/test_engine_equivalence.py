@@ -1,0 +1,242 @@
+"""Property tests: the tree walker and the flat VM are indistinguishable.
+
+Random modules — from the existing RichWasm program generators (lowered to
+Wasm) and from a dedicated structured-control-flow generator exercising the
+flat decoder (nested blocks/loops/ifs, multi-depth branches, ``br_table``,
+memory traffic, globals, trapping divisions) — must agree on results, traps,
+final linear memory, globals, *and* cumulative step counts across engines.
+
+The structured generator is a plain recursive builder driven by a seeded
+``random.Random`` (hypothesis supplies the seed): deeply recursive
+``st.composite`` strategies are orders of magnitude slower to draw from, and
+shrinking the seed still shrinks the module.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.syntax import Function, funtype, i32, make_module
+from repro.core.typing import check_module
+from repro.lower import lower_module
+from repro.opt import run_engine_cross_check
+from repro.wasm import (
+    Binop,
+    Const,
+    GlobalGet,
+    GlobalSet,
+    Load,
+    LocalGet,
+    LocalSet,
+    LocalTee,
+    Relop,
+    StoreI,
+    Testop as WTestop,  # aliased so pytest does not collect it as a test class
+    ValType,
+    WasmFuncType,
+    WasmFunction,
+    WasmGlobal,
+    WasmMemory,
+    WasmModule,
+    WBlock,
+    WBr,
+    WBrIf,
+    WBrTable,
+    WIf,
+    WLoop,
+    validate_module,
+)
+
+from test_property_based import arith_programs, stateful_programs
+
+I32 = ValType.I32
+FT = WasmFuncType
+EMPTY = FT((), ())
+
+# Locals 0..1: parameters.  2..4: loop counters by nesting depth.  5..9: data.
+_DATA_LOCALS = (0, 1, 5, 6, 7, 8, 9)
+_N_LOCALS = 10
+_ADDR_MASK = 0xFFF8  # keeps addresses within the single 64 KiB page
+
+
+# ---------------------------------------------------------------------------
+# A generator of well-typed structured Wasm modules
+# ---------------------------------------------------------------------------
+
+
+def _expr(rng: random.Random, depth: int = 2) -> list:
+    """Instructions that push exactly one i32."""
+
+    choice = rng.randrange(8 if depth > 0 else 3)
+    if choice == 0:
+        return [Const(I32, rng.randrange(0x100000000))]
+    if choice == 1:
+        return [LocalGet(rng.choice(_DATA_LOCALS))]
+    if choice == 2:
+        return [GlobalGet(rng.randrange(2))]
+    if choice == 3:  # binop over two sub-expressions
+        op = rng.choice(["add", "sub", "mul", "and", "or", "xor", "shl", "shr_u"])
+        return _expr(rng, depth - 1) + _expr(rng, depth - 1) + [Binop(I32, op)]
+    if choice == 4:  # possibly-trapping division: engines must agree on traps
+        op = rng.choice(["div_u", "div_s", "rem_u", "rem_s"])
+        divisor = rng.choice([0, 1, 2, 3, 7, 0xFFFFFFFF])
+        return _expr(rng, depth - 1) + [Const(I32, divisor), Binop(I32, op)]
+    if choice == 5:  # value-producing block (non-empty blocktype)
+        return [WBlock(FT((), (I32,)), tuple(_expr(rng, depth - 1)))]
+    if choice == 6:  # value-producing loop: fallthrough keeps the result
+        return [WLoop(FT((), (I32,)), tuple(_expr(rng, depth - 1)))]
+    # masked memory load
+    return _expr(rng, depth - 1) + [Const(I32, _ADDR_MASK), Binop(I32, "and"), Load(I32)]
+
+
+def _branch_targets(labels: tuple) -> list:
+    """Branch depths that are safe for random use: block/if labels only.
+
+    A random branch to a *loop* label would re-enter the loop bypassing the
+    counter decrement — a non-terminating program.  ``labels`` is ordered
+    outermost to innermost; ``labels[i]`` is True for loop labels.  Only the
+    generated back-edge (emitted with the decrement in ``_stmt``) may target
+    a loop.
+    """
+
+    n = len(labels)
+    return [d for d in range(n) if not labels[n - 1 - d]]
+
+
+def _stmt(rng: random.Random, depth: int, loop_nesting: int, labels: tuple) -> list:
+    """Instructions with net-zero stack effect."""
+
+    targets = _branch_targets(labels)
+    kinds = ["assign", "assign", "store", "global_set"]
+    if depth > 0:
+        kinds.extend(["if", "block"])
+        if loop_nesting < 3:
+            kinds.append("loop")
+    if targets:
+        kinds.extend(["br_if", "br_table"])
+    kind = rng.choice(kinds)
+
+    if kind == "assign":
+        body = _expr(rng)
+        target = rng.choice(_DATA_LOCALS)
+        if rng.random() < 0.5:
+            return body + [LocalSet(target)]
+        return body + [LocalTee(target), LocalSet(target)]
+    if kind == "store":
+        addr = _expr(rng, 1) + [Const(I32, _ADDR_MASK), Binop(I32, "and")]
+        return addr + _expr(rng, 1) + [StoreI(I32)]
+    if kind == "global_set":
+        return _expr(rng, 1) + [GlobalSet(rng.randrange(2))]
+    if kind == "br_if":
+        return _expr(rng, 1) + [WBrIf(rng.choice(targets))]
+    if kind == "br_table":
+        # Wrap in a fresh block so the table always has an in-range target and
+        # the statement's net stack effect stays zero on the fallthrough path.
+        inner_targets = [0] + [d + 1 for d in targets]
+        depths = tuple(rng.choice(inner_targets) for _ in range(rng.randint(1, 3)))
+        default = rng.choice(inner_targets)
+        return [WBlock(EMPTY, tuple(
+            _expr(rng, 1) + [WBrTable(depths, default)]
+        ))]
+    if kind == "if":
+        then_body = _stmts(rng, depth - 1, loop_nesting, labels + (False,))
+        else_body = _stmts(rng, depth - 1, loop_nesting, labels + (False,)) if rng.random() < 0.5 else []
+        return _expr(rng, 1) + [WIf(EMPTY, tuple(then_body), tuple(else_body))]
+    if kind == "block":
+        inner = _stmts(rng, depth - 1, loop_nesting, labels + (False,))
+        if rng.random() < 0.3:
+            # Optional escape to any enclosing non-loop label (the rest of the
+            # block is then unreachable).
+            inner = inner + [WBr(rng.choice([0] + [d + 1 for d in targets]))]
+        return [WBlock(EMPTY, tuple(inner))]
+    assert kind == "loop"
+    counter = 2 + loop_nesting  # dedicated counter local per nesting level
+    iterations = rng.randint(1, 4)
+    body = _stmts(rng, depth - 1, loop_nesting + 1, labels + (True,))
+    loop = WLoop(
+        EMPTY,
+        tuple(body)
+        + (
+            LocalGet(counter), Const(I32, 1), Binop(I32, "sub"), LocalSet(counter),
+            LocalGet(counter), Const(I32, 0), Relop(I32, "ne"), WBrIf(0),
+        ),
+    )
+    return [Const(I32, iterations), LocalSet(counter), loop]
+
+
+def _stmts(rng: random.Random, depth: int, loop_nesting: int, labels: tuple) -> list:
+    out = []
+    for _ in range(rng.randint(1, 3)):
+        out.extend(_stmt(rng, depth, loop_nesting, labels))
+    return out
+
+
+def build_structured_module(seed: int) -> WasmModule:
+    """A well-typed (i32, i32) -> i32 module with memory, globals, control flow."""
+
+    rng = random.Random(seed)
+    body = _stmts(rng, depth=rng.randint(1, 3), loop_nesting=0, labels=())
+    body = body + _expr(rng)
+    if rng.random() < 0.3:
+        body = body + [WTestop(I32)]
+    function = WasmFunction(
+        FT((I32, I32), (I32,)),
+        (I32,) * (_N_LOCALS - 2),
+        tuple(body),
+        exports=("f",),
+    )
+    return WasmModule(
+        functions=(function,),
+        globals=(
+            WasmGlobal(I32, True, (Const(I32, 7),)),
+            WasmGlobal(I32, True, (Const(I32, 0),)),
+        ),
+        memory=WasmMemory(1, 1),
+    )
+
+
+class TestStructuredControlFlowEquivalence:
+    @given(st.integers(0, 2**48), st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=120, deadline=None)
+    def test_engines_agree_on_structured_modules(self, seed, x, y):
+        module = build_structured_module(seed)
+        validate_module(module)
+        report = run_engine_cross_check(module, [("f", (x, y))])
+        assert report.ok, report.format_report()
+
+    @given(st.integers(0, 2**48), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_engines_trap_at_same_step_under_budget(self, seed, budget):
+        module = build_structured_module(seed)
+        validate_module(module)
+        report = run_engine_cross_check(module, [("f", (3, 4))], max_steps=budget)
+        assert report.ok, report.format_report()
+
+
+class TestLoweredProgramEquivalence:
+    """The satellite requirement: random modules from the existing generators
+    executed on both engines agree on results, traps, memory, and globals."""
+
+    @given(arith_programs(), st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=30, deadline=None)
+    def test_lowered_arith_programs(self, body, x, y):
+        module = make_module(functions=[
+            Function(funtype([i32(), i32()], [i32()]), (), body, ("f",))
+        ])
+        check_module(module)
+        lowered = lower_module(module)
+        validate_module(lowered.wasm)
+        report = run_engine_cross_check(lowered.wasm, [("f", (x, y))])
+        assert report.ok, report.format_report()
+
+    @given(stateful_programs(), st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=30, deadline=None)
+    def test_lowered_stateful_programs(self, body, x, y):
+        module = make_module(functions=[
+            Function(funtype([i32(), i32()], [i32()]), (), body, ("f",))
+        ])
+        check_module(module)
+        lowered = lower_module(module, optimize=True)
+        validate_module(lowered.wasm)
+        report = run_engine_cross_check(lowered.wasm, [("f", (x, y))])
+        assert report.ok, report.format_report()

@@ -1,0 +1,181 @@
+"""Bounds-edge tests for :class:`repro.wasm.LinearMemory`.
+
+The memory moved to a memoryview/bytearray fast path: reads are zero-copy
+views over the backing store, writes are in-place slice assignments, and
+``grow`` extends the backing ``bytearray`` in place (identity-preserving for
+engines that bind ``memory.data`` locally).  These tests pin the edge
+behaviour: growth to the declared maximum, off-by-one accesses at page
+boundaries, zero-length accesses, and both engines trapping identically.
+"""
+
+import pytest
+
+from repro.wasm import (
+    Binop,
+    Const,
+    LinearMemory,
+    Load,
+    PAGE_SIZE,
+    StoreI,
+    ValType,
+    WasmFuncType,
+    WasmFunction,
+    WasmInterpreter,
+    WasmMemory,
+    WasmModule,
+    WasmTrap,
+)
+
+I32 = ValType.I32
+
+
+def memory_module(body, *, pages=1, max_pages=None, results=(I32,)):
+    function = WasmFunction(WasmFuncType((), tuple(results)), (), tuple(body), exports=("main",))
+    return WasmModule(functions=(function,), memory=WasmMemory(pages, max_pages))
+
+
+def run_both(module, export="main"):
+    outcomes = []
+    for engine in ("tree", "flat"):
+        interp = WasmInterpreter(engine=engine)
+        inst = interp.instantiate(module)
+        try:
+            outcomes.append(("ok", interp.invoke(inst, export)))
+        except WasmTrap as trap:
+            outcomes.append(("trap", str(trap)))
+    assert outcomes[0] == outcomes[1], f"engine divergence: {outcomes}"
+    return outcomes[0]
+
+
+class TestDirectAccess:
+    def test_read_is_zero_copy_view(self):
+        memory = LinearMemory(1)
+        memory.write(4, b"\x01\x02\x03\x04")
+        view = memory.read(4, 4)
+        assert isinstance(view, memoryview)
+        assert view == b"\x01\x02\x03\x04"
+        # Zero-copy: later writes are visible through the view.
+        memory.data[4] = 0xFF
+        assert view[0] == 0xFF
+
+    def test_read_bytes_returns_owned_copy(self):
+        memory = LinearMemory(1)
+        memory.write(0, b"abc")
+        copy = memory.read_bytes(0, 3)
+        assert isinstance(copy, bytes)
+        memory.data[0] = 0
+        assert copy == b"abc"
+
+    def test_zero_length_access(self):
+        memory = LinearMemory(1)
+        assert memory.read(0, 0) == b""
+        # A zero-length access at the very end of memory is in bounds...
+        assert memory.read(PAGE_SIZE, 0) == b""
+        memory.write(PAGE_SIZE, b"")
+        # ...but one byte past it is not.
+        with pytest.raises(WasmTrap, match="out-of-bounds"):
+            memory.read(PAGE_SIZE + 1, 0)
+
+    def test_off_by_one_at_page_boundary(self):
+        memory = LinearMemory(1)
+        memory.write(PAGE_SIZE - 4, b"\xAA\xBB\xCC\xDD")  # flush against the end
+        assert memory.read(PAGE_SIZE - 1, 1) == b"\xDD"
+        with pytest.raises(WasmTrap, match="out-of-bounds"):
+            memory.read(PAGE_SIZE - 3, 4)
+        with pytest.raises(WasmTrap, match="out-of-bounds"):
+            memory.write(PAGE_SIZE - 3, b"\x00\x00\x00\x00")
+
+    def test_negative_address_traps(self):
+        memory = LinearMemory(1)
+        with pytest.raises(WasmTrap, match="out-of-bounds"):
+            memory.read(-1, 1)
+
+    def test_grow_to_max_and_beyond(self):
+        memory = LinearMemory(1, max_pages=3)
+        assert memory.grow(2) == 1  # returns the old size
+        assert memory.size_pages() == 3
+        assert memory.grow(1) == -1  # beyond max: refused, size unchanged
+        assert memory.size_pages() == 3
+        assert memory.grow(0) == 3  # zero growth at max is fine
+
+    def test_grow_preserves_data_and_identity(self):
+        memory = LinearMemory(1)
+        backing = memory.data
+        memory.write(100, b"keep")
+        assert memory.grow(1) == 1
+        assert memory.data is backing  # in-place extend, bindings stay valid
+        assert memory.read(100, 4) == b"keep"
+        assert memory.read(PAGE_SIZE, 4) == b"\x00\x00\x00\x00"
+        # The refreshed view covers the grown region.
+        assert len(memory.read(0, 2 * PAGE_SIZE)) == 2 * PAGE_SIZE
+
+    def test_view_held_across_grow_is_rejected(self):
+        # Growing needs the buffer unexported; a caller-held view makes the
+        # extend fail loudly rather than corrupt the view.
+        memory = LinearMemory(1)
+        view = memory.read(0, 4)
+        with pytest.raises(BufferError):
+            memory.grow(1)
+        view.release()
+        assert memory.grow(1) == 1
+
+    def test_trap_message_shape(self):
+        memory = LinearMemory(1)
+        with pytest.raises(WasmTrap) as excinfo:
+            memory.read(PAGE_SIZE, 4)
+        assert str(excinfo.value) == (
+            f"out-of-bounds memory access at {PAGE_SIZE} (+4), memory is {PAGE_SIZE} bytes"
+        )
+
+
+class TestEngineBoundaryAgreement:
+    def test_store_at_boundary_ok(self):
+        module = memory_module([
+            Const(I32, PAGE_SIZE - 4), Const(I32, 0x1234), StoreI(I32),
+            Const(I32, PAGE_SIZE - 4), Load(I32),
+        ])
+        assert run_both(module) == ("ok", [0x1234])
+
+    def test_store_off_by_one_traps_identically(self):
+        module = memory_module([
+            Const(I32, PAGE_SIZE - 3), Const(I32, 1), StoreI(I32),
+            Const(I32, 0),
+        ])
+        kind, message = run_both(module)
+        assert kind == "trap"
+        assert message == (
+            f"out-of-bounds memory access at {PAGE_SIZE - 3} (+4), memory is {PAGE_SIZE} bytes"
+        )
+
+    def test_narrow_load_at_boundary(self):
+        module = memory_module([
+            Const(I32, PAGE_SIZE - 1), Const(I32, 0x7F), StoreI(I32, width=8),
+            Const(I32, PAGE_SIZE - 1), Load(I32, width=8, signed=False),
+        ])
+        assert run_both(module) == ("ok", [0x7F])
+
+    def test_load_with_offset_past_boundary_traps(self):
+        module = memory_module([
+            Const(I32, PAGE_SIZE - 2), Load(I32, offset=1, width=16),
+        ])
+        kind, message = run_both(module)
+        assert kind == "trap"
+        assert "out-of-bounds" in message
+
+    def test_access_after_grow_agrees(self):
+        from repro.wasm import MemoryGrow, WDrop
+
+        module = memory_module([
+            Const(I32, 1), MemoryGrow(), WDrop(),
+            Const(I32, PAGE_SIZE + 8), Const(I32, 0xBEEF), StoreI(I32),
+            Const(I32, PAGE_SIZE + 8), Load(I32),
+        ], max_pages=2)
+        assert run_both(module) == ("ok", [0xBEEF])
+
+    def test_grow_beyond_max_returns_minus_one_wrapped(self):
+        from repro.wasm import MemoryGrow
+
+        module = memory_module([
+            Const(I32, 5), MemoryGrow(),
+        ], max_pages=2)
+        assert run_both(module) == ("ok", [0xFFFFFFFF])
