@@ -32,10 +32,10 @@ for path in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
     if str(path) not in sys.path:
         sys.path.insert(0, str(path))
 
-from repro.opt import run_engine_cross_check  # noqa: E402
+from repro.opt import run_engine_cross_check, run_pool_reset_cross_check  # noqa: E402
 from repro.wasm import available_engines  # noqa: E402
 
-from workloads import WORKLOADS, measure_engine  # noqa: E402
+from workloads import WORKLOADS, measure_engine, measure_runtime_throughput  # noqa: E402
 
 
 def measure_workloads(engine: str) -> dict:
@@ -60,14 +60,72 @@ def cross_check_workloads() -> tuple[dict, bool]:
     for name, build in sorted(WORKLOADS.items()):
         wasm, calls = build()
         report = run_engine_cross_check(wasm, calls)
+        pool_reports = run_pool_reset_cross_check(wasm, calls)
+        pool_ok = all(entry.ok for entry in pool_reports.values())
         results[name] = {
-            "ok": report.ok,
+            "ok": report.ok and pool_ok,
             "calls": len(report.outcomes),
             "steps": report.baseline_steps,
-            "detail": None if report.ok else report.format_report(),
+            "pool_reset_ok": pool_ok,
+            "detail": None
+            if report.ok and pool_ok
+            else "\n".join(
+                [report.format_report()]
+                + [f"pool-reset[{engine}]: {entry.format_report()}"
+                   for engine, entry in pool_reports.items() if not entry.ok]
+            ),
         }
-        all_ok = all_ok and report.ok
+        all_ok = all_ok and report.ok and pool_ok
     return results, all_ok
+
+
+def check_regression(fresh: dict, baseline_path: Path, *, threshold: float = 0.25) -> tuple[dict, bool]:
+    """Compare fresh steps/sec against the committed baseline.
+
+    The verdict uses the *normalized* ratio — each workload's fresh/baseline
+    ratio divided by the median ratio across workloads — so the gate is
+    machine-speed independent: a uniformly slower CI runner shifts every raw
+    ratio but leaves the normalized ones at ~1.0, while a regression that
+    hits some workload harder than the rest drops its normalized ratio below
+    ``1 - threshold`` and fails.  Raw ratios are recorded alongside for
+    same-machine comparisons (where a uniform drop *is* a finding).
+    """
+
+    if not baseline_path.exists():
+        return {"checked": False, "reason": f"no baseline at {baseline_path}"}, True
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return {"checked": False, "reason": f"unreadable baseline: {exc}"}, True
+
+    base_workloads = baseline.get("workloads") or {}
+    ratios: dict[str, float] = {}
+    for name, entry in fresh.items():
+        base = base_workloads.get(name, {})
+        if base.get("steps_per_sec") and entry.get("steps_per_sec") and base.get("engine") == entry.get("engine"):
+            ratios[name] = entry["steps_per_sec"] / base["steps_per_sec"]
+    if not ratios:
+        return {"checked": False, "reason": "no comparable workloads in baseline"}, True
+
+    ordered = sorted(ratios.values())
+    median = ordered[len(ordered) // 2]
+    detail: dict[str, dict] = {}
+    all_ok = True
+    for name, ratio in sorted(ratios.items()):
+        normalized = ratio / median if median else 1.0
+        ok = normalized >= 1.0 - threshold
+        detail[name] = {
+            "ratio": round(ratio, 3),
+            "normalized": round(normalized, 3),
+            "ok": ok,
+        }
+        all_ok = all_ok and ok
+    return {
+        "checked": True,
+        "threshold": threshold,
+        "median_ratio": round(median, 3),
+        "workloads": detail,
+    }, all_ok
 
 
 def run_bench_files() -> tuple[dict, bool]:
@@ -103,6 +161,10 @@ def main(argv=None) -> int:
                         help="engine used for the workload timings (default: flat)")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_results.json"),
                         help="where to write the JSON results")
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_results.json"),
+                        help="committed results the regression gate compares against (smoke mode)")
+    parser.add_argument("--no-regression-gate", action="store_true",
+                        help="skip the steps/sec regression gate (e.g. on a machine unlike the baseline's)")
     args = parser.parse_args(argv)
 
     results = {
@@ -116,7 +178,31 @@ def main(argv=None) -> int:
     for name, entry in results["workloads"].items():
         print(f"  {name}: {entry['steps_per_sec']:,} steps/s ({entry['steps']} steps, {entry['calls']} calls)")
 
-    print("tree-walker vs flat-VM differential cross-check ...")
+    regression_ok = True
+    if args.smoke and not args.no_regression_gate:
+        print("steps/sec regression gate vs committed baseline ...")
+        results["regression_gate"], regression_ok = check_regression(
+            results["workloads"], Path(args.baseline)
+        )
+        gate = results["regression_gate"]
+        if not gate["checked"]:
+            print(f"  skipped: {gate['reason']}")
+        else:
+            for name, entry in gate["workloads"].items():
+                print(f"  {name}: {'ok' if entry['ok'] else 'REGRESSION'} "
+                      f"(x{entry['ratio']} of baseline, x{entry['normalized']} normalized)")
+
+    print("runtime throughput (compile-once/run-many vs naive path) ...")
+    results["runtime"] = measure_runtime_throughput()
+    runtime = results["runtime"]
+    print(f"  instantiations/s: {runtime['uncached_instances_per_sec']:,} uncached -> "
+          f"{runtime['cached_instances_per_sec']:,} cached ({runtime['cached_speedup']}x), "
+          f"{runtime['pooled_resets_per_sec']:,} pooled resets/s")
+    print(f"  requests/s: {runtime['requests_per_sec']:,} "
+          f"({runtime['requests_ok']}/{runtime['requests']} ok, "
+          f"{runtime['steps_per_request']} steps/request)")
+
+    print("tree-walker vs flat-VM differential + pool-reset cross-check ...")
     results["cross_check"], cross_ok = cross_check_workloads()
     for name, entry in results["cross_check"].items():
         print(f"  {name}: {'ok' if entry['ok'] else 'DIVERGENCE'}")
@@ -128,7 +214,7 @@ def main(argv=None) -> int:
         print("benchmark files ...")
         results["benchmarks"], bench_ok = run_bench_files()
 
-    results["ok"] = cross_ok and bench_ok
+    results["ok"] = cross_ok and bench_ok and regression_ok
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (ok={results['ok']})")

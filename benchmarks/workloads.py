@@ -157,6 +157,81 @@ def run_calls(interpreter: WasmInterpreter, instance, calls) -> list:
     return [interpreter.invoke(instance, export, list(args)) for export, args in calls]
 
 
+def timed_rate(fn: Callable[[], object], *, min_time: float = 0.15, max_rounds: int = 10000) -> float:
+    """Executions/second of ``fn`` over at least ``min_time`` seconds."""
+
+    fn()  # warm-up (fills caches, triggers lazy imports)
+    rounds = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        rounds += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time or rounds >= max_rounds:
+            return rounds / elapsed
+
+
+def measure_runtime_throughput(*, min_time: float = 0.15) -> dict:
+    """Serving-layer throughput: compile-once/run-many vs the naive path.
+
+    Three series over the Fig. 9 counter program (the cross-language
+    workload):
+
+    * ``uncached_instances_per_sec`` — the naive path: every round pays
+      link + type-directed lowering + validation + instantiation + ``_init``
+      from the source modules;
+    * ``cached_instances_per_sec`` — instantiation from a
+      :class:`repro.runtime.CompiledProgram` (pipeline memoized by the
+      module cache, flat code decoded once at module level);
+    * ``pooled_resets_per_sec`` — recycling one pooled instance
+      (acquire → reset → release), the run-many hot path;
+
+    plus ``requests_per_sec`` from a :class:`repro.runtime.BatchRunner`
+    serving stateful init/tick*/total sessions off the pool.
+    """
+
+    from repro.runtime import BatchRunner, ModuleCache, Session, run_initializers_setup
+
+    modules = counter_program().modules()
+
+    uncached = timed_rate(
+        lambda: Program(modules).instantiate_wasm(), min_time=min_time, max_rounds=200
+    )
+
+    cache = ModuleCache()
+    compiled = cache.compile_program(modules)
+
+    def cached_instantiate():
+        interpreter, instance = compiled.instantiate()
+        run_initializers_setup(interpreter, instance)
+
+    cached = timed_rate(cached_instantiate, min_time=min_time)
+
+    pool = compiled.instance_pool(setup=run_initializers_setup, max_size=2)
+    pooled = timed_rate(lambda: pool.release(pool.acquire()), min_time=min_time)
+
+    runner = BatchRunner(pool)
+    session = Session(
+        calls=(("client.client_init", (0,)),)
+        + tuple(("client.client_tick", ()) for _ in range(COUNTER_TICKS))
+        + (("client.client_total", ()),)
+    )
+    report = runner.run([session] * 30)
+
+    return {
+        "workload": "linked_counter",
+        "uncached_instances_per_sec": round(uncached, 1),
+        "cached_instances_per_sec": round(cached, 1),
+        "cached_speedup": round(cached / uncached, 1) if uncached else None,
+        "pooled_resets_per_sec": round(pooled, 1),
+        "requests": report.requests,
+        "requests_ok": report.ok_count,
+        "requests_trapped": report.trap_count,
+        "requests_per_sec": round(report.requests_per_sec, 1) if report.requests_per_sec else None,
+        "steps_per_request": report.total_steps // report.requests if report.requests else 0,
+    }
+
+
 def measure_engine(wasm, calls, engine: str, *, min_time: float = 0.3, max_rounds: int = 300):
     """Time repeated replays of ``calls`` on one engine.
 

@@ -83,29 +83,61 @@ class Program:
 
         return link_modules(self.modules, name=name)
 
-    def lower(self, *, memory_pages: int = 4, optimize: bool = False, engine=None):
+    def lower(self, *, memory_pages: int = 4, optimize: bool = False, engine=None, cache=None):
         """Link and lower the whole program to a single Wasm module.
 
         ``optimize=True`` runs the :mod:`repro.opt` pass pipeline over the
         linked module, so cross-language programs get whole-program
         optimization (the linker already resolved imports to direct calls).
         ``engine`` records the execution-engine preference on the result.
+        ``cache`` (a :class:`repro.runtime.ModuleCache`) memoizes the link
+        and lower/optimize stages by content, so repeated lowerings of the
+        same program compile once.
         """
 
+        if cache is not None:
+            linked = cache.link(self.modules)
+            return cache.lower(linked, memory_pages=memory_pages, optimize=optimize, engine=engine)
         return lower_module(self.link(), memory_pages=memory_pages, optimize=optimize, engine=engine)
 
+    def compile(self, *, memory_pages: int = 4, optimize: bool = False, engine=None, cache=None):
+        """Compile through a :class:`repro.runtime.ModuleCache` and return the
+        shareable :class:`repro.runtime.CompiledProgram` (the input to
+        instance pools and batch runners); a fresh cache is used if none is
+        given.  ``engine`` accepts a name or an
+        :class:`~repro.wasm.engine.ExecutionEngine` instance (reduced to its
+        registry name — compiled artifacts record preferences, not live
+        engines)."""
+
+        from ..wasm.engine import ExecutionEngine
+
+        if isinstance(engine, ExecutionEngine):
+            engine = engine.name
+        if cache is None:
+            from ..runtime import ModuleCache
+
+            cache = ModuleCache()
+        return cache.compile_program(
+            self.modules, memory_pages=memory_pages, optimize=optimize, engine=engine,
+        )
+
     def instantiate_wasm(
-        self, *, memory_pages: int = 4, optimize: bool = False, engine=None
+        self, *, memory_pages: int = 4, optimize: bool = False, engine=None, cache=None
     ) -> "WasmProgramInstance":
         """Lower and run the whole program on a Wasm execution engine.
 
         ``engine`` selects the engine (``"flat"``/``"tree"`` or an
         :class:`~repro.wasm.engine.ExecutionEngine`); the default is the
-        flat VM.
+        flat VM.  With ``cache`` the pipeline stages are memoized (already
+        validated on first compile), so only instantiation is paid per call.
         """
 
-        lowered = self.lower(memory_pages=memory_pages, optimize=optimize, engine=engine if isinstance(engine, str) else None)
-        validate_module(lowered.wasm)
+        lowered = self.lower(
+            memory_pages=memory_pages, optimize=optimize,
+            engine=engine if isinstance(engine, str) else None, cache=cache,
+        )
+        if cache is None:
+            validate_module(lowered.wasm)
         interpreter = WasmInterpreter(engine=engine)
         instance = interpreter.instantiate(lowered.wasm)
         program = WasmProgramInstance(self, interpreter, instance, lowered)

@@ -453,22 +453,27 @@ def _bits(ty: Type) -> int:
 
 
 def compile_l3_module(
-    module: L3Module, *, lower: bool = False, optimize: bool = False, memory_pages: int = 4, engine=None
+    module: L3Module, *, lower: bool = False, optimize: bool = False, memory_pages: int = 4, engine=None,
+    cache=None,
 ):
     """Linearity-check and compile an L3 module to RichWasm.
 
     By default this returns the RichWasm :class:`Module`.  With
-    ``lower=True`` (implied by ``optimize=True`` or ``engine=...``) it
-    continues down the pipeline and returns the
+    ``lower=True`` (implied by ``optimize=True``, ``engine=...`` or
+    ``cache=...``) it continues down the pipeline and returns the
     :class:`repro.lower.LoweredModule` instead, optionally post-processed by
     the :mod:`repro.opt` pass pipeline.  ``engine`` records the
     execution-engine preference (default: the flat VM) consumed by
-    :meth:`repro.lower.LoweredModule.instantiate`.
+    :meth:`repro.lower.LoweredModule.instantiate`.  ``cache`` (a
+    :class:`repro.runtime.ModuleCache`) memoizes the lower/optimize stage by
+    content, so recompiling an identical module reuses the cached artifacts.
     """
 
     signatures = check_l3_module(module)
     richwasm = L3Compiler(module, signatures).compile()
-    if lower or optimize or engine is not None:
+    if lower or optimize or engine is not None or cache is not None:
+        if cache is not None:
+            return cache.lower(richwasm, memory_pages=memory_pages, optimize=optimize, engine=engine)
         from ..lower import lower_module
 
         return lower_module(richwasm, memory_pages=memory_pages, optimize=optimize, engine=engine)

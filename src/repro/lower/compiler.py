@@ -157,6 +157,16 @@ class LoweredModule:
         interpreter = WasmInterpreter(max_steps=max_steps, engine=engine if engine is not None else self.engine)
         return interpreter, interpreter.instantiate(self.wasm, host_imports)
 
+    def instance_pool(self, **kwargs):
+        """An :class:`repro.runtime.InstancePool` recycling instances of this
+        lowered module (keyword arguments forwarded to the pool; the
+        compile-time engine preference is the default engine)."""
+
+        from ..runtime.pool import InstancePool
+
+        kwargs.setdefault("engine", self.engine)
+        return InstancePool(self.wasm, **kwargs)
+
 
 @dataclass
 class _Annotation:

@@ -43,6 +43,7 @@ from .verify import (
     Invocation,
     run_differential,
     run_engine_cross_check,
+    run_pool_reset_cross_check,
     verify_optimization,
 )
 

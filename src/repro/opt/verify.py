@@ -238,6 +238,79 @@ def run_engine_cross_check(
     )
 
 
+def run_pool_reset_cross_check(
+    module: WasmModule,
+    calls: Sequence[Union[Invocation, tuple]],
+    *,
+    engines: tuple = ("tree", "flat"),
+    host_imports: Union[HostImports, HostImportFactory, None] = None,
+    compare_state: bool = True,
+    max_steps: Optional[int] = None,
+    warmup: Optional[Sequence[Union[Invocation, tuple]]] = None,
+    setup=None,
+) -> dict[str, DifferentialReport]:
+    """Require a pooled-reset instance to be bit-identical to a fresh one.
+
+    The correctness contract of :class:`repro.runtime.InstancePool`: for each
+    engine, instantiate a *fresh* baseline and compare it against a pooled
+    instance that already served a previous run (``warmup``, defaulting to
+    the same call script) and was recycled by the pool's reset.  Results,
+    traps, final memory, globals and the cumulative ``steps`` counter must
+    all agree — a reset that leaked any state (a grown memory, a dirty
+    global, a stale step counter) fails here.
+
+    ``setup`` (``setup(interpreter, instance)``) runs on the fresh baseline
+    and on every pooled instance before its image capture — pass
+    :func:`repro.runtime.run_initializers_setup` for linked FFI programs.
+    ``host_imports`` should be a factory when the hosts are stateful, so the
+    baseline, the warm-up and the pooled run cannot observe each other.
+    Returns one report per engine name.
+    """
+
+    from ..runtime.pool import InstancePool
+
+    normalized_calls = _normalize_calls(calls)
+    warmup_calls = _normalize_calls(warmup) if warmup is not None else normalized_calls
+
+    reports: dict[str, DifferentialReport] = {}
+    for engine in engines:
+        engine_name, engine_steps = _fresh_engine_spec(engine, max_steps)
+
+        baseline_interp = WasmInterpreter(max_steps=engine_steps, engine=engine_name)
+        baseline_instance = baseline_interp.instantiate(module, _resolve_hosts(host_imports))
+        if setup is not None:
+            setup(baseline_interp, baseline_instance)
+
+        pool = InstancePool(
+            module,
+            engine=engine_name,
+            max_steps=engine_steps,
+            host_imports=host_imports,
+            setup=setup,
+        )
+        entry = pool.acquire()
+        for call in warmup_calls:  # dirty the instance: memory, globals, steps
+            try:
+                entry.invoke(call.export, list(call.args))
+            except WasmTrap:
+                pass
+        pool.release(entry)
+        recycled = pool.acquire()
+
+        report = _compare_runs(
+            baseline_interp,
+            baseline_instance,
+            recycled.interpreter,
+            recycled.instance,
+            normalized_calls,
+            compare_state=compare_state,
+            compare_steps=True,
+        )
+        pool.release(recycled)
+        reports[recycled.interpreter.engine_name] = report
+    return reports
+
+
 def verify_optimization(
     module: WasmModule,
     optimized: WasmModule,

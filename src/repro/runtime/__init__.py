@@ -1,0 +1,105 @@
+"""The compile-once / run-many execution service (the serving layer).
+
+The ROADMAP's north star is heavy traffic; the naive path re-pays the whole
+pipeline — link, type-directed lowering, optimization, flat decode,
+instantiation — on *every* run.  This package is the standard serving
+architecture for that shape of workload:
+
+* :class:`ModuleCache` (:mod:`repro.runtime.cache`) — content-hash-keyed
+  memoization of each pipeline stage (link → lower/optimize → decode), so a
+  program compiles once and its :class:`CompiledProgram` artifacts are
+  shared by every instance;
+* :class:`InstancePool` (:mod:`repro.runtime.pool`) — recycles instances by
+  resetting memory/globals/tables/steps to their post-initialization image
+  instead of re-instantiating, bit-identically to a fresh instance (enforced
+  by :func:`repro.opt.run_pool_reset_cross_check`);
+* :class:`BatchRunner` (:mod:`repro.runtime.batch`) — drives request streams
+  (single invocations or stateful :class:`Session` call scripts) over the
+  pool with per-request ``max_steps`` budgets and per-request trap
+  isolation.
+
+:func:`scenario_service` wires all three up for an
+:class:`repro.ffi.InteropScenario` (or one of the ``ffi.scenarios``
+builders), running the linked program's ``_init`` exports as the pooled
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .batch import BatchReport, BatchRunner, Request, RequestOutcome, Session
+from .cache import CacheStats, CompiledProgram, ModuleCache, content_key
+from .pool import InstanceImage, InstancePool, PooledInstance, PoolStats
+
+_DEFAULT_CACHE: Optional[ModuleCache] = None
+
+
+def default_cache() -> ModuleCache:
+    """The process-wide :class:`ModuleCache` (created on first use)."""
+
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ModuleCache()
+    return _DEFAULT_CACHE
+
+
+def run_initializers_setup(interpreter, instance) -> None:
+    """Pool ``setup`` hook running every ``<module>._init`` export, mirroring
+    :meth:`repro.ffi.WasmProgramInstance.run_initializers`."""
+
+    for export in instance.exports:
+        if export.endswith("._init"):
+            interpreter.invoke(instance, export)
+
+
+def scenario_service(
+    scenario,
+    *,
+    cache: Optional[ModuleCache] = None,
+    engine: Optional[str] = None,
+    optimize: bool = False,
+    memory_pages: int = 4,
+    max_steps: Optional[int] = None,
+    pool_size: int = 4,
+) -> BatchRunner:
+    """A ready-to-serve :class:`BatchRunner` for an FFI interop scenario.
+
+    ``scenario`` is an :class:`repro.ffi.InteropScenario`, one of the
+    ``repro.ffi.scenarios`` builders (called with no arguments), or anything
+    :meth:`ModuleCache.compile_program` accepts.  The scenario's modules are
+    linked/lowered/decoded through ``cache`` (the process-wide default cache
+    when ``None``) and served from an :class:`InstancePool` whose baseline
+    image includes the program's ``_init`` exports.
+    """
+
+    if callable(scenario) and not hasattr(scenario, "modules"):
+        scenario = scenario()
+    cache = cache if cache is not None else default_cache()
+    compiled = cache.compile_program(scenario, engine=engine, optimize=optimize, memory_pages=memory_pages)
+    pool = compiled.instance_pool(
+        max_steps=max_steps,
+        setup=run_initializers_setup,
+        max_size=pool_size,
+    )
+    return BatchRunner(pool)
+
+
+__all__ = [
+    "BatchReport",
+    "BatchRunner",
+    "CacheStats",
+    "CompiledProgram",
+    "InstanceImage",
+    "InstancePool",
+    "ModuleCache",
+    "PoolStats",
+    "PooledInstance",
+    "Request",
+    "RequestOutcome",
+    "Session",
+    "content_key",
+    "default_cache",
+    "run_initializers_setup",
+    "scenario_service",
+]

@@ -1,0 +1,154 @@
+"""Batch execution: many independent requests over pooled instances.
+
+:class:`BatchRunner` is the run-many half of the runtime layer: it drives a
+stream of :class:`Request`\\ s (export + args, optionally a per-request
+``max_steps`` budget) against an :class:`~repro.runtime.InstancePool`.
+Each request gets a freshly-reset instance, so requests are isolated from
+each other: a trap (including a blown step budget) is recorded on that
+request's :class:`RequestOutcome` and the instance's state is discarded by
+the pool reset — later requests never observe it.
+
+Per-request budgets are expressed against the engine's *cumulative* counter
+(``max_steps = steps_now + budget``), so a budget always means "this many
+steps for this request" regardless of what the pooled engine executed
+before; the pool reset restores the baseline afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..wasm.interpreter import WasmTrap, WasmValue
+from .pool import InstancePool
+
+
+@dataclass(frozen=True)
+class Request:
+    """One invocation: an export name, its arguments, an optional budget."""
+
+    export: str
+    args: tuple = ()
+    max_steps: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Session:
+    """A stateful request: a whole call script served by *one* pooled
+    instance under one budget (e.g. Fig. 9's init → tick* → total)."""
+
+    calls: tuple = ()  # of (export, args)
+    max_steps: Optional[int] = None
+
+    @property
+    def export(self) -> str:  # uniform display with Request
+        return f"<session:{len(self.calls)} calls>"
+
+    @property
+    def args(self) -> tuple:
+        return ()
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What one request observed: results or a trap, and its step cost."""
+
+    request: Request
+    ok: bool
+    values: Optional[list[WasmValue]]
+    trap: Optional[str]
+    steps: int
+
+
+@dataclass
+class BatchReport:
+    """Aggregate statistics over one :meth:`BatchRunner.run`."""
+
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def trap_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(outcome.steps for outcome in self.outcomes)
+
+    @property
+    def requests_per_sec(self) -> Optional[float]:
+        return self.requests / self.wall_s if self.wall_s else None
+
+    def traps(self) -> list[RequestOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def format_report(self) -> str:
+        lines = [
+            f"batch: {self.requests} request(s), {self.ok_count} ok, {self.trap_count} trapped, "
+            f"{self.total_steps} steps in {self.wall_s:.4f}s"
+            + (f" ({self.requests_per_sec:,.0f} req/s)" if self.requests_per_sec else "")
+        ]
+        for outcome in self.traps():
+            lines.append(f"  TRAP {outcome.request.export}{outcome.request.args!r}: {outcome.trap}")
+        return "\n".join(lines)
+
+
+def _normalize_requests(requests: Sequence[Union[Request, "Session", tuple]]) -> list:
+    normalized = []
+    for request in requests:
+        if isinstance(request, (Request, Session)):
+            normalized.append(request)
+        else:
+            export, args = request[0], tuple(request[1]) if len(request) > 1 else ()
+            budget = request[2] if len(request) > 2 else None
+            normalized.append(Request(export, args, budget))
+    return normalized
+
+
+class BatchRunner:
+    """Drives request batches over an instance pool with trap isolation."""
+
+    def __init__(self, pool: InstancePool) -> None:
+        self.pool = pool
+
+    def run_one(self, request: Union[Request, Session, tuple]) -> RequestOutcome:
+        if not isinstance(request, (Request, Session)):
+            (request,) = _normalize_requests([request])
+        entry = self.pool.acquire()
+        try:
+            interpreter = entry.interpreter
+            before = interpreter.steps
+            if request.max_steps is not None:
+                budget = before + request.max_steps
+                interpreter.max_steps = (
+                    budget if interpreter.max_steps is None else min(interpreter.max_steps, budget)
+                )
+            try:
+                if isinstance(request, Session):
+                    values = [entry.invoke(export, tuple(args)) for export, args in request.calls]
+                else:
+                    values = entry.invoke(request.export, request.args)
+                return RequestOutcome(request, True, values, None, interpreter.steps - before)
+            except WasmTrap as trap:
+                return RequestOutcome(request, False, None, str(trap), interpreter.steps - before)
+        finally:
+            self.pool.release(entry)
+
+    def run(self, requests: Sequence[Union[Request, tuple]]) -> BatchReport:
+        """Execute every request on its own pooled-reset instance."""
+
+        report = BatchReport()
+        start = time.perf_counter()
+        for request in _normalize_requests(requests):
+            report.outcomes.append(self.run_one(request))
+        report.wall_s = time.perf_counter() - start
+        return report

@@ -1,0 +1,282 @@
+"""Content-hash-keyed memoization of the compile pipeline.
+
+Every request through the naive path pays link → lower → optimize → decode
+from source.  :class:`ModuleCache` memoizes each of those stages separately
+under content hashes, so a serving process compiles each distinct program
+exactly once and every later request reuses the artifacts:
+
+* **link** — ``{name: RichWasm Module}`` → linked ``Module``;
+* **lower** — linked ``Module`` (+ lowering/optimization parameters) →
+  :class:`~repro.lower.LoweredModule` (optimization runs inside this stage
+  when requested, so the cached artifact is the optimized module);
+* **decode** — lowered :class:`~repro.wasm.ast.WasmModule` →
+  :class:`~repro.wasm.decode.DecodedModule`, the per-module flat code every
+  :class:`~repro.wasm.engine.FlatVMEngine` instance shares.
+
+Keys are SHA-256 digests of the stable dataclass ``repr`` of the (immutable)
+ASTs plus the stage parameters.  Hashing by content rather than identity
+means two independently built but structurally identical programs share one
+compile; the stages are keyed separately, so e.g. two different module sets
+that link to the same module still share the lowering and decode.
+
+:meth:`ModuleCache.compile_program` runs the whole pipeline and returns a
+:class:`CompiledProgram` bundle, the unit the instance pool and batch runner
+consume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..core.syntax import Module
+from ..lower import LoweredModule, lower_module
+from ..wasm import validate_module
+from ..wasm.ast import WasmModule
+from ..wasm.decode import DecodedModule, decode_module
+
+
+def content_key(*parts: object) -> str:
+    """SHA-256 digest over the ``repr`` of each part.
+
+    The ASTs on every pipeline boundary (surface modules, RichWasm,
+    Wasm) are frozen dataclasses built from tuples, enums and primitives, so
+    their reprs are stable and structural — equal trees produce equal keys
+    regardless of object identity.
+    """
+
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(repr(part).encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one pipeline stage."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class CompiledProgram:
+    """The fully compiled, shareable form of one program.
+
+    Everything here is immutable or treated as such: instances built from it
+    share ``wasm`` (and therefore the module-level ``decoded`` flat code) but
+    never mutate it.  ``key`` is the content hash the cache filed the program
+    under.
+    """
+
+    key: str
+    richwasm: Module
+    lowered: LoweredModule
+    engine: Optional[str] = None
+
+    @property
+    def wasm(self) -> WasmModule:
+        return self.lowered.wasm
+
+    @property
+    def decoded(self) -> DecodedModule:
+        return decode_module(self.lowered.wasm)
+
+    def instantiate(self, *, host_imports=None, max_steps=None, engine=None):
+        """Instantiate on a fresh engine: ``(interpreter, instance)``."""
+
+        return self.lowered.instantiate(
+            host_imports=host_imports,
+            max_steps=max_steps,
+            engine=engine if engine is not None else self.engine,
+        )
+
+    def instance_pool(self, **kwargs) -> "InstancePool":
+        """An :class:`~repro.runtime.InstancePool` recycling instances of
+        this program (keyword arguments forwarded to the pool)."""
+
+        from .pool import InstancePool
+
+        kwargs.setdefault("engine", self.engine)
+        return InstancePool(self.wasm, **kwargs)
+
+
+class ModuleCache:
+    """Memoizes link/lower/decode so each program compiles once.
+
+    One cache serves many programs; per-stage :class:`CacheStats` live in
+    ``stats``.  The cache is unbounded by design — a serving tier hosts a
+    fixed catalogue of programs — but :meth:`clear` drops everything.
+    """
+
+    def __init__(self) -> None:
+        self._linked: dict[str, Module] = {}
+        self._lowered: dict[str, LoweredModule] = {}
+        self._decoded: dict[str, DecodedModule] = {}
+        self._programs: dict[str, CompiledProgram] = {}
+        self.stats: dict[str, CacheStats] = {
+            "link": CacheStats(),
+            "lower": CacheStats(),
+            "decode": CacheStats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(
+            f"{stage}={len(store)}"
+            for stage, store in (
+                ("link", self._linked),
+                ("lower", self._lowered),
+                ("decode", self._decoded),
+            )
+        )
+        return f"ModuleCache({sizes})"
+
+    def clear(self) -> None:
+        self._linked.clear()
+        self._lowered.clear()
+        self._decoded.clear()
+        self._programs.clear()
+        for stats in self.stats.values():
+            stats.hits = stats.misses = 0
+
+    # -- stage: link -------------------------------------------------------
+
+    def link(self, modules: dict[str, Module], *, name: str = "linked") -> Module:
+        """Statically link ``modules`` (memoized by content)."""
+
+        from ..ffi.link import link_modules
+
+        key = content_key("link", name, sorted(modules), [modules[k] for k in sorted(modules)])
+        stats = self.stats["link"]
+        linked = self._linked.get(key)
+        if linked is not None:
+            stats.hits += 1
+            return linked
+        stats.misses += 1
+        linked = link_modules(modules, name=name)
+        self._linked[key] = linked
+        return linked
+
+    # -- stage: lower (+ optimize) ----------------------------------------
+
+    def lower(
+        self,
+        richwasm: Module,
+        *,
+        memory_pages: int = 4,
+        optimize: bool = False,
+        passes=None,
+        engine: Optional[str] = None,
+        validate: bool = True,
+    ) -> LoweredModule:
+        """Lower (and optionally optimize) ``richwasm``, memoized by content.
+
+        Hits return a shallow copy so callers can adjust bookkeeping fields
+        (``engine``) without contaminating the cached artifact; the expensive
+        payload (``wasm``, and with it the decode memo) stays shared.
+        """
+
+        pass_names = None if passes is None else tuple(p.name for p in passes)
+        key = content_key("lower", richwasm, memory_pages, optimize, pass_names)
+        stats = self.stats["lower"]
+        lowered = self._lowered.get(key)
+        if lowered is None:
+            stats.misses += 1
+            lowered = lower_module(richwasm, memory_pages=memory_pages, optimize=optimize, passes=passes)
+            if validate:
+                validate_module(lowered.wasm)
+            self._lowered[key] = lowered
+        else:
+            stats.hits += 1
+        return replace(lowered, engine=engine)
+
+    # -- stage: decode -----------------------------------------------------
+
+    def decode(self, wasm: WasmModule) -> DecodedModule:
+        """Flat-decode ``wasm``, memoized once per object by the module-level
+        memo in :mod:`repro.wasm.decode`.
+
+        Always returns *this object's* decode — the artifact the flat VM
+        actually executes — never a structurally-equal twin's (the engine
+        resolves flat code by module identity).  The content-keyed side
+        table only pins the artifact alive and feeds the hit/miss stats;
+        content-level sharing already happens one stage earlier, where
+        :meth:`lower` dedupes equal programs to a single ``WasmModule``
+        object.
+        """
+
+        key = content_key("decode", wasm)
+        stats = self.stats["decode"]
+        if key in self._decoded:
+            stats.hits += 1
+        else:
+            stats.misses += 1
+        decoded = decode_module(wasm)
+        self._decoded[key] = decoded
+        return decoded
+
+    # -- the whole pipeline ------------------------------------------------
+
+    def compile_program(
+        self,
+        modules,
+        *,
+        name: str = "linked",
+        memory_pages: int = 4,
+        optimize: bool = False,
+        passes=None,
+        engine: Optional[str] = None,
+    ) -> CompiledProgram:
+        """Link → lower → optimize → decode, every stage memoized.
+
+        ``modules`` is a ``{name: RichWasm Module}`` mapping (e.g. from
+        :meth:`repro.ffi.InteropScenario.modules`), an
+        :class:`repro.ffi.Program`, or a single already-linked RichWasm
+        :class:`Module`.
+        """
+
+        richwasm = self._as_linked(modules, name=name)
+        key = content_key("program", richwasm, memory_pages, optimize,
+                          None if passes is None else tuple(p.name for p in passes))
+        program = self._programs.get(key)
+        if program is None:
+            lowered = self.lower(
+                richwasm, memory_pages=memory_pages, optimize=optimize, passes=passes, engine=engine
+            )
+            self.decode(lowered.wasm)
+            program = CompiledProgram(key=key, richwasm=richwasm, lowered=lowered, engine=engine)
+            self._programs[key] = program
+        elif program.engine != engine:
+            # The engine preference is per-caller bookkeeping, not part of
+            # the compiled content: hand out a variant sharing the cached
+            # payload instead of silently serving the first caller's engine.
+            program = CompiledProgram(
+                key=key,
+                richwasm=program.richwasm,
+                lowered=replace(program.lowered, engine=engine),
+                engine=engine,
+            )
+        return program
+
+    def _as_linked(self, modules, *, name: str) -> Module:
+        if isinstance(modules, Module):
+            return modules
+        if hasattr(modules, "modules") and not isinstance(modules, dict):
+            modules = modules.modules  # repro.ffi.Program
+        if callable(modules):
+            modules = modules()
+        if not isinstance(modules, dict):
+            raise TypeError(
+                "compile_program expects a {name: Module} dict, a Program, or a linked Module; "
+                f"got {type(modules).__name__}"
+            )
+        # Always link, even a singleton: linking namespaces the exports
+        # (``module.export``), so this path stays interchangeable with
+        # ``Program.lower()``.
+        return self.link(modules, name=name)

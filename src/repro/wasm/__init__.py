@@ -52,7 +52,7 @@ from .ast import (
     WUnreachable,
     count_instrs,
 )
-from .decode import FlatFunction, decode_function, decode_instance
+from .decode import DecodedModule, FlatFunction, decode_function, decode_instance, decode_module
 from .engine import (
     DEFAULT_ENGINE,
     ENGINES,
@@ -62,7 +62,15 @@ from .engine import (
     available_engines,
     create_engine,
 )
-from .interpreter import HostFunction, LinearMemory, WasmInstance, WasmInterpreter, WasmTrap, WasmValue
+from .interpreter import (
+    HostFunction,
+    LinearMemory,
+    MAX_MEMORY_PAGES,
+    WasmInstance,
+    WasmInterpreter,
+    WasmTrap,
+    WasmValue,
+)
 from .text import format_instr, module_to_wat
 from .validation import WasmValidationError, validate_function, validate_module
 

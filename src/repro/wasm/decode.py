@@ -27,7 +27,8 @@ through a handler table (see :mod:`repro.wasm.engine`).
 
 from __future__ import annotations
 
-from typing import Callable
+import weakref
+from typing import Callable, Optional
 
 from ..core.semantics import numerics
 from ..core.typing.errors import WasmError
@@ -406,16 +407,88 @@ def decode_function(function: WasmFunction) -> FlatFunction:
     )
 
 
-def decode_instance(instance) -> list:
-    """Decode every defined function of an instance; host imports become
-    :class:`HostEntry` records carrying the declared import type."""
+class DecodedModule:
+    """The module-level decode artifact: one :class:`FlatFunction` per
+    defined function, ``None`` at imported slots.
 
+    Produced once per :class:`~repro.wasm.ast.WasmModule` object by
+    :func:`decode_module` and shared by every instance of that module —
+    instantiation only has to fill in the per-instance host entries.
+    ``functions`` keeps the exact ``module.functions`` tuple the decode was
+    built from, so consumers can check a function slot by identity.
+    """
+
+    __slots__ = ("functions", "flat")
+
+    def __init__(self, functions: tuple, flat: list):
+        self.functions = functions
+        self.flat = flat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        defined = sum(1 for entry in self.flat if entry is not None)
+        return f"DecodedModule({defined} defined / {len(self.flat)} functions)"
+
+
+# Per-module decode memo.  WasmModule is a frozen dataclass whose hash walks
+# the whole AST, so the memo is keyed by id() with a weakref guard: a hit
+# requires the weakref to still resolve to the very same object (id reuse
+# after collection therefore cannot alias), and dead entries are evicted by
+# the weakref callback.
+_MODULE_DECODE_CACHE: dict[int, tuple[weakref.ref, DecodedModule]] = {}
+
+
+def decode_module(module: WasmModule) -> DecodedModule:
+    """Decode every defined function of ``module``, memoized per module object.
+
+    The flat code depends only on the (immutable) function bodies, so all
+    instances of one module share a single decode — the compile-once half of
+    the compile-once/run-many runtime layer.
+    """
+
+    key = id(module)
+    entry = _MODULE_DECODE_CACHE.get(key)
+    if entry is not None and entry[0]() is module:
+        return entry[1]
+
+    flat = [
+        decode_function(target) if isinstance(target, WasmFunction) else None
+        for target in module.functions
+    ]
+    decoded = DecodedModule(module.functions, flat)
+
+    def _evict(ref, _key=key):
+        cached = _MODULE_DECODE_CACHE.get(_key)
+        if cached is not None and cached[0] is ref:
+            del _MODULE_DECODE_CACHE[_key]
+
+    _MODULE_DECODE_CACHE[key] = (weakref.ref(module, _evict), decoded)
+    return decoded
+
+
+def decode_instance(instance, shared: Optional[DecodedModule] = None) -> list:
+    """Build the per-instance decoded function table.
+
+    Defined functions come from the module-level :func:`decode_module` memo
+    (decoded once, shared across all instances); host imports become
+    :class:`HostEntry` records carrying the declared import type.  A function
+    slot that no longer matches the module by identity (``instance.funcs``
+    was patched, e.g. with an optimized body) is decoded fresh instead of
+    served stale.
+    """
+
+    if shared is None:
+        shared = decode_module(instance.module)
+    module_functions = shared.functions
+    declared_functions = instance.module.functions
     decoded: list = []
     for index, target in enumerate(instance.funcs):
         if isinstance(target, WasmFunction):
-            decoded.append(decode_function(target))
+            if index < len(module_functions) and module_functions[index] is target:
+                decoded.append(shared.flat[index])
+            else:
+                decoded.append(decode_function(target))
         else:
-            declared = instance.module.functions[index]
+            declared = declared_functions[index] if index < len(declared_functions) else None
             functype = declared.functype if isinstance(declared, WasmImportedFunction) else None
             decoded.append(HostEntry(target, functype))
     return decoded

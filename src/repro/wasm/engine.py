@@ -554,7 +554,37 @@ class FlatVMEngine(ExecutionEngine):
     name: ClassVar[str] = "flat"
 
     def _prepare_instance(self, instance: WasmInstance) -> None:
-        instance.decoded = decode_instance(instance)
+        self._decode(instance)
+
+    @staticmethod
+    def _decode(instance: WasmInstance) -> list:
+        decoded = decode_instance(instance)
+        instance.decoded = decoded
+        instance.decoded_funcs = list(instance.funcs)
+        return decoded
+
+    @staticmethod
+    def _decode_is_current(instance: WasmInstance) -> bool:
+        """Is the cached flat code still what ``instance.funcs`` would run?
+
+        The tree walker reads ``instance.funcs`` live, so a patched function
+        slot (say, an optimized body swapped in after instantiation) takes
+        effect immediately there; the flat VM must not keep executing stale
+        pre-decoded code.  Identity-compare the snapshot taken at decode time
+        — defined bodies are immutable tuples, so slot identity is exactly
+        code identity.  (Checked at invoke boundaries; calls already on the
+        pc loop keep the code they started with, as does a reentrant tree
+        walk mid-call.)
+        """
+
+        snapshot = instance.decoded_funcs
+        funcs = instance.funcs
+        if snapshot is None or len(snapshot) != len(funcs):
+            return False
+        for cached, current in zip(snapshot, funcs):
+            if cached is not current:
+                return False
+        return True
 
     def invoke_index(self, instance: WasmInstance, index: int, args: list[WasmValue]) -> list[WasmValue]:
         target = instance.funcs[index]
@@ -562,9 +592,10 @@ class FlatVMEngine(ExecutionEngine):
             results = target(*args)
             return list(results) if results is not None else []
         decoded = instance.decoded
-        if decoded is None:
-            # Instance was created by another engine; decode on first use.
-            decoded = instance.decoded = decode_instance(instance)
+        if decoded is None or not self._decode_is_current(instance):
+            # Instance was created by another engine (decode on first use) or
+            # its function table was patched since the last decode.
+            decoded = self._decode(instance)
         return self._run(instance, decoded, index, args)
 
     def _run(self, instance: WasmInstance, decoded: list, index: int, args: list[WasmValue]) -> list[WasmValue]:

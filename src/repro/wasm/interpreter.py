@@ -52,6 +52,16 @@ def _normalize(valtype: ValType, value: WasmValue) -> WasmValue:
     return numerics.float_canon(float(value), valtype.bit_width)
 
 
+# The Wasm 1.0 hard limit: memory is indexed by u32 byte addresses, so it can
+# never exceed 2**32 bytes = 65536 pages, declared maximum or not.
+MAX_MEMORY_PAGES = (1 << 32) // PAGE_SIZE
+
+_VIEW_HELD_MESSAGE = (
+    "cannot resize memory while a zero-copy view from read() is held; "
+    "release the view (or use read_bytes() for data that must survive grow)"
+)
+
+
 @dataclass
 class LinearMemory:
     """A byte-addressed linear memory made of 64 KiB pages.
@@ -60,9 +70,13 @@ class LinearMemory:
     ``bytearray``, so :meth:`read` is zero-copy; writes are in-place slice
     assignments.  :meth:`grow` extends the backing store in place (object
     identity is preserved, so engines that bound ``memory.data`` locally stay
-    valid) after releasing and re-creating the cached view.  Callers must not
-    hold a view returned by :meth:`read` across a :meth:`grow` — growing
-    requires the buffer to be unexported.
+    valid) after releasing and re-creating the cached view.
+
+    Callers must not hold a view returned by :meth:`read` across a
+    :meth:`grow` or :meth:`reset` — resizing requires the buffer to be
+    unexported, so either raises a :class:`BufferError` naming the hazard
+    (and leaves the memory unchanged) while a view is outstanding.  Use
+    :meth:`read_bytes` for data that must survive a resize.
     """
 
     pages: int = 1
@@ -80,16 +94,49 @@ class LinearMemory:
         return len(self.data) // PAGE_SIZE
 
     def grow(self, delta_pages: int) -> int:
+        """Grow by ``delta_pages``, returning the old size in pages.
+
+        Per Wasm semantics the failure mode is a ``-1`` result, never a trap:
+        a negative delta (an out-of-range u32 at the instruction level), a
+        delta exceeding the declared ``max_pages``, or one exceeding the
+        4 GiB / :data:`MAX_MEMORY_PAGES` hard limit all return ``-1`` and
+        leave the memory unchanged.
+        """
+
         old = self.size_pages()
-        new = old + delta_pages
-        if self.max_pages is not None and new > self.max_pages:
+        if delta_pages < 0:
             return -1
+        new = old + delta_pages
+        limit = MAX_MEMORY_PAGES if self.max_pages is None else min(self.max_pages, MAX_MEMORY_PAGES)
+        if new > limit:
+            return -1
+        if delta_pages == 0:
+            return old
         self._view.release()
         try:
             self.data.extend(bytes(delta_pages * PAGE_SIZE))
+        except BufferError as exc:
+            raise BufferError(_VIEW_HELD_MESSAGE) from exc
         finally:
             self._view = memoryview(self.data)
         return old
+
+    def reset(self, image: bytes) -> None:
+        """Restore the backing store to ``image`` in place.
+
+        Identity-preserving like :meth:`grow` (bindings to ``data`` stay
+        valid) and resizing: a memory grown past ``len(image)`` shrinks back.
+        Used by the instance pool to recycle instances without
+        re-instantiating.
+        """
+
+        self._view.release()
+        try:
+            self.data[:] = image
+        except BufferError as exc:
+            raise BufferError(_VIEW_HELD_MESSAGE) from exc
+        finally:
+            self._view = memoryview(self.data)
 
     def _check(self, address: int, length: int) -> None:
         if address < 0 or address + length > len(self.data):
@@ -125,8 +172,13 @@ class WasmInstance:
     table: list[int] = field(default_factory=list)
     exports: dict[str, int] = field(default_factory=dict)
     # Flat-code cache filled by the flat VM at instantiation (or lazily on
-    # first invoke when the instance was built by another engine).
+    # first invoke when the instance was built by another engine), plus the
+    # snapshot of ``funcs`` it was decoded from: the flat VM revalidates the
+    # snapshot on every external invoke and re-decodes when a function slot
+    # has been swapped (e.g. for an optimized body), so patched instances
+    # never execute stale flat code.
     decoded: Optional[list] = field(default=None, repr=False, compare=False)
+    decoded_funcs: Optional[list] = field(default=None, repr=False, compare=False)
 
 
 class WasmInterpreter:

@@ -1,0 +1,193 @@
+"""Tests for :class:`repro.runtime.ModuleCache` — per-stage memoization."""
+
+import pytest
+
+from repro.ffi import Program, counter_program, fig3_programs
+from repro.runtime import CompiledProgram, ModuleCache, content_key
+from repro.wasm import WasmInterpreter, validate_module
+
+
+@pytest.fixture()
+def cache():
+    return ModuleCache()
+
+
+def scenario_modules():
+    return counter_program().modules()
+
+
+class TestContentKey:
+    def test_stable_across_structurally_equal_builds(self):
+        # Two independent builder invocations produce distinct objects but
+        # structurally identical ASTs -> identical keys.
+        first = scenario_modules()
+        second = scenario_modules()
+        assert first["client"] is not second["client"]
+        assert content_key(first["client"]) == content_key(second["client"])
+
+    def test_distinguishes_different_programs(self):
+        unsafe, safe = fig3_programs()
+        assert content_key(unsafe.ml) != content_key(safe.ml)
+
+    def test_parameters_change_the_key(self):
+        module = scenario_modules()["client"]
+        assert content_key("lower", module, 4, False) != content_key("lower", module, 8, False)
+
+
+class TestStageMemoization:
+    def test_each_stage_compiles_once(self, cache):
+        compiled_first = cache.compile_program(scenario_modules())
+        compiled_second = cache.compile_program(scenario_modules())
+        assert compiled_second is compiled_first
+        assert cache.stats["link"].misses == 1
+        assert cache.stats["lower"].misses == 1
+        assert cache.stats["decode"].misses == 1
+        # The second compile short-circuits on the linked-program key after
+        # the (memoized) link stage.
+        assert cache.stats["link"].hits == 1
+
+    def test_lower_hit_returns_shared_wasm(self, cache):
+        linked = cache.link(scenario_modules())
+        first = cache.lower(linked)
+        second = cache.lower(linked, engine="tree")
+        # Shallow copies: bookkeeping may differ, the payload is shared.
+        assert first is not second
+        assert first.wasm is second.wasm
+        assert second.engine == "tree"
+        assert cache.stats["lower"] .hits == 1
+
+    def test_decode_shared_across_instances(self, cache):
+        # Pin the flat VM: only it materializes instance.decoded (the tree
+        # walker, e.g. under REPRO_WASM_ENGINE=tree, has no flat code).
+        compiled = cache.compile_program(scenario_modules())
+        _, first_instance = compiled.instantiate(engine="flat")
+        _, second_instance = compiled.instantiate(engine="flat")
+        decoded = compiled.decoded
+        for index, flat in enumerate(decoded.flat):
+            if flat is not None:
+                assert first_instance.decoded[index] is flat
+                assert second_instance.decoded[index] is flat
+
+    def test_compile_program_engine_variants_share_payload(self, cache):
+        # The engine preference is per-caller: a later caller asking for a
+        # different engine must not inherit the first caller's, and must not
+        # trigger a recompile either.
+        tree = cache.compile_program(scenario_modules(), engine="tree")
+        flat = cache.compile_program(scenario_modules(), engine="flat")
+        again = cache.compile_program(scenario_modules(), engine="tree")
+        assert tree.engine == again.engine == "tree" and flat.engine == "flat"
+        assert tree.wasm is flat.wasm  # one compiled payload
+        assert cache.stats["lower"].misses == 1
+        interpreter, _ = flat.instantiate()
+        assert interpreter.engine_name == "flat"
+        interpreter, _ = again.instantiate()
+        assert interpreter.engine_name == "tree"
+
+    def test_program_compile_reduces_engine_instances_to_names(self, cache):
+        from repro.wasm import TreeWalkingEngine
+
+        compiled = Program(scenario_modules()).compile(engine=TreeWalkingEngine(), cache=cache)
+        assert compiled.engine == "tree"
+        interpreter, _ = compiled.instantiate()
+        assert interpreter.engine_name == "tree"
+
+    def test_optimized_and_unoptimized_are_separate_entries(self, cache):
+        plain = cache.compile_program(scenario_modules())
+        optimized = cache.compile_program(scenario_modules(), optimize=True)
+        assert plain is not optimized
+        assert optimized.lowered.optimization is not None
+        assert optimized.wasm.instruction_count() < plain.wasm.instruction_count()
+
+    def test_clear_resets_everything(self, cache):
+        cache.compile_program(scenario_modules())
+        cache.clear()
+        assert cache.stats["lower"].lookups == 0
+        cache.compile_program(scenario_modules())
+        assert cache.stats["lower"].misses == 1
+
+
+class TestCompiledProgram:
+    def test_cached_wasm_is_validated_and_runnable(self, cache):
+        compiled = cache.compile_program(scenario_modules())
+        validate_module(compiled.wasm)
+        interpreter, instance = compiled.instantiate()
+        for export in sorted(compiled.wasm.exported_functions()):
+            if export.endswith("._init"):
+                interpreter.invoke(instance, export)
+        interpreter.invoke(instance, "client.client_init", [3])
+        interpreter.invoke(instance, "client.client_tick", [])
+        assert interpreter.invoke(instance, "client.client_total", []) == [4]
+
+    def test_program_compile_entry_point(self, cache):
+        program = Program(scenario_modules())
+        compiled = program.compile(cache=cache)
+        assert isinstance(compiled, CompiledProgram)
+        assert program.compile(cache=cache) is compiled
+
+    def test_program_lower_through_cache_matches_direct(self, cache):
+        program = Program(scenario_modules())
+        direct = program.lower()
+        via_cache = program.lower(cache=cache)
+        assert via_cache.wasm == direct.wasm
+
+    def test_instantiate_wasm_through_cache(self, cache):
+        program = Program(scenario_modules())
+        baseline = program.instantiate_wasm()
+        cached_first = program.instantiate_wasm(cache=cache)
+        cached_second = program.instantiate_wasm(cache=cache)
+        assert cache.stats["lower"].misses == 1
+        assert cache.stats["lower"].hits >= 1
+        baseline.invoke("client", "client_init", [2])
+        cached_first.invoke("client", "client_init", [2])
+        cached_second.invoke("client", "client_init", [2])
+        for instance in (baseline, cached_first, cached_second):
+            instance.invoke("client", "client_tick", [])
+        assert (
+            baseline.invoke("client", "client_total", [])
+            == cached_first.invoke("client", "client_total", [])
+            == cached_second.invoke("client", "client_total", [])
+            == [3]
+        )
+
+
+class TestFrontendCacheThreading:
+    @staticmethod
+    def _ml_module():
+        from repro.ml import BinOp, IntLit, MLFunction, TInt, Var, ml_module
+
+        return ml_module("work", functions=[
+            MLFunction("double", "x", TInt(), TInt(), BinOp("*", Var("x"), IntLit(2))),
+        ])
+
+    def test_compile_ml_module_lowers_once_via_cache(self, cache):
+        from repro.ml import compile_ml_module
+
+        first = compile_ml_module(self._ml_module(), cache=cache)
+        second = compile_ml_module(self._ml_module(), cache=cache)
+        assert cache.stats["lower"].misses == 1
+        assert cache.stats["lower"].hits == 1
+        assert first.wasm is second.wasm  # the expensive payload is shared
+        interpreter, instance = second.instantiate()
+        assert interpreter.invoke(instance, "double", [21]) == [42]
+
+    def test_compile_l3_module_lowers_once_via_cache(self, cache):
+        from repro.l3 import (
+            L3Function, LBinOp, LFree, LInt, LIntLit, LLet, LLetPair, LNew, LSwap, LVar,
+            compile_l3_module, l3_module,
+        )
+
+        def build():
+            return l3_module("work", functions=[
+                L3Function("churn", "x", LInt(), LInt(),
+                           LLet("o", LNew(LVar("x")),
+                                LLetPair("old", "o2", LSwap(LVar("o"), LIntLit(1)),
+                                         LBinOp("+", LVar("old"), LFree(LVar("o2")))))),
+            ])
+
+        first = compile_l3_module(build(), cache=cache)
+        second = compile_l3_module(build(), cache=cache)
+        assert cache.stats["lower"].misses == 1
+        assert cache.stats["lower"].hits == 1
+        assert first.wasm is second.wasm
+        interpreter, instance = second.instantiate()
+        assert interpreter.invoke(instance, "churn", [9]) == [10]

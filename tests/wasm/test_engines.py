@@ -204,6 +204,46 @@ class TestDecoder:
         assert flat.invoke(inst, "main") == [9]
         assert inst.decoded is not None
 
+    def test_decode_is_module_level_and_shared_across_instances(self):
+        # The flat code is a per-module artifact: two instances of one module
+        # hold the very same FlatFunction objects (decoded exactly once).
+        from repro.wasm import decode_module
+
+        module = simple([Const(I32, 3)])
+        interp = WasmInterpreter(engine="flat")
+        first = interp.instantiate(module)
+        second = interp.instantiate(module)
+        assert first.decoded[0] is second.decoded[0]
+        assert decode_module(module).flat[0] is first.decoded[0]
+        assert decode_module(module) is decode_module(module)
+
+    def test_patched_function_slot_invalidates_decode_cache(self):
+        # Regression test: the decode cache used to be filled at
+        # instantiation and trusted forever, so swapping a function slot
+        # (e.g. for an optimized body) silently kept executing the stale
+        # flat code while the tree walker ran the new body.
+        module = simple([Const(I32, 1)])
+        replacement = WasmFunction(FT((), (I32,)), (), (Const(I32, 2),), exports=("main",))
+        for engine in ("tree", "flat"):
+            interp = WasmInterpreter(engine=engine)
+            inst = interp.instantiate(module)
+            assert interp.invoke(inst, "main") == [1]
+            inst.funcs[0] = replacement
+            assert interp.invoke(inst, "main") == [2], f"{engine} engine ran stale code"
+
+    def test_patched_slot_does_not_disturb_other_functions(self):
+        other = WasmFunction(FT((), (I32,)), (), (Const(I32, 7),), exports=("other",))
+        main = WasmFunction(FT((), (I32,)), (), (Const(I32, 1),), exports=("main",))
+        module = WasmModule(functions=(other, main))
+        interp = WasmInterpreter(engine="flat")
+        inst = interp.instantiate(module)
+        shared_other = inst.decoded[0]
+        inst.funcs[1] = WasmFunction(FT((), (I32,)), (), (Const(I32, 2),), exports=("main",))
+        assert interp.invoke(inst, "main") == [2]
+        # The untouched slot still serves the shared module-level decode.
+        assert inst.decoded[0] is shared_other
+        assert interp.invoke(inst, "other") == [7]
+
 
 class TestEngineAgreement:
     def test_nested_blocks_and_branch_depths(self):

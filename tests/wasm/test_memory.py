@@ -15,6 +15,9 @@ from repro.wasm import (
     Const,
     LinearMemory,
     Load,
+    MAX_MEMORY_PAGES,
+    MemoryGrow,
+    MemorySize,
     PAGE_SIZE,
     StoreI,
     ValType,
@@ -98,6 +101,32 @@ class TestDirectAccess:
         assert memory.size_pages() == 3
         assert memory.grow(0) == 3  # zero growth at max is fine
 
+    def test_grow_negative_delta_returns_minus_one(self):
+        # Wasm deltas are u32, so a negative Python int is out of range: the
+        # failure mode is -1, never an exception (this used to raise
+        # ValueError from bytes(negative)).
+        memory = LinearMemory(2)
+        assert memory.grow(-1) == -1
+        assert memory.grow(-(1 << 40)) == -1
+        assert memory.size_pages() == 2
+
+    def test_grow_without_declared_max_hits_the_4gib_hard_limit(self):
+        # No declared maximum does not mean unbounded: memory is u32-indexed,
+        # so 65536 pages is the ceiling regardless.  (Deltas that would pass
+        # the old unchecked path are refused without allocating anything.)
+        assert MAX_MEMORY_PAGES == 65536
+        memory = LinearMemory(1)
+        assert memory.max_pages is None
+        assert memory.grow(MAX_MEMORY_PAGES) == -1       # 1 + 65536 > limit
+        assert memory.grow(MAX_MEMORY_PAGES + 123) == -1
+        assert memory.grow(1 << 40) == -1
+        assert memory.size_pages() == 1
+
+    def test_declared_max_above_the_hard_limit_is_clamped(self):
+        memory = LinearMemory(1, max_pages=MAX_MEMORY_PAGES * 2)
+        assert memory.grow(MAX_MEMORY_PAGES) == -1
+        assert memory.size_pages() == 1
+
     def test_grow_preserves_data_and_identity(self):
         memory = LinearMemory(1)
         backing = memory.data
@@ -111,13 +140,35 @@ class TestDirectAccess:
 
     def test_view_held_across_grow_is_rejected(self):
         # Growing needs the buffer unexported; a caller-held view makes the
-        # extend fail loudly rather than corrupt the view.
+        # resize fail loudly — with a message naming the hazard and the
+        # escape hatch — rather than corrupt the view.
         memory = LinearMemory(1)
+        view = memory.read(0, 4)
+        with pytest.raises(BufferError, match="zero-copy view.*read_bytes"):
+            memory.grow(1)
+        assert memory.size_pages() == 1  # unchanged: the error is pre-mutation
+        view.release()
+        assert memory.grow(1) == 1
+
+    def test_view_held_across_reset_is_rejected(self):
+        memory = LinearMemory(1)
+        memory.grow(1)
+        view = memory.read(0, 4)
+        with pytest.raises(BufferError, match="zero-copy view"):
+            memory.reset(bytes(PAGE_SIZE))
+        view.release()
+        memory.reset(bytes(PAGE_SIZE))
+        assert memory.size_pages() == 1
+
+    def test_reads_still_work_after_rejected_grow(self):
+        # The cached internal view must be re-established after the failure.
+        memory = LinearMemory(1)
+        memory.write(0, b"abcd")
         view = memory.read(0, 4)
         with pytest.raises(BufferError):
             memory.grow(1)
+        assert memory.read(0, 4) == b"abcd"
         view.release()
-        assert memory.grow(1) == 1
 
     def test_trap_message_shape(self):
         memory = LinearMemory(1)
@@ -173,9 +224,99 @@ class TestEngineBoundaryAgreement:
         assert run_both(module) == ("ok", [0xBEEF])
 
     def test_grow_beyond_max_returns_minus_one_wrapped(self):
-        from repro.wasm import MemoryGrow
-
         module = memory_module([
             Const(I32, 5), MemoryGrow(),
         ], max_pages=2)
         assert run_both(module) == ("ok", [0xFFFFFFFF])
+
+
+class TestGrowFailurePathParity:
+    """`memory.grow` failures are a ``-1`` result, not a trap, and cost the
+    same steps on both engines — including under every step budget."""
+
+    # The budget points used by tests/wasm/test_engines.py::TestMaxStepsParity.
+    BUDGET_POINTS = [1, 2, 3, 5, 17, 100, 399, 701]
+
+    @staticmethod
+    def _grow_failures_module():
+        # Three failing grows (negative-as-u32, huge, beyond declared max)
+        # followed by a successful one; result: -1 -1 -1 summed with the old
+        # size and the final page count.
+        body = (
+            Const(I32, 0xFFFFFFFF), MemoryGrow(),   # u32 delta way past the limit: -1
+            Const(I32, 70000), MemoryGrow(),        # past the 4 GiB hard limit: -1
+            Binop(I32, "add"),
+            Const(I32, 4), MemoryGrow(),            # past max_pages=2: -1
+            Binop(I32, "add"),
+            Const(I32, 1), MemoryGrow(),            # ok: old size 1
+            Binop(I32, "add"),
+            MemorySize(),
+            Binop(I32, "add"),
+        )
+        return memory_module(body, max_pages=2)
+
+    def test_failed_grows_return_minus_one_without_trapping(self):
+        module = self._grow_failures_module()
+        kind, values = run_both(module)
+        assert kind == "ok"
+        # 3 * 0xFFFFFFFF + 1 + 2, wrapped to u32.
+        assert values == [(3 * 0xFFFFFFFF + 1 + 2) & 0xFFFFFFFF]
+
+    def test_steps_identical_across_engines(self):
+        module = self._grow_failures_module()
+        steps = []
+        for engine in ("tree", "flat"):
+            interp = WasmInterpreter(engine=engine)
+            inst = interp.instantiate(module)
+            interp.invoke(inst, "main")
+            steps.append(interp.steps)
+        assert steps[0] == steps[1] > 0
+
+    @pytest.mark.parametrize("budget", BUDGET_POINTS)
+    def test_budget_parity_through_grow_failures(self, budget):
+        module = self._grow_failures_module()
+        outcomes = []
+        for engine in ("tree", "flat"):
+            interp = WasmInterpreter(max_steps=budget, engine=engine)
+            inst = interp.instantiate(module)
+            try:
+                outcomes.append(("ok", interp.invoke(inst, "main"), interp.steps))
+            except WasmTrap as trap:
+                outcomes.append(("trap", str(trap), interp.steps))
+        assert outcomes[0] == outcomes[1], f"budget {budget}: {outcomes}"
+        kind, detail, steps = outcomes[0]
+        if kind == "trap":
+            assert detail == "step budget exhausted"
+            assert steps == budget + 1  # the offending step is counted
+
+
+class TestGrowWhileViewedParity:
+    def test_grow_under_held_view_raises_identically_on_both_engines(self):
+        # A host function grabs a zero-copy view; the module then tries to
+        # grow.  Both engines surface the same clear BufferError (not an
+        # opaque "exported pointers" failure), and the memory is unchanged.
+        from repro.wasm import WasmImportedFunction, WCall, WDrop
+
+        peek = WasmImportedFunction(WasmFuncType((), ()), "env", "peek")
+        main = WasmFunction(WasmFuncType((), (I32,)), (), (
+            WCall(0),
+            Const(I32, 1), MemoryGrow(),
+        ), exports=("main",))
+        module = WasmModule(functions=(peek, main), memory=WasmMemory(1, 4))
+
+        outcomes = []
+        for engine in ("tree", "flat"):
+            interp = WasmInterpreter(engine=engine)
+            holder = {}
+
+            def grab():
+                holder["view"] = holder["inst"].memory.read(0, 4)
+
+            holder["inst"] = interp.instantiate(module, {("env", "peek"): grab})
+            with pytest.raises(BufferError) as excinfo:
+                interp.invoke(holder["inst"], "main")
+            outcomes.append(str(excinfo.value))
+            holder["view"].release()
+            assert holder["inst"].memory.size_pages() == 1
+        assert outcomes[0] == outcomes[1]
+        assert "zero-copy view" in outcomes[0]
