@@ -31,6 +31,7 @@ from repro.core.syntax import (
     i32,
     make_module,
 )
+from repro.api import CompileConfig
 from repro.core.typing import check_module
 from repro.lower import lower_module
 from repro.wasm import WasmInterpreter, validate_module
@@ -60,7 +61,7 @@ def churn_module():
 def churn_instance():
     module = churn_module()
     check_module(module)
-    lowered = lower_module(module, memory_pages=1)
+    lowered = lower_module(module, config=CompileConfig(memory_pages=1))
     validate_module(lowered.wasm)
     interp = WasmInterpreter()
     return interp, interp.instantiate(lowered.wasm)

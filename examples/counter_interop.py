@@ -20,6 +20,7 @@ Run with ``python examples/counter_interop.py``.
 """
 
 from repro.analysis import SafetyHarness
+from repro.api import CompileConfig, serve
 from repro.core.syntax import NumType, NumV, UnitV
 from repro.ffi import Program, counter_program
 from repro.ffi.link import link_modules
@@ -39,15 +40,23 @@ def run_on_interpreter(ticks: int) -> int:
 
 
 def run_on_wasm(ticks: int) -> int:
-    scenario = counter_program()
-    program = Program(scenario.modules())
-    wasm = program.instantiate_wasm()
-    wasm.invoke("client", "client_init", [0])
-    for _ in range(ticks):
-        wasm.invoke("client", "client_tick", [0])
-    total = wasm.invoke("client", "client_total", [0])[0]
+    # The facade path: the two RichWasm modules are linked, lowered to one
+    # Wasm module at O2, and served from an instance pool; the stateful
+    # init/tick*/total script runs as one session on one pooled instance.
+    service = serve(counter_program(), CompileConfig(opt_level="O2"))
+    outcome = service.session(
+        [("client_init", (0,))]
+        + [("client_tick", ())] * ticks
+        + [("client_total", ())]
+    )
+    assert outcome.ok, outcome.trap
+    total = outcome.values[-1][0]
     print(f"wasm (single shared memory): {ticks} ticks -> total {total}")
-    print("  lowering:", wasm.lowered.stats)
+    print("  lowering:", service.compiled.lowered.stats)
+    print("  compile :", ", ".join(
+        f"{t.stage} {service.diagnostics.cache.get(t.stage, '-')}"
+        for t in service.diagnostics.stages
+    ))
     return total
 
 

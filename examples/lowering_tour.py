@@ -9,7 +9,7 @@ boxing coercions add, and what the final WAT looks like.
 Run with ``python examples/lowering_tour.py``.
 """
 
-from repro.lower import lower_module
+from repro.api import CompileConfig, lower as api_lower
 from repro.ml import (
     App,
     Assign,
@@ -85,8 +85,14 @@ def main() -> None:
     print(f"RichWasm module: {len(richwasm.functions)} functions,"
           f" {richwasm.instruction_count()} instructions")
 
-    lowered = lower_module(richwasm)
+    # The facade's stop-after-lowering entry point: the RichWasm module we
+    # just compiled is dispatched to the "richwasm" frontend (an MLModule
+    # source would go through "ml"), lowered under one CompileConfig, and
+    # the artifact carries structured diagnostics.
+    lowered = api_lower(richwasm, CompileConfig(opt_level="O0", cache="none"))
     validate_module(lowered.wasm)
+    print(f"facade: frontends {lowered.diagnostics.frontends},"
+          f" {lowered.diagnostics.total_seconds:.4f}s")
     stats = lowered.stats
     print("lowering statistics:")
     print(f"  RichWasm instructions : {stats.richwasm_instructions}")

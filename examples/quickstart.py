@@ -6,11 +6,15 @@ This walks the whole public API surface on a tiny module:
    ``repro.core.syntax``;
 2. type-check the module (``repro.core.typing.check_module``);
 3. execute it on the RichWasm interpreter (two-memory store, GC rule);
-4. lower it to WebAssembly and execute the Wasm on the bundled interpreter;
+4. compile and serve it through the stable facade —
+   ``repro.api.compile``/``serve`` with a ``CompileConfig`` (optimization
+   level, engine, cache policy) — and read the structured diagnostics;
 5. print the lowered module as WAT-style text.
 
 Run with ``python examples/quickstart.py``.
 """
+
+from repro.api import CompileConfig, serve
 
 from repro.core.syntax import (
     Block,
@@ -42,8 +46,7 @@ from repro.core.syntax import (
 from repro.core.semantics import Interpreter
 from repro.core.syntax import NumV
 from repro.core.typing import check_module
-from repro.lower import lower_module
-from repro.wasm import WasmInterpreter, module_to_wat, validate_module
+from repro.wasm import module_to_wat
 
 
 def build_module():
@@ -106,13 +109,15 @@ def main() -> None:
     print("richwasm cell(7)  =", interpreter.invoke_export(instance, "cell", [NumV(NumType.I32, 7)]).values)
     print("store after run   :", interpreter.store.stats())
 
-    lowered = lower_module(module)
-    validate_module(lowered.wasm)
-    wasm = WasmInterpreter()
-    wasm_instance = wasm.instantiate(lowered.wasm)
-    print("wasm fact(6)      =", wasm.invoke(wasm_instance, "fact", [6]))
-    print("wasm cell(7)      =", wasm.invoke(wasm_instance, "cell", [7]))
+    # The stable facade: one config drives optimization level, engine and
+    # cache policy; the compiled program is served from an instance pool.
+    service = serve(module, CompileConfig(opt_level="O2"))
+    print("wasm fact(6)      =", service.call("fact", [6]))
+    print("wasm cell(7)      =", service.call("cell", [7]))
+    lowered = service.compiled.lowered
     print("lowering stats    :", lowered.stats)
+    print("\n--- compile diagnostics ---")
+    print(service.diagnostics.format_report())
 
     print("\n--- lowered module (WAT excerpt) ---")
     print("\n".join(module_to_wat(lowered.wasm).splitlines()[:25]))

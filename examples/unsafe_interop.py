@@ -18,6 +18,7 @@ Three acts:
 Run with ``python examples/unsafe_interop.py``.
 """
 
+from repro.api import CompileConfig
 from repro.core.syntax import NumType, NumV, UnitV
 from repro.core.typing import check_module
 from repro.core.typing.errors import LinkError, RichWasmTypeError
@@ -63,7 +64,9 @@ def act_3_repaired() -> None:
     print("richwasm interpreter: stored 42, took back", taken[0].value)
     print("heap after run:", instance.store_stats())
 
-    wasm = program.instantiate_wasm()
+    # The facade-era entry point: one config selects the optimization level
+    # (and engine/cache policy when needed) instead of per-call keywords.
+    wasm = program.instantiate_wasm(config=CompileConfig(opt_level="O1"))
     wasm.invoke("client", "store", [42])
     print("wasm (one shared linear memory): took back", wasm.invoke("client", "take", [0]))
 

@@ -6,11 +6,18 @@ interoperability between garbage-collected and manually-managed languages.
 
 Subpackages:
 
+* :mod:`repro.api` — the stable entry surface: ``CompileConfig`` +
+  ``compile``/``serve`` over every layer below.
 * :mod:`repro.core` — the RichWasm IL: syntax, type system, dynamic semantics.
-* :mod:`repro.wasm` — a WebAssembly 1.0 (+ multi-value) substrate.
+* :mod:`repro.wasm` — a WebAssembly 1.0 (+ multi-value) substrate with
+  pluggable execution engines.
 * :mod:`repro.lower` — the RichWasm → Wasm compiler.
+* :mod:`repro.opt` — Wasm optimization passes and the named ``O0``–``O2``
+  pipelines.
 * :mod:`repro.ml` / :mod:`repro.l3` — source-language frontends.
 * :mod:`repro.ffi` — multi-module linking and the ML/L3 FFI.
+* :mod:`repro.runtime` — the compile-once/run-many serving layer
+  (module cache, instance pool, batch runner).
 * :mod:`repro.analysis` — metrics and the empirical type-safety harness.
 """
 

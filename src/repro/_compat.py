@@ -1,0 +1,96 @@
+"""Deprecation shims for the pre-``repro.api`` keyword surface.
+
+Before the :mod:`repro.api` facade, every compile entry point re-threaded its
+own overlapping ``memory_pages``/``optimize``/``engine`` keywords.  Those
+keywords still work for one release, but each call that uses them emits
+exactly one :class:`DeprecationWarning` pointing at the replacement:
+``config=repro.api.CompileConfig(...)``.
+
+:func:`legacy_config` is the single implementation every shim shares, so the
+warning text, the "config or legacy keywords, not both" rule, and the
+one-warning-per-call guarantee stay uniform.  This module deliberately has no
+package-level imports from :mod:`repro.api` (shims live below it in the
+import graph); the config class is resolved lazily at call time.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+
+def legacy_config(api_name, config, legacy, *, cache_policy="none", stacklevel=3):
+    """Resolve one entry point's ``config=`` / legacy-keyword arguments.
+
+    ``legacy`` maps keyword names to the values the caller passed (or
+    :data:`UNSET`).  Exactly one :class:`DeprecationWarning` is emitted when
+    any legacy keyword was actually given; combining them with ``config=`` is
+    a :class:`~repro.api.ConfigError`.  ``cache_policy`` is the
+    :attr:`~repro.api.CompileConfig.cache` policy matching the entry point's
+    historical behaviour (``"none"`` for the direct-lowering paths,
+    ``"private"``/``"shared"`` for the cached ones) and is applied both to
+    legacy calls and to bare calls with no ``config``.
+
+    Returns a validated :class:`~repro.api.CompileConfig`.
+    """
+
+    from .api.config import CompileConfig, ConfigError
+
+    passed = {name: value for name, value in legacy.items() if value is not UNSET}
+    if passed:
+        names = ", ".join(sorted(passed))
+        if config is not None:
+            raise ConfigError(
+                f"{api_name}: pass either config= or the deprecated keyword(s) {names}, not both"
+            )
+        warnings.warn(
+            f"{api_name}: the {names} keyword(s) are deprecated; "
+            f"pass config=repro.api.CompileConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return CompileConfig.from_legacy(cache=cache_policy, **passed)
+    if config is None:
+        return CompileConfig(cache=cache_policy).validate()
+    return CompileConfig.of(config)
+
+
+def codegen_lowering(api_name, richwasm, *, lower, cache, config, legacy):
+    """The shared lowering tail of ``compile_ml_module``/``compile_l3_module``.
+
+    Decides whether the caller asked for lowering at all (``lower=True``, a
+    config, a cache, or any legacy keyword); returns ``None`` when not, so
+    the codegen entry point hands back the RichWasm module.  Otherwise the
+    request resolves like the facade: an explicit ``cache`` object wins,
+    else the config's cache *policy* (``"shared"``/``"private"``/``"none"``)
+    — legacy keyword calls map to policy ``"none"``, preserving their
+    historical compile-fresh behaviour.
+    """
+
+    wants_lowering = (
+        lower or cache is not None or config is not None
+        or any(value is not UNSET for value in legacy.values())
+    )
+    if not wants_lowering:
+        return None
+    config = legacy_config(api_name, config, legacy, stacklevel=4)
+    if cache is None:
+        from .api.facade import _resolve_cache
+
+        cache = _resolve_cache(config, None)
+    if cache is not None:
+        return cache.lower(richwasm, config=config)
+    from .lower import lower_module
+
+    return lower_module(richwasm, config=config)

@@ -1,0 +1,103 @@
+"""Structured diagnostics for every compiled artifact.
+
+Every :func:`repro.api.compile`/:func:`repro.api.lower` call records what the
+pipeline actually did — wall time per stage, which stages were served from
+the :class:`~repro.runtime.ModuleCache` (hit/miss/bypass), which frontend
+compiled each source module, and the optimizer's per-pass statistics — into
+one :class:`Diagnostics` value attached to the artifact
+(``CompiledProgram.diagnostics`` / ``LoweredModule.diagnostics``).  This
+replaces the previous mix of prints and ad-hoc dicts with a structure that
+benchmarks, services and tests can assert on; :meth:`Diagnostics.format_report`
+renders the human-readable view on demand.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Values of ``Diagnostics.cache[stage]``.
+CACHE_EVENTS = ("hit", "miss", "bypass")
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall time of one pipeline stage, in execution order."""
+
+    stage: str
+    seconds: float
+
+
+@dataclass
+class Diagnostics:
+    """What one facade call did, stage by stage."""
+
+    #: The validated config the call ran under.
+    config: Optional[object] = None
+    #: The artifact's canonical cache key (program content + config content).
+    key: Optional[str] = None
+    #: Resolved engine preference recorded on the artifact (``None`` = default).
+    engine: Optional[str] = None
+    #: Per-source-module frontend names (``{module name: frontend name}``).
+    frontends: dict = field(default_factory=dict)
+    #: Stage wall times, in execution order.
+    stages: list = field(default_factory=list)
+    #: Per-stage cache outcome: ``"hit"`` / ``"miss"`` / ``"bypass"``.
+    cache: dict = field(default_factory=dict)
+    #: The :class:`repro.opt.OptimizationResult` (``None`` when ``O0`` or the
+    #: artifact was a cache hit carrying its original stats).
+    optimization: Optional[object] = None
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a stage: ``with diagnostics.stage("lower"): ...``."""
+
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.stages.append(StageTiming(name, time.perf_counter() - started))
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.stages)
+
+    def seconds(self, stage: str) -> float:
+        """Cumulative wall time of every timing recorded for ``stage``."""
+
+        return sum(timing.seconds for timing in self.stages if timing.stage == stage)
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether the compiled payload came entirely from the cache."""
+
+        return self.cache.get("program") == "hit" or (
+            bool(self.cache) and all(event == "hit" for event in self.cache.values())
+        )
+
+    @property
+    def pass_stats(self) -> list:
+        """Per-pass :class:`repro.opt.PassStats` (empty without optimization)."""
+
+        return list(self.optimization.stats) if self.optimization is not None else []
+
+    def format_report(self) -> str:
+        lines = [f"compile: {self.total_seconds:.4f}s total"]
+        if self.key is not None:
+            lines[0] += f", key {self.key[:12]}…"
+        if self.frontends:
+            lines.append(
+                "frontends: "
+                + ", ".join(f"{name}<-{frontend}" for name, frontend in self.frontends.items())
+            )
+        for timing in self.stages:
+            event = self.cache.get(timing.stage)
+            suffix = f" [{event}]" if event else ""
+            lines.append(f"  {timing.stage:<10} {timing.seconds:>9.4f}s{suffix}")
+        if self.optimization is not None:
+            lines.append(self.optimization.format_report())
+        return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""``repro.api.compile`` / ``repro.api.lower`` / ``repro.api.serve``.
+
+The single configuration-driven entry surface over the whole stack: sources
+(any mix of registered frontends, or pre-built scenario/program objects) plus
+one :class:`CompileConfig` in; a shareable
+:class:`~repro.runtime.CompiledProgram` (or a :class:`Service` ready to take
+traffic) with :class:`Diagnostics` attached out.  The legacy entry points
+(``Program.lower``/``compile``/``instantiate_wasm``, the ml/l3 codegen
+functions, ``lower_module``, ``scenario_service``) are thin deprecation
+shims over these three functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..runtime.cache import CompiledProgram, ModuleCache
+from .config import CompileConfig, ConfigError
+from .diagnostics import Diagnostics
+from .frontends import detect_frontend, resolve_frontend
+from .service import Service
+
+
+def compile(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
+            cache: Optional[ModuleCache] = None, **overrides) -> CompiledProgram:
+    """Compile any mix of sources into one shareable :class:`CompiledProgram`.
+
+    ``sources`` may be:
+
+    * a ``{name: source}`` dict, where each source is an
+      :class:`~repro.ml.MLModule`, an :class:`~repro.l3.L3Module`, a RichWasm
+      :class:`~repro.core.syntax.Module`, or an explicit
+      ``(frontend_name, source)`` pair — frontends may be freely mixed; the
+      compiled modules are statically linked into one program;
+    * a single source module (dispatched by type; a bare RichWasm ``Module``
+      is treated as already linked and passed through un-namespaced);
+    * an :class:`repro.ffi.InteropScenario`, a :class:`repro.ffi.Program`,
+      or a zero-argument builder returning any of the above.
+
+    ``config`` is coerced via :meth:`CompileConfig.of` (``None``, a config,
+    an opt level like ``"O2"``, or a field dict) and merged with keyword
+    ``overrides``; ``cache`` optionally pins an explicit
+    :class:`~repro.runtime.ModuleCache`, overriding the config's cache
+    policy.  The returned program carries :class:`Diagnostics` (stage
+    timings, per-stage cache events, per-pass optimizer stats) and is keyed
+    by the canonical content hash of the linked program plus
+    :meth:`CompileConfig.content_key`.
+    """
+
+    config = CompileConfig.of(config, **overrides)
+    diagnostics = Diagnostics(config=config)
+    with diagnostics.stage("frontend"):
+        modules, diagnostics.frontends = _compile_sources(sources, config)
+    cache_obj = _resolve_cache(config, cache)
+    if cache_obj is None:
+        program = _compile_direct(modules, config, diagnostics)
+    else:
+        program = _compile_cached(modules, config, cache_obj, diagnostics)
+    # Read the stored key, not the lazy property: off the cache paths the
+    # program hash is computed only if someone actually asks for it.
+    diagnostics.key = program.cached_key
+    diagnostics.engine = program.engine
+    diagnostics.optimization = program.lowered.optimization
+    program.diagnostics = diagnostics
+    return program
+
+
+def lower(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
+          cache: Optional[ModuleCache] = None, **overrides):
+    """Like :func:`compile`, but stop after lowering: a ``LoweredModule``.
+
+    The cheaper entry point when only the Wasm module is wanted (no flat-code
+    decode, no program-level cache entry); ``Program.lower`` and the ml/l3
+    codegen shims route here.
+    """
+
+    config = CompileConfig.of(config, **overrides)
+    diagnostics = Diagnostics(config=config)
+    with diagnostics.stage("frontend"):
+        modules, diagnostics.frontends = _compile_sources(sources, config)
+    cache_obj = _resolve_cache(config, cache)
+    if cache_obj is None:
+        with diagnostics.stage("link"):
+            richwasm = _link_direct(modules, config, diagnostics)
+        with diagnostics.stage("lower"):
+            lowered = _lower_direct(richwasm, config)
+        diagnostics.cache.setdefault("lower", "bypass")
+    else:
+        with diagnostics.stage("link"):
+            richwasm = _link_cached(modules, config, cache_obj, diagnostics)
+        with diagnostics.stage("lower"):
+            before = cache_obj.stats["lower"].hits
+            lowered = cache_obj.lower(richwasm, config=config)
+            diagnostics.cache["lower"] = "hit" if cache_obj.stats["lower"].hits > before else "miss"
+    diagnostics.engine = lowered.engine
+    diagnostics.optimization = lowered.optimization
+    lowered.diagnostics = diagnostics
+    return lowered
+
+
+def serve(compiled, config: Union[CompileConfig, str, int, dict, None] = None, *,
+          cache: Optional[ModuleCache] = None, **overrides) -> Service:
+    """Wrap a compiled program (or raw sources) in a ready-to-run service.
+
+    Accepts a :class:`CompiledProgram` (its recorded config is the default)
+    or anything :func:`compile` accepts.  The service pools instances
+    (``config.pool_size``), runs every ``<module>._init`` export as the
+    pooled baseline, and serves requests with per-request budgets and trap
+    isolation (see :class:`Service`).
+    """
+
+    from ..runtime import run_initializers_setup
+
+    cache_obj: Optional[ModuleCache]
+    if isinstance(compiled, CompiledProgram):
+        base = config if config is not None else compiled.config
+        config = CompileConfig.of(base, **overrides)
+        if (
+            compiled.config is not None
+            and config.content_key() != compiled.config.content_key()
+        ):
+            raise ConfigError(
+                "serve: the config's compile-relevant fields (opt_level, memory_pages, "
+                f"link_name) conflict with the compiled program's "
+                f"({config.opt_level}/{config.memory_pages}/{config.link_name!r} vs "
+                f"{compiled.config.opt_level}/{compiled.config.memory_pages}/"
+                f"{compiled.config.link_name!r}); recompile with repro.api.compile "
+                "instead of serving a mismatched artifact"
+            )
+        cache_obj = _check_cache(cache)
+    else:
+        config = CompileConfig.of(config, **overrides)
+        cache_obj = _resolve_cache(config, cache)
+        compiled = compile(compiled, config, cache=cache_obj)
+    pool_kwargs = dict(
+        max_steps=config.max_steps, setup=run_initializers_setup, max_size=config.pool_size
+    )
+    if config.engine is not None:
+        pool_kwargs["engine"] = config.engine
+    pool = compiled.instance_pool(**pool_kwargs)
+    return Service(compiled, config, pool, cache=cache_obj)
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _compile_sources(sources, config: CompileConfig):
+    """Normalize ``sources`` to RichWasm: a ``{name: Module}`` dict (to be
+    linked) or a single already-linked ``Module``, plus the per-module
+    frontend names for diagnostics."""
+
+    from ..core.syntax import Module
+
+    if callable(sources) and not hasattr(sources, "modules") and not isinstance(sources, (dict, Module)):
+        sources = sources()
+    if hasattr(sources, "modules") and not isinstance(sources, dict):
+        modules = sources.modules  # repro.ffi.Program / InteropScenario
+        if callable(modules):
+            modules = modules()
+        return dict(modules), {name: "richwasm" for name in modules}
+    if isinstance(sources, Module):
+        return sources, {sources.name or config.link_name: "richwasm"}
+    if not isinstance(sources, dict):
+        name, richwasm, frontend = _compile_one(sources, config, default_name=None)
+        return {name: richwasm}, {name: frontend}
+    compiled: dict = {}
+    frontends: dict = {}
+    for name, source in sources.items():
+        _, richwasm, frontend = _compile_one(source, config, default_name=name)
+        compiled[name] = richwasm
+        frontends[name] = frontend
+    return compiled, frontends
+
+
+def _compile_one(source, config: CompileConfig, *, default_name: Optional[str]):
+    if isinstance(source, tuple) and len(source) == 2 and isinstance(source[0], str):
+        frontend, source = resolve_frontend(source[0]), source[1]
+    else:
+        frontend = detect_frontend(source)
+    richwasm = frontend.compile_source(source, config)
+    name = default_name or getattr(source, "name", None) or getattr(richwasm, "name", None)
+    if not name:
+        raise ConfigError(
+            f"cannot derive a module name for an anonymous {frontend.name!r} source; "
+            "pass sources as a {name: source} dict"
+        )
+    return name, richwasm, frontend.name
+
+
+def _check_cache(cache) -> Optional[ModuleCache]:
+    if cache is not None and not isinstance(cache, ModuleCache):
+        raise ConfigError(
+            f"cache must be a repro.runtime.ModuleCache or None, got {type(cache).__name__}"
+        )
+    return cache
+
+
+def _resolve_cache(config: CompileConfig, cache: Optional[ModuleCache]) -> Optional[ModuleCache]:
+    if _check_cache(cache) is not None:
+        return cache
+    if config.cache == "shared":
+        from ..runtime import default_cache
+
+        return default_cache()
+    if config.cache == "private":
+        return ModuleCache()
+    return None  # policy "none"
+
+
+def _link_direct(modules, config: CompileConfig, diagnostics: Diagnostics):
+    if not isinstance(modules, dict):
+        diagnostics.cache["link"] = "bypass"
+        return modules
+    from ..ffi.link import link_modules
+
+    diagnostics.cache["link"] = "bypass"
+    return link_modules(modules, name=config.link_name, check=config.check_links)
+
+
+def _link_cached(modules, config: CompileConfig, cache: ModuleCache, diagnostics: Diagnostics):
+    if not isinstance(modules, dict):
+        diagnostics.cache["link"] = "bypass"
+        return modules
+    before = cache.stats["link"].hits
+    richwasm = cache.link(modules, name=config.link_name, check=config.check_links)
+    diagnostics.cache["link"] = "hit" if cache.stats["link"].hits > before else "miss"
+    return richwasm
+
+
+def _lower_direct(richwasm, config: CompileConfig):
+    from ..lower import lower_module
+    from ..wasm import validate_module
+
+    lowered = lower_module(richwasm, config=config)
+    if config.validate_wasm:
+        validate_module(lowered.wasm)
+    return lowered
+
+
+def _compile_direct(modules, config: CompileConfig, diagnostics: Diagnostics) -> CompiledProgram:
+    with diagnostics.stage("link"):
+        richwasm = _link_direct(modules, config, diagnostics)
+    with diagnostics.stage("lower"):
+        lowered = _lower_direct(richwasm, config)
+    diagnostics.cache["lower"] = diagnostics.cache["decode"] = "bypass"
+    # No cached_key: nothing files this artifact, so the content hash is
+    # computed lazily by CompiledProgram.key if ever needed.
+    return CompiledProgram(
+        richwasm=richwasm, lowered=lowered, engine=config.engine, config=config
+    )
+
+
+def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
+                    diagnostics: Diagnostics) -> CompiledProgram:
+    with diagnostics.stage("link"):
+        richwasm = _link_cached(modules, config, cache, diagnostics)
+    key = cache.program_key(richwasm, config)
+    program = cache.get_program(key, engine=config.engine, config=config)
+    if program is not None:
+        diagnostics.cache.update(program="hit", lower="hit", decode="hit")
+        return program
+    diagnostics.cache["program"] = "miss"
+    with diagnostics.stage("lower"):
+        before = cache.stats["lower"].hits
+        lowered = cache.lower(richwasm, config=config)
+        diagnostics.cache["lower"] = "hit" if cache.stats["lower"].hits > before else "miss"
+    with diagnostics.stage("decode"):
+        before = cache.stats["decode"].hits
+        cache.decode(lowered.wasm)
+        diagnostics.cache["decode"] = "hit" if cache.stats["decode"].hits > before else "miss"
+    return cache.put_program(key, richwasm, lowered, engine=config.engine, config=config)

@@ -1,0 +1,141 @@
+"""The serving facade: a compiled program behind one call surface.
+
+:class:`Service` (built by :func:`repro.api.serve`) wraps an
+:class:`~repro.runtime.InstancePool` and :class:`~repro.runtime.BatchRunner`
+around one :class:`~repro.runtime.CompiledProgram`: :meth:`Service.call` for
+single invocations (raising :class:`~repro.wasm.interpreter.WasmTrap` on
+traps), :meth:`Service.run`/:meth:`Service.session` for batched and stateful
+request streams with per-request budgets and trap isolation.
+
+Export names resolve leniently but never silently: linked programs namespace
+exports as ``module.export``, and :func:`resolve_export` accepts either the
+full name or an unambiguous suffix — an unknown or ambiguous name raises
+:class:`~repro.core.typing.errors.LinkError` naming every candidate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.typing.errors import LinkError
+from ..runtime.batch import BatchReport, BatchRunner, Request, RequestOutcome, Session, _normalize_requests
+from ..runtime.cache import CacheStats, ModuleCache
+from ..runtime.pool import InstancePool, PoolStats
+from ..wasm.interpreter import WasmTrap
+from .config import CompileConfig
+
+
+def resolve_export(exports: Sequence[str], name: str) -> str:
+    """Resolve ``name`` against a linked program's export table.
+
+    Exact matches win; otherwise a unique ``*.name`` suffix match resolves
+    (linked programs namespace every export as ``module.export``).  No match
+    or an ambiguous suffix raises :class:`LinkError` naming the candidates.
+    """
+
+    if name in exports:
+        return name
+    candidates = [export for export in sorted(exports) if export.endswith("." + name)]
+    if len(candidates) == 1:
+        return candidates[0]
+    if candidates:
+        raise LinkError(
+            f"ambiguous export {name!r}: candidates {', '.join(candidates)}"
+        )
+    raise LinkError(
+        f"no export named {name!r}; available: {', '.join(sorted(exports))}"
+    )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One structured snapshot of a service's runtime counters."""
+
+    pool: PoolStats
+    cache: Optional[dict] = None  # stage name -> CacheStats
+
+
+class Service:
+    """A ready-to-serve compiled program (pool + batch runner)."""
+
+    def __init__(
+        self,
+        compiled,
+        config: CompileConfig,
+        pool: InstancePool,
+        *,
+        cache: Optional[ModuleCache] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.config = config
+        self.pool = pool
+        self.runner = BatchRunner(pool)
+        self._cache = cache
+        self._exports = tuple(sorted(compiled.wasm.exported_functions()))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def exports(self) -> tuple[str, ...]:
+        return self._exports
+
+    @property
+    def diagnostics(self):
+        """The compile-time :class:`~repro.api.Diagnostics` of the program."""
+
+        return getattr(self.compiled, "diagnostics", None)
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            pool=self.pool.stats,
+            cache=dict(self._cache.stats) if self._cache is not None else None,
+        )
+
+    def resolve(self, name: str) -> str:
+        return resolve_export(self._exports, name)
+
+    # -- execution ---------------------------------------------------------
+
+    def call(self, export: str, args: Sequence = (), *, max_steps: Optional[int] = None):
+        """One invocation on a pooled instance; returns the result values.
+
+        Traps (including blown step budgets) raise :class:`WasmTrap`; the
+        trapped instance is discarded by the pool, so later calls are
+        isolated either way.
+        """
+
+        outcome = self.runner.run_one(Request(self.resolve(export), tuple(args), max_steps))
+        if not outcome.ok:
+            raise WasmTrap(outcome.trap)
+        return outcome.values
+
+    def run_one(self, request) -> RequestOutcome:
+        """One :class:`Request`/:class:`Session` (or tuple), trap-isolated."""
+
+        (request,) = _normalize_requests([request])
+        return self.runner.run_one(self._resolved(request))
+
+    def run(self, requests) -> BatchReport:
+        """A batch of requests, each on its own pooled-reset instance."""
+
+        return self.runner.run([self._resolved(request) for request in _normalize_requests(requests)])
+
+    def session(self, calls, *, max_steps: Optional[int] = None) -> RequestOutcome:
+        """A stateful call script served by one pooled instance."""
+
+        return self.run_one(Session(calls=tuple(calls), max_steps=max_steps))
+
+    def warm(self, count: int) -> None:
+        """Pre-create pooled instances up to ``count`` idle entries."""
+
+        self.pool.warm(count)
+
+    def _resolved(self, request):
+        if isinstance(request, Session):
+            return dataclasses.replace(
+                request,
+                calls=tuple((self.resolve(export), tuple(args)) for export, args in request.calls),
+            )
+        return dataclasses.replace(request, export=self.resolve(request.export))

@@ -135,15 +135,18 @@ def _remap_body(body: Sequence[Instr], remap: _Remap) -> tuple[Instr, ...]:
     return tuple(_remap_instr(instr, remap) for instr in body)
 
 
-def link_modules(modules: dict[str, Module], *, name: str = "linked") -> Module:
+def link_modules(modules: dict[str, Module], *, name: str = "linked", check: bool = True) -> Module:
     """Statically link modules into one (imports resolved to direct calls).
 
     The resulting module exports every export of every input module, holds
     the concatenation of their globals and tables, and contains no imports —
     it can be lowered to a single Wasm module sharing one memory.
+    ``check=False`` skips :func:`check_link` (for callers whose modules were
+    already checked, e.g. a :class:`repro.ffi.Program`).
     """
 
-    check_link(modules)
+    if check:
+        check_link(modules)
 
     order = list(modules.keys())
     # First pass: assign new indices to every *defined* function and global.

@@ -20,8 +20,8 @@ from typing import Optional, Sequence
 from ..core.semantics import Interpreter
 from ..core.syntax import Module, Value
 from ..core.typing.errors import LinkError
-from ..lower import lower_module
-from ..wasm import WasmInterpreter, validate_module
+from ..wasm import WasmInterpreter
+from .._compat import UNSET as _UNSET, legacy_config as _legacy_config
 from .link import check_link, link_modules
 
 
@@ -83,64 +83,81 @@ class Program:
 
         return link_modules(self.modules, name=name)
 
-    def lower(self, *, memory_pages: int = 4, optimize: bool = False, engine=None, cache=None):
+    def lower(self, *, config=None, cache=None, memory_pages=_UNSET, optimize=_UNSET, engine=_UNSET):
         """Link and lower the whole program to a single Wasm module.
 
-        ``optimize=True`` runs the :mod:`repro.opt` pass pipeline over the
-        linked module, so cross-language programs get whole-program
+        ``config`` (a :class:`repro.api.CompileConfig`) is the entry surface:
+        its ``opt_level`` runs a named :mod:`repro.opt` pipeline over the
+        *linked* module, so cross-language programs get whole-program
         optimization (the linker already resolved imports to direct calls).
-        ``engine`` records the execution-engine preference on the result.
-        ``cache`` (a :class:`repro.runtime.ModuleCache`) memoizes the link
-        and lower/optimize stages by content, so repeated lowerings of the
-        same program compile once.
+        ``cache`` pins an explicit :class:`repro.runtime.ModuleCache`
+        (otherwise the config's cache policy decides), memoizing the link and
+        lower/optimize stages by content so repeated lowerings of the same
+        program compile once.  The ``memory_pages``/``optimize``/``engine``
+        keywords are the deprecated pre-:mod:`repro.api` surface (one
+        :class:`DeprecationWarning` per call).
         """
 
-        if cache is not None:
-            linked = cache.link(self.modules)
-            return cache.lower(linked, memory_pages=memory_pages, optimize=optimize, engine=engine)
-        return lower_module(self.link(), memory_pages=memory_pages, optimize=optimize, engine=engine)
-
-    def compile(self, *, memory_pages: int = 4, optimize: bool = False, engine=None, cache=None):
-        """Compile through a :class:`repro.runtime.ModuleCache` and return the
-        shareable :class:`repro.runtime.CompiledProgram` (the input to
-        instance pools and batch runners); a fresh cache is used if none is
-        given.  ``engine`` accepts a name or an
-        :class:`~repro.wasm.engine.ExecutionEngine` instance (reduced to its
-        registry name — compiled artifacts record preferences, not live
-        engines)."""
-
-        from ..wasm.engine import ExecutionEngine
-
-        if isinstance(engine, ExecutionEngine):
-            engine = engine.name
-        if cache is None:
-            from ..runtime import ModuleCache
-
-            cache = ModuleCache()
-        return cache.compile_program(
-            self.modules, memory_pages=memory_pages, optimize=optimize, engine=engine,
+        config = _legacy_config(
+            "Program.lower", config,
+            {"memory_pages": memory_pages, "optimize": optimize, "engine": engine},
         )
+        from ..api import lower as api_lower
+
+        return api_lower(self, config, cache=cache)
+
+    def compile(self, *, config=None, cache=None, memory_pages=_UNSET, optimize=_UNSET, engine=_UNSET):
+        """Compile to the shareable :class:`repro.runtime.CompiledProgram`
+        (the input to instance pools and batch runners) via
+        :func:`repro.api.compile`.
+
+        Without an explicit ``cache`` the config's cache policy decides
+        (historical default: a private per-call cache).  ``config.engine``
+        accepts a name or an :class:`~repro.wasm.engine.ExecutionEngine`
+        instance (reduced to its registry name — compiled artifacts record
+        preferences, not live engines).  The ``memory_pages``/``optimize``/
+        ``engine`` keywords are the deprecated pre-:mod:`repro.api` surface.
+        """
+
+        config = _legacy_config(
+            "Program.compile", config,
+            {"memory_pages": memory_pages, "optimize": optimize, "engine": engine},
+            cache_policy="private",
+        )
+        from ..api import compile as api_compile
+
+        return api_compile(self, config, cache=cache)
 
     def instantiate_wasm(
-        self, *, memory_pages: int = 4, optimize: bool = False, engine=None, cache=None
+        self, *, config=None, cache=None, memory_pages=_UNSET, optimize=_UNSET, engine=_UNSET
     ) -> "WasmProgramInstance":
         """Lower and run the whole program on a Wasm execution engine.
 
-        ``engine`` selects the engine (``"flat"``/``"tree"`` or an
-        :class:`~repro.wasm.engine.ExecutionEngine`); the default is the
-        flat VM.  With ``cache`` the pipeline stages are memoized (already
-        validated on first compile), so only instantiation is paid per call.
+        ``config.engine`` selects the engine (``"flat"``/``"tree"``); the
+        default is the flat VM.  With a cache (explicit ``cache=`` or the
+        config's policy) the pipeline stages are memoized — already
+        validated on first compile — so only instantiation is paid per call.
+        The deprecated ``engine=`` keyword additionally accepts a live
+        :class:`~repro.wasm.engine.ExecutionEngine` instance, which then
+        executes this instance.
         """
 
-        lowered = self.lower(
-            memory_pages=memory_pages, optimize=optimize,
-            engine=engine if isinstance(engine, str) else None, cache=cache,
+        from ..wasm.engine import ExecutionEngine
+
+        engine_instance = engine if isinstance(engine, ExecutionEngine) else None
+        config = _legacy_config(
+            "Program.instantiate_wasm", config,
+            {"memory_pages": memory_pages, "optimize": optimize, "engine": engine},
         )
-        if cache is None:
-            validate_module(lowered.wasm)
-        interpreter = WasmInterpreter(engine=engine)
-        instance = interpreter.instantiate(lowered.wasm)
-        program = WasmProgramInstance(self, interpreter, instance, lowered)
+        from ..api import compile as api_compile
+
+        compiled = api_compile(self, config, cache=cache)
+        interpreter = WasmInterpreter(
+            max_steps=config.max_steps,
+            engine=engine_instance if engine_instance is not None else compiled.engine,
+        )
+        instance = interpreter.instantiate(compiled.wasm)
+        program = WasmProgramInstance(self, interpreter, instance, compiled.lowered)
         program.run_initializers()
         return program
 
@@ -183,7 +200,28 @@ class WasmProgramInstance:
                 self.interpreter.invoke(self.instance, export)
 
     def invoke(self, module: str, export: str, args: Sequence = ()):
-        name = f"{module}.{export}"
-        if name not in self.instance.exports:  # type: ignore[attr-defined]
-            name = export
-        return self.interpreter.invoke(self.instance, name, list(args))
+        """Invoke ``module.export`` on the linked Wasm module.
+
+        Linking namespaces every export as ``module.export``; a bare
+        ``export`` name is accepted only when the qualified name is absent
+        and the bare one exists (pre-linked inputs).  Neither existing — or
+        both existing and naming *different* functions — raises
+        :class:`LinkError` naming the candidates instead of silently picking
+        one.
+        """
+
+        exports = self.instance.exports  # type: ignore[attr-defined]
+        qualified = f"{module}.{export}"
+        candidates = [name for name in (qualified, export) if name in exports]
+        if not candidates:
+            raise LinkError(
+                f"no export {qualified!r} (nor bare {export!r}) in the linked program; "
+                f"available: {', '.join(sorted(exports))}"
+            )
+        if len(candidates) == 2 and exports[qualified] != exports[export]:
+            raise LinkError(
+                f"ambiguous export: both {qualified!r} and {export!r} exist "
+                "and name different functions; invoke the qualified name explicitly "
+                "via interpreter.invoke"
+            )
+        return self.interpreter.invoke(self.instance, candidates[0], list(args))

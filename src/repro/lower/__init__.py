@@ -27,26 +27,36 @@ from .layout import (
 )
 from .runtime import BLOCK_HEADER_BYTES, HEAP_BASE, RuntimeLayout, build_free, build_malloc
 
+from .._compat import UNSET as _UNSET, legacy_config as _legacy_config
 
-def lower_module(module, *, memory_pages: int = 4, optimize: bool = False, passes=None, engine=None) -> LoweredModule:
+
+def lower_module(module, *, config=None, memory_pages=_UNSET, optimize=_UNSET,
+                 passes=None, engine=_UNSET) -> LoweredModule:
     """Type-check-directed lowering of a RichWasm module to Wasm.
 
-    With ``optimize=True`` the lowered module is post-processed by the
-    :mod:`repro.opt` pass pipeline (``passes`` overrides the default one);
-    the :class:`LoweredModule` then carries the optimization statistics and
-    its ``wasm`` field is the optimized module.
+    ``config`` (a :class:`repro.api.CompileConfig`) selects the memory size,
+    the optimization level (``opt_level`` expanding to a named
+    :mod:`repro.opt.pipelines` pipeline) and the recorded engine preference;
+    an explicit ``passes`` list overrides the config's pipeline when the
+    config optimizes.  When optimization ran, the :class:`LoweredModule`
+    carries the :class:`~repro.opt.OptimizationResult` and its ``wasm``
+    field is the optimized module.
 
-    ``engine`` records an execution-engine preference (``"flat"``/``"tree"``)
-    on the result, consumed by :meth:`LoweredModule.instantiate`; ``None``
-    means the default engine (the flat VM).
+    The ``memory_pages``/``optimize``/``engine`` keywords are the deprecated
+    pre-:mod:`repro.api` surface (one :class:`DeprecationWarning` per call);
+    ``optimize=True`` maps to ``O2``.
     """
 
-    lowered = ModuleLowering(module, memory_pages=memory_pages).lower()
-    lowered.engine = engine
-    if optimize:
+    config = _legacy_config(
+        "lower_module", config,
+        {"memory_pages": memory_pages, "optimize": optimize, "engine": engine},
+    )
+    lowered = ModuleLowering(module, memory_pages=config.memory_pages).lower()
+    lowered.engine = config.engine
+    if config.optimize:
         from ..opt import optimize_module
 
-        result = optimize_module(lowered.wasm, passes)
+        result = optimize_module(lowered.wasm, passes if passes is not None else config.passes())
         lowered.wasm = result.module
         lowered.optimization = result
     return lowered

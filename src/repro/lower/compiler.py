@@ -135,7 +135,9 @@ class LoweredModule:
 
     ``engine`` records the execution-engine preference threaded through the
     compile entry points (``None`` means the default, the flat VM); it is
-    consumed by :meth:`instantiate`.
+    consumed by :meth:`instantiate`.  ``diagnostics`` carries the
+    :class:`repro.api.Diagnostics` of the facade call that produced this
+    artifact (``None`` off the facade paths).
     """
 
     wasm: WasmModule
@@ -144,6 +146,7 @@ class LoweredModule:
     global_map: dict[int, tuple[int, list[ValType]]]
     optimization: Optional[object] = None
     engine: Optional[str] = None
+    diagnostics: Optional[object] = None
 
     def instantiate(self, *, host_imports=None, max_steps: Optional[int] = None, engine=None):
         """Instantiate the lowered Wasm on an execution engine.

@@ -101,6 +101,7 @@ from ..core.syntax import (
 )
 from ..core.syntax.instructions import Nop
 from ..core.typing.errors import CompilationError
+from .._compat import UNSET as _UNSET, codegen_lowering as _codegen_lowering
 from ..core.typing.sizing import closed_size_of_type
 from .ast import (
     App,
@@ -934,28 +935,29 @@ def _size_bits(ty: Type) -> int:
 
 
 def compile_ml_module(
-    module: MLModule, *, lower: bool = False, optimize: bool = False, memory_pages: int = 4, engine=None,
-    cache=None,
+    module: MLModule, *, lower: bool = False, cache=None, config=None,
+    optimize=_UNSET, memory_pages=_UNSET, engine=_UNSET,
 ):
     """Type-check and compile an ML module to RichWasm.
 
-    By default this returns the RichWasm :class:`Module`.  With
-    ``lower=True`` (implied by ``optimize=True``, ``engine=...`` or
-    ``cache=...``) it continues down the pipeline and returns the
+    By default this returns the RichWasm :class:`Module` (this is also the
+    ``"ml"`` frontend of :func:`repro.api.compile`).  With ``lower=True``,
+    a ``config=`` (:class:`repro.api.CompileConfig`), or a ``cache=``
+    (:class:`repro.runtime.ModuleCache`, which memoizes the lower/optimize
+    stage by content) it continues down the pipeline and returns the
     :class:`repro.lower.LoweredModule` instead, optionally post-processed by
-    the :mod:`repro.opt` pass pipeline.  ``engine`` records the
-    execution-engine preference (default: the flat VM) consumed by
-    :meth:`repro.lower.LoweredModule.instantiate`.  ``cache`` (a
-    :class:`repro.runtime.ModuleCache`) memoizes the lower/optimize stage by
-    content, so recompiling an identical module reuses the cached artifacts.
+    the config's named :mod:`repro.opt` pipeline.
+
+    The ``optimize``/``memory_pages``/``engine`` keywords are the deprecated
+    pre-:mod:`repro.api` surface (one :class:`DeprecationWarning` per call,
+    and passing any of them implies lowering); ``optimize=True`` maps to
+    ``O2``.
     """
 
     checked = check_module(module)
     richwasm = MLCompiler(checked).compile()
-    if lower or optimize or engine is not None or cache is not None:
-        if cache is not None:
-            return cache.lower(richwasm, memory_pages=memory_pages, optimize=optimize, engine=engine)
-        from ..lower import lower_module
-
-        return lower_module(richwasm, memory_pages=memory_pages, optimize=optimize, engine=engine)
-    return richwasm
+    lowered = _codegen_lowering(
+        "compile_ml_module", richwasm, lower=lower, cache=cache, config=config,
+        legacy={"optimize": optimize, "memory_pages": memory_pages, "engine": engine},
+    )
+    return richwasm if lowered is None else lowered

@@ -12,6 +12,8 @@ package cleans its output up:
 * :mod:`repro.opt.constfold` — constant folding via the shared numeric
   semantics (:mod:`repro.core.semantics.numerics`).
 * :mod:`repro.opt.peephole` — spill/reload and conversion-pair fusion.
+* :mod:`repro.opt.pipelines` — the named ``O0``/``O1``/``O2`` levels
+  consumed by :class:`repro.api.CompileConfig`.
 * :mod:`repro.opt.verify` — the differential harness executing optimized and
   unoptimized twins side by side and requiring identical behaviour.
 
@@ -37,6 +39,13 @@ from .manager import (
     optimize_module,
 )
 from .peephole import PeepholePass
+from .pipelines import (
+    PIPELINES,
+    o1_passes,
+    pipeline_names,
+    pipeline_passes,
+    register_pipeline,
+)
 from .verify import (
     CallOutcome,
     DifferentialReport,

@@ -1,0 +1,90 @@
+"""Named optimization pipelines — the ``O0``/``O1``/``O2`` levels.
+
+:class:`repro.api.CompileConfig` speaks in *levels*, not pass lists; this
+module is where a level name expands to an ordered pass pipeline:
+
+* ``O0`` — no optimization (the lowered module runs as emitted);
+* ``O1`` — the cheap structural cleanups: unreachable-code removal, block
+  flattening, spill/reload peepholes and dead-local pruning.  No dataflow
+  passes, so it is fast enough to run on every compile;
+* ``O2`` — the full default pipeline (:func:`repro.opt.default_passes`),
+  adding i64-bank local coalescing, copy propagation, constant folding and
+  ABI-preserving dead-function stubbing.
+
+Every pipeline is semantics-preserving by contract: the tier-1 suite runs
+each level through :func:`repro.opt.run_differential` against the
+unoptimized twin on both execution engines and requires bit-identical
+results, traps, memories and globals.
+
+The table is a registry: projects may install additional named levels (e.g.
+a size-focused ``Os``) via :func:`register_pipeline`;
+``CompileConfig.validate`` accepts whatever is registered here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Union
+
+from .dce import DeadCodeEliminationPass, UnusedLocalPass
+from .flatten import BlockFlatteningPass
+from .manager import FunctionPass, ModulePass, default_passes
+from .peephole import PeepholePass
+
+Pipeline = List[Union[FunctionPass, ModulePass]]
+
+
+def o0_passes() -> Pipeline:
+    """``O0``: no optimization."""
+
+    return []
+
+
+def o1_passes() -> Pipeline:
+    """``O1``: cheap structural cleanups only (no dataflow passes)."""
+
+    return [
+        DeadCodeEliminationPass(),
+        BlockFlatteningPass(),
+        PeepholePass(),
+        UnusedLocalPass(),
+    ]
+
+
+PIPELINES: dict[str, Callable[[], Pipeline]] = {
+    "O0": o0_passes,
+    "O1": o1_passes,
+    "O2": default_passes,
+}
+
+
+def pipeline_names() -> tuple[str, ...]:
+    """The registered level names, sorted."""
+
+    return tuple(sorted(PIPELINES))
+
+
+def pipeline_passes(level: str) -> Pipeline:
+    """Expand a level name to a fresh pass pipeline.
+
+    Raises :class:`ValueError` naming the registered levels for an unknown
+    name — the same contract :meth:`repro.api.CompileConfig.validate` and
+    :func:`repro.wasm.create_engine` follow for their registries.
+    """
+
+    try:
+        build = PIPELINES[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimization level {level!r}; registered levels: {', '.join(pipeline_names())}"
+        ) from None
+    return build()
+
+
+def register_pipeline(name: str, build: Callable[[], Pipeline], *, replace: bool = False) -> None:
+    """Install a custom named pipeline (``replace=True`` to override)."""
+
+    if name in PIPELINES and not replace:
+        raise ValueError(
+            f"optimization level {name!r} is already registered; pass replace=True to override"
+        )
+    PIPELINES[name] = build

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .._compat import UNSET as _UNSET, legacy_config as _legacy_config
 from .batch import BatchReport, BatchRunner, Request, RequestOutcome, Session
 from .cache import CacheStats, CompiledProgram, ModuleCache, content_key
 from .pool import InstanceImage, InstancePool, PooledInstance, PoolStats
@@ -56,33 +57,41 @@ def run_initializers_setup(interpreter, instance) -> None:
 def scenario_service(
     scenario,
     *,
+    config=None,
     cache: Optional[ModuleCache] = None,
-    engine: Optional[str] = None,
-    optimize: bool = False,
-    memory_pages: int = 4,
-    max_steps: Optional[int] = None,
-    pool_size: int = 4,
+    engine=_UNSET,
+    optimize=_UNSET,
+    memory_pages=_UNSET,
+    max_steps=_UNSET,
+    pool_size=_UNSET,
 ) -> BatchRunner:
     """A ready-to-serve :class:`BatchRunner` for an FFI interop scenario.
 
     ``scenario`` is an :class:`repro.ffi.InteropScenario`, one of the
     ``repro.ffi.scenarios`` builders (called with no arguments), or anything
-    :meth:`ModuleCache.compile_program` accepts.  The scenario's modules are
-    linked/lowered/decoded through ``cache`` (the process-wide default cache
-    when ``None``) and served from an :class:`InstancePool` whose baseline
-    image includes the program's ``_init`` exports.
+    :func:`repro.api.compile` accepts.  The scenario is compiled and pooled
+    via :func:`repro.api.serve` under ``config`` (a
+    :class:`repro.api.CompileConfig`; the default policy is the process-wide
+    shared cache, and ``cache=`` pins an explicit one); the pool's baseline
+    image includes the program's ``_init`` exports.  The per-parameter
+    keywords are the deprecated pre-:mod:`repro.api` surface (one
+    :class:`DeprecationWarning` per call).
     """
 
-    if callable(scenario) and not hasattr(scenario, "modules"):
-        scenario = scenario()
-    cache = cache if cache is not None else default_cache()
-    compiled = cache.compile_program(scenario, engine=engine, optimize=optimize, memory_pages=memory_pages)
-    pool = compiled.instance_pool(
-        max_steps=max_steps,
-        setup=run_initializers_setup,
-        max_size=pool_size,
+    config = _legacy_config(
+        "scenario_service", config,
+        {
+            "engine": engine,
+            "optimize": optimize,
+            "memory_pages": memory_pages,
+            "max_steps": max_steps,
+            "pool_size": pool_size,
+        },
+        cache_policy="shared",
     )
-    return BatchRunner(pool)
+    from ..api import serve
+
+    return serve(scenario, config, cache=cache).runner
 
 
 __all__ = [

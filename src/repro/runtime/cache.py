@@ -14,7 +14,9 @@ exactly once and every later request reuses the artifacts:
   :class:`~repro.wasm.engine.FlatVMEngine` instance shares.
 
 Keys are SHA-256 digests of the stable dataclass ``repr`` of the (immutable)
-ASTs plus the stage parameters.  Hashing by content rather than identity
+ASTs plus the compile-relevant configuration — the canonical
+:meth:`repro.api.CompileConfig.content_key` (legacy keyword callers are
+bridged onto the same keyspace).  Hashing by content rather than identity
 means two independently built but structurally identical programs share one
 compile; the stages are keyed separately, so e.g. two different module sets
 that link to the same module still share the lowering and decode.
@@ -72,13 +74,28 @@ class CompiledProgram:
     Everything here is immutable or treated as such: instances built from it
     share ``wasm`` (and therefore the module-level ``decoded`` flat code) but
     never mutate it.  ``key`` is the content hash the cache filed the program
-    under.
+    under.  ``config`` records the :class:`repro.api.CompileConfig` the
+    program was compiled under (``None`` for pre-facade callers);
+    ``diagnostics`` the :class:`repro.api.Diagnostics` of the most recent
+    facade call that produced or returned this artifact.
     """
 
-    key: str
     richwasm: Module
     lowered: LoweredModule
     engine: Optional[str] = None
+    config: Optional[object] = None
+    diagnostics: Optional[object] = None
+    #: The key the cache filed the program under; ``None`` off the cache
+    #: paths until :attr:`key` is first read (hashing the whole program AST
+    #: is measurable, so uncached one-shot compiles do not pay it eagerly).
+    cached_key: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        if self.cached_key is None:
+            config_key = self.config.content_key() if self.config is not None else None
+            self.cached_key = content_key("program", self.richwasm, config_key, None)
+        return self.cached_key
 
     @property
     def wasm(self) -> WasmModule:
@@ -124,6 +141,7 @@ class ModuleCache:
             "link": CacheStats(),
             "lower": CacheStats(),
             "decode": CacheStats(),
+            "program": CacheStats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -147,8 +165,13 @@ class ModuleCache:
 
     # -- stage: link -------------------------------------------------------
 
-    def link(self, modules: dict[str, Module], *, name: str = "linked") -> Module:
-        """Statically link ``modules`` (memoized by content)."""
+    def link(self, modules: dict[str, Module], *, name: str = "linked", check: bool = True) -> Module:
+        """Statically link ``modules`` (memoized by content).
+
+        ``check=False`` skips the cross-module import/export re-check —
+        safe when the modules came from an already-checked ``Program``
+        (the :class:`repro.api.CompileConfig.check_links` toggle).
+        """
 
         from ..ffi.link import link_modules
 
@@ -159,7 +182,7 @@ class ModuleCache:
             stats.hits += 1
             return linked
         stats.misses += 1
-        linked = link_modules(modules, name=name)
+        linked = link_modules(modules, name=name, check=check)
         self._linked[key] = linked
         return linked
 
@@ -174,27 +197,39 @@ class ModuleCache:
         passes=None,
         engine: Optional[str] = None,
         validate: bool = True,
+        config=None,
     ) -> LoweredModule:
         """Lower (and optionally optimize) ``richwasm``, memoized by content.
+
+        The stage key is ``content_key(richwasm, config.content_key())`` —
+        callers without a :class:`repro.api.CompileConfig` get one built
+        from the legacy keywords, so both surfaces share a single keyspace.
+        An explicit ``passes`` list overrides the config's pipeline (and is
+        folded into the key by pass name).
 
         Hits return a shallow copy so callers can adjust bookkeeping fields
         (``engine``) without contaminating the cached artifact; the expensive
         payload (``wasm``, and with it the decode memo) stays shared.
         """
 
-        pass_names = None if passes is None else tuple(p.name for p in passes)
-        key = content_key("lower", richwasm, memory_pages, optimize, pass_names)
+        config = self._config_of(
+            config, memory_pages=memory_pages, optimize=optimize, validate=validate
+        )
+        if engine is None:
+            engine = config.engine
+        override = None if passes is None else tuple(p.name for p in passes)
+        key = content_key("lower", richwasm, config.content_key(), override)
         stats = self.stats["lower"]
         lowered = self._lowered.get(key)
         if lowered is None:
             stats.misses += 1
-            lowered = lower_module(richwasm, memory_pages=memory_pages, optimize=optimize, passes=passes)
-            if validate:
+            lowered = lower_module(richwasm, config=config, passes=passes)
+            if config.validate_wasm:
                 validate_module(lowered.wasm)
             self._lowered[key] = lowered
         else:
             stats.hits += 1
-        return replace(lowered, engine=engine)
+        return replace(lowered, engine=engine, diagnostics=None)
 
     # -- stage: decode -----------------------------------------------------
 
@@ -221,6 +256,50 @@ class ModuleCache:
         self._decoded[key] = decoded
         return decoded
 
+    # -- stage: program (the memoized bundle) ------------------------------
+
+    def program_key(self, richwasm: Module, config, passes=None) -> str:
+        """The program-level cache key: linked content + config content."""
+
+        override = None if passes is None else tuple(p.name for p in passes)
+        return content_key("program", richwasm, config.content_key(), override)
+
+    def get_program(self, key: str, *, engine: Optional[str] = None, config=None) -> Optional[CompiledProgram]:
+        """Look a compiled program up (counted in ``stats["program"]``).
+
+        The engine preference — and the config's other execution-bookkeeping
+        fields (``max_steps``, ``pool_size``, cache policy) — are
+        per-caller, not part of the compiled content: a hit under a
+        different engine *or config* hands out a variant sharing the cached
+        payload instead of silently serving the first caller's settings
+        (e.g. dropping a later caller's step budget).
+        """
+
+        stats = self.stats["program"]
+        program = self._programs.get(key)
+        if program is None:
+            stats.misses += 1
+            return None
+        stats.hits += 1
+        if program.engine != engine or (config is not None and config != program.config):
+            program = CompiledProgram(
+                richwasm=program.richwasm,
+                lowered=replace(program.lowered, engine=engine),
+                engine=engine,
+                config=config if config is not None else program.config,
+                diagnostics=program.diagnostics,
+                cached_key=key,
+            )
+        return program
+
+    def put_program(self, key: str, richwasm: Module, lowered: LoweredModule, *,
+                    engine: Optional[str] = None, config=None) -> CompiledProgram:
+        program = CompiledProgram(
+            richwasm=richwasm, lowered=lowered, engine=engine, config=config, cached_key=key
+        )
+        self._programs[key] = program
+        return program
+
     # -- the whole pipeline ------------------------------------------------
 
     def compile_program(
@@ -232,39 +311,46 @@ class ModuleCache:
         optimize: bool = False,
         passes=None,
         engine: Optional[str] = None,
+        config=None,
     ) -> CompiledProgram:
         """Link → lower → optimize → decode, every stage memoized.
 
         ``modules`` is a ``{name: RichWasm Module}`` mapping (e.g. from
         :meth:`repro.ffi.InteropScenario.modules`), an
         :class:`repro.ffi.Program`, or a single already-linked RichWasm
-        :class:`Module`.
+        :class:`Module`.  A :class:`repro.api.CompileConfig` supersedes the
+        individual keywords (and is what :func:`repro.api.compile` passes).
         """
 
-        richwasm = self._as_linked(modules, name=name)
-        key = content_key("program", richwasm, memory_pages, optimize,
-                          None if passes is None else tuple(p.name for p in passes))
-        program = self._programs.get(key)
+        config = self._config_of(config, memory_pages=memory_pages, optimize=optimize, name=name)
+        richwasm = self._as_linked(modules, name=config.link_name, check=config.check_links)
+        if engine is None:
+            engine = config.engine
+        key = self.program_key(richwasm, config, passes)
+        program = self.get_program(key, engine=engine, config=config)
         if program is None:
-            lowered = self.lower(
-                richwasm, memory_pages=memory_pages, optimize=optimize, passes=passes, engine=engine
-            )
+            lowered = self.lower(richwasm, config=config, passes=passes, engine=engine)
             self.decode(lowered.wasm)
-            program = CompiledProgram(key=key, richwasm=richwasm, lowered=lowered, engine=engine)
-            self._programs[key] = program
-        elif program.engine != engine:
-            # The engine preference is per-caller bookkeeping, not part of
-            # the compiled content: hand out a variant sharing the cached
-            # payload instead of silently serving the first caller's engine.
-            program = CompiledProgram(
-                key=key,
-                richwasm=program.richwasm,
-                lowered=replace(program.lowered, engine=engine),
-                engine=engine,
-            )
+            program = self.put_program(key, richwasm, lowered, engine=engine, config=config)
         return program
 
-    def _as_linked(self, modules, *, name: str) -> Module:
+    def _config_of(self, config, *, memory_pages: int = 4, optimize: bool = False,
+                   validate: bool = True, name: str = "linked"):
+        """The legacy-keyword → config bridge keeping one cache keyspace."""
+
+        if config is not None:
+            return config
+        from ..api.config import CompileConfig
+
+        return CompileConfig(
+            opt_level="O2" if optimize else "O0",
+            memory_pages=memory_pages,
+            validate_wasm=validate,
+            link_name=name,
+            cache="private",
+        )
+
+    def _as_linked(self, modules, *, name: str, check: bool = True) -> Module:
         if isinstance(modules, Module):
             return modules
         if hasattr(modules, "modules") and not isinstance(modules, dict):
@@ -279,4 +365,4 @@ class ModuleCache:
         # Always link, even a singleton: linking namespaces the exports
         # (``module.export``), so this path stays interchangeable with
         # ``Program.lower()``.
-        return self.link(modules, name=name)
+        return self.link(modules, name=name, check=check)

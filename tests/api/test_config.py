@@ -1,0 +1,144 @@
+"""CompileConfig: validation, normalization, hash stability, opt pipelines."""
+
+import pytest
+
+from repro.api import CACHE_POLICIES, CompileConfig, ConfigError
+from repro.l3 import compile_l3_module
+from repro.lower import lower_module
+from repro.ml import compile_ml_module
+from repro.opt import pipeline_names, pipeline_passes, run_differential, run_engine_cross_check
+from repro.wasm import TreeWalkingEngine, available_engines, create_engine
+
+from bench_pipelines import l3_workload, ml_workload
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        config = CompileConfig()
+        assert config.validate() is config
+        assert config.opt_level == "O0" and not config.optimize
+
+    def test_unknown_opt_level_names_registered_levels(self):
+        with pytest.raises(ConfigError, match=r"O0, O1, O2"):
+            CompileConfig(opt_level="O9").validate()
+
+    def test_unknown_engine_names_registered_engines(self):
+        with pytest.raises(ConfigError, match=r"flat, tree"):
+            CompileConfig(engine="bogus").validate()
+
+    def test_create_engine_rejects_unknown_names_listing_registered(self):
+        with pytest.raises(ValueError, match=r"flat, tree"):
+            create_engine("bogus")
+        assert available_engines() == ("flat", "tree")
+
+    def test_unknown_cache_policy(self):
+        with pytest.raises(ConfigError, match=", ".join(CACHE_POLICIES)):
+            CompileConfig(cache="write-through").validate()
+
+    @pytest.mark.parametrize("field, value", [
+        ("memory_pages", 0),
+        ("memory_pages", "4"),
+        ("memory_pages", True),
+        ("max_steps", 0),
+        ("max_steps", 1.5),
+        ("pool_size", 0),
+        ("link_name", ""),
+        ("validate_wasm", 1),
+    ])
+    def test_bad_field_values(self, field, value):
+        with pytest.raises(ConfigError, match=field):
+            CompileConfig(**{field: value}).validate()
+
+    def test_config_error_is_a_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+
+
+class TestNormalization:
+    def test_int_and_lowercase_levels_normalize(self):
+        assert CompileConfig(opt_level=1).opt_level == "O1"
+        assert CompileConfig(opt_level="o2").opt_level == "O2"
+        assert CompileConfig(opt_level=" O0 ").opt_level == "O0"
+
+    def test_engine_instances_reduce_to_names(self):
+        config = CompileConfig(engine=TreeWalkingEngine()).validate()
+        assert config.engine == "tree"
+
+    def test_of_coercions(self):
+        assert CompileConfig.of(None) == CompileConfig().validate()
+        assert CompileConfig.of("O2").opt_level == "O2"
+        assert CompileConfig.of(2).opt_level == "O2"
+        assert CompileConfig.of({"opt_level": "O1", "memory_pages": 8}).memory_pages == 8
+        base = CompileConfig(opt_level="O1")
+        assert CompileConfig.of(base) is base
+        assert CompileConfig.of(base, engine="tree").engine == "tree"
+        with pytest.raises(ConfigError):
+            CompileConfig.of(object())
+
+    def test_replace_validates(self):
+        config = CompileConfig()
+        assert config.replace(opt_level="O1").opt_level == "O1"
+        with pytest.raises(ConfigError):
+            config.replace(opt_level="O7")
+
+
+class TestContentKey:
+    def test_stable_across_equal_configs(self):
+        assert CompileConfig(opt_level="O2").content_key() == CompileConfig(opt_level=2).content_key()
+
+    def test_compile_relevant_fields_change_the_key(self):
+        base = CompileConfig().content_key()
+        assert CompileConfig(opt_level="O1").content_key() != base
+        assert CompileConfig(opt_level="O2").content_key() != CompileConfig(opt_level="O1").content_key()
+        assert CompileConfig(memory_pages=8).content_key() != base
+        assert CompileConfig(link_name="other").content_key() != base
+
+    def test_bookkeeping_fields_do_not_change_the_key(self):
+        # One compiled payload serves every engine / budget / cache policy.
+        base = CompileConfig().content_key()
+        assert CompileConfig(engine="tree").content_key() == base
+        assert CompileConfig(max_steps=10).content_key() == base
+        assert CompileConfig(cache="none").content_key() == base
+        assert CompileConfig(pool_size=2).content_key() == base
+        assert CompileConfig(validate_wasm=False).content_key() == base
+        assert CompileConfig(check_links=False).content_key() == base
+
+
+class TestPipelines:
+    def test_registered_levels(self):
+        assert pipeline_names() == ("O0", "O1", "O2")
+        assert pipeline_passes("O0") == []
+        o1 = [p.name for p in pipeline_passes("O1")]
+        o2 = [p.name for p in pipeline_passes("O2")]
+        assert set(o1) < set(o2)  # O1 is a strict subset of the full pipeline
+
+    def test_unknown_level_lists_registered(self):
+        with pytest.raises(ValueError, match=r"O0, O1, O2"):
+            pipeline_passes("Os")
+
+    def test_config_passes_match_pipeline(self):
+        assert CompileConfig(opt_level="O0").passes() is None
+        assert CompileConfig(opt_level="O0").pass_names() == ()
+        assert CompileConfig(opt_level="O2").pass_names() == tuple(
+            p.name for p in pipeline_passes("O2")
+        )
+
+    @pytest.mark.parametrize("level", ["O1", "O2"])
+    @pytest.mark.parametrize("workload, export, args", [
+        ("ml", "pipeline", [(21,), (0,), (100,), (7,)]),
+        ("l3", "churn", [(9,), (0,), (1000,)]),
+    ])
+    def test_levels_bit_identical_on_both_engines(self, level, workload, export, args):
+        """Acceptance: every level's artifact is differentially verified
+        against the unoptimized twin on both engines."""
+
+        richwasm = (
+            compile_ml_module(ml_workload()) if workload == "ml" else compile_l3_module(l3_workload())
+        )
+        baseline = lower_module(richwasm, config=CompileConfig(opt_level="O0"))
+        candidate = lower_module(richwasm, config=CompileConfig(opt_level=level))
+        calls = [(export, a) for a in args]
+        for engine in ("tree", "flat"):
+            report = run_differential(baseline.wasm, candidate.wasm, calls, engine=engine)
+            assert report.ok, f"{level}/{engine}:\n{report.format_report()}"
+        cross = run_engine_cross_check(candidate.wasm, calls)
+        assert cross.ok, cross.format_report()

@@ -1,0 +1,138 @@
+"""The pre-facade keyword surface: still works, warns exactly once per call."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.api import CompileConfig, ConfigError
+from repro.ffi import Program, counter_program
+from repro.lower import LoweredModule, lower_module
+from repro.ml import BinOp, IntLit, MLFunction, TInt, Var, compile_ml_module, ml_module
+from repro.l3 import compile_l3_module
+from repro.runtime import CompiledProgram, ModuleCache, scenario_service
+from repro.wasm import TreeWalkingEngine
+
+
+def ml_source():
+    return ml_module("work", functions=[
+        MLFunction("double", "x", TInt(), TInt(), BinOp("*", Var("x"), IntLit(2))),
+    ])
+
+
+def deprecation_warnings(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+def assert_warns_once(fn, match):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        result = fn()
+    caught = deprecation_warnings(record)
+    assert len(caught) == 1, [str(w.message) for w in caught]
+    assert match in str(caught[0].message)
+    return result
+
+
+class TestOneWarningPerCall:
+    def test_program_lower(self):
+        program = Program(counter_program().modules())
+        lowered = assert_warns_once(lambda: program.lower(optimize=True), "Program.lower")
+        assert isinstance(lowered, LoweredModule) and lowered.optimization is not None
+
+    def test_program_lower_multiple_kwargs_still_one_warning(self):
+        program = Program(counter_program().modules())
+        lowered = assert_warns_once(
+            lambda: program.lower(optimize=True, memory_pages=8, engine="tree"),
+            "memory_pages, optimize",
+        )
+        assert lowered.engine == "tree"
+
+    def test_program_compile(self):
+        program = Program(counter_program().modules())
+        compiled = assert_warns_once(
+            lambda: program.compile(engine=TreeWalkingEngine()), "Program.compile"
+        )
+        assert isinstance(compiled, CompiledProgram) and compiled.engine == "tree"
+
+    def test_program_instantiate_wasm(self):
+        program = Program(counter_program().modules())
+        instance = assert_warns_once(
+            lambda: program.instantiate_wasm(memory_pages=8), "Program.instantiate_wasm"
+        )
+        instance.invoke("client", "client_init", [2])
+        assert instance.invoke("client", "client_total", []) == [2]
+
+    def test_compile_ml_module(self):
+        lowered = assert_warns_once(
+            lambda: compile_ml_module(ml_source(), optimize=True), "compile_ml_module"
+        )
+        assert isinstance(lowered, LoweredModule)
+
+    def test_compile_l3_module(self):
+        from repro.l3 import (
+            L3Function, LBinOp, LFree, LInt, LIntLit, LLet, LLetPair, LNew, LSwap, LVar, l3_module,
+        )
+
+        module = l3_module("work", functions=[
+            L3Function("churn", "x", LInt(), LInt(),
+                       LLet("o", LNew(LVar("x")),
+                            LLetPair("old", "o2", LSwap(LVar("o"), LIntLit(1)),
+                                     LBinOp("+", LVar("old"), LFree(LVar("o2")))))),
+        ])
+        lowered = assert_warns_once(
+            lambda: compile_l3_module(module, engine="flat"), "compile_l3_module"
+        )
+        assert isinstance(lowered, LoweredModule) and lowered.engine == "flat"
+
+    def test_lower_module(self):
+        richwasm = compile_ml_module(ml_source())
+        lowered = assert_warns_once(lambda: lower_module(richwasm, optimize=True), "lower_module")
+        assert lowered.optimization is not None
+
+    def test_scenario_service(self):
+        runner = assert_warns_once(
+            lambda: scenario_service(counter_program, cache=ModuleCache(), engine="tree"),
+            "scenario_service",
+        )
+        assert runner.pool.engine == "tree"
+
+
+class TestShimEquivalence:
+    def test_optimize_true_matches_o2_config(self):
+        program = Program(counter_program().modules())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = program.lower(optimize=True)
+        modern = program.lower(config=CompileConfig(opt_level="O2", cache="none"))
+        assert legacy.wasm == modern.wasm  # bit-identical artifacts
+
+    def test_bare_calls_do_not_warn(self):
+        program = Program(counter_program().modules())
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            program.lower()
+            program.compile()
+            compile_ml_module(ml_source())
+            compile_ml_module(ml_source(), lower=True)
+            scenario_service(counter_program, cache=ModuleCache())
+        assert deprecation_warnings(record) == []
+
+    def test_config_plus_legacy_kwargs_is_an_error(self):
+        program = Program(counter_program().modules())
+        with pytest.raises(ConfigError, match="not both"):
+            program.lower(config=CompileConfig(), optimize=True)
+        with pytest.raises(ConfigError, match="not both"):
+            lower_module(counter_program().ml, config=CompileConfig(), memory_pages=8)
+
+    def test_legacy_and_facade_share_one_cache_keyspace(self):
+        cache = ModuleCache()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = Program(counter_program().modules()).compile(optimize=True, cache=cache)
+        modern = api.compile(counter_program, "O2", cache=cache)
+        # Same content key, one compiled payload (the returned wrappers may
+        # differ: hits refresh per-caller execution bookkeeping).
+        assert modern.key == legacy.key
+        assert modern.wasm is legacy.wasm
+        assert cache.stats["lower"].misses == 1

@@ -139,3 +139,36 @@ class TestStaticLinking:
         program = Program(counter_program().modules())
         order = program.instantiation_order()
         assert order.index("counterlib") < order.index("client")
+
+
+class TestWasmInvokeResolution:
+    """WasmProgramInstance.invoke never falls back silently (satellite of
+    the api_redesign PR): unknown names raise LinkError naming both
+    candidates, ambiguous bare/qualified pairs raise instead of guessing."""
+
+    def test_unknown_export_names_both_candidates(self):
+        program = Program(counter_program().modules())
+        wasm = program.instantiate_wasm()
+        with pytest.raises(LinkError) as excinfo:
+            wasm.invoke("client", "missing", [])
+        message = str(excinfo.value)
+        assert "'client.missing'" in message and "'missing'" in message
+        assert "client.client_init" in message  # lists what exists
+
+    def test_bare_name_resolves_when_qualified_absent(self):
+        program = Program(counter_program().modules())
+        wasm = program.instantiate_wasm()
+        # The linked module re-exports bare names for the same indices; a
+        # module prefix that does not exist still resolves via the bare name.
+        wasm.invoke("nosuchmodule", "client_init", [3])
+        assert wasm.invoke("client", "client_total", [0]) == [3]
+
+    def test_ambiguous_bare_and_qualified_raise(self):
+        program = Program(counter_program().modules())
+        wasm = program.instantiate_wasm()
+        exports = wasm.instance.exports
+        # Force the pathological table: a bare name colliding with a
+        # qualified one while naming a *different* function.
+        exports["client_init"] = exports["client.client_total"]
+        with pytest.raises(LinkError, match="ambiguous"):
+            wasm.invoke("client", "client_init", [0])

@@ -54,6 +54,7 @@ from repro.core.syntax import (
     variant_ht,
 )
 from repro.core.typing import check_module
+from repro.api import CompileConfig
 from repro.lower import (
     layout_bytes,
     lower_module,
@@ -295,7 +296,7 @@ class TestBehaviouralEquivalence:
             Function(funtype([i32()], [i32()]), (), body, ("churn",))
         ])
         check_module(module)
-        lowered = lower_module(module, memory_pages=1)
+        lowered = lower_module(module, config=CompileConfig(memory_pages=1))
         validate_module(lowered.wasm)
         interp = WasmInterpreter()
         inst = interp.instantiate(lowered.wasm)

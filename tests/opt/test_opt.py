@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import CompileConfig
 from repro.ffi import Program, counter_program
 from repro.l3 import compile_l3_module
 from repro.lower import LoweredModule, lower_module
@@ -44,6 +45,9 @@ from repro.wasm import (
 from repro.wasm.interpreter import WasmTrap
 
 from bench_pipelines import l3_workload, ml_workload
+
+
+O2 = CompileConfig(opt_level="O2", cache="none")
 
 
 def make_wasm(body, params=(), results=(ValType.I32,), locals=(), export="main"):
@@ -307,7 +311,7 @@ class TestFlattenAndDeadFunctions:
         assert run(result.module) == [1]
 
     def test_ml_module_free_is_dead(self):
-        lowered = compile_ml_module(ml_workload(), optimize=True)
+        lowered = compile_ml_module(ml_workload(), config=O2)
         free_index = lowered.runtime.free_index
         assert lowered.wasm.functions[free_index].body == (WUnreachable(),)
 
@@ -329,7 +333,7 @@ class TestDifferentialHarness:
     def test_counter_program_differential(self):
         program = Program(counter_program().modules())
         plain = program.lower()
-        optimized = program.lower(optimize=True)
+        optimized = program.lower(config=O2)
         calls = [("client.client_init", (0,))] + [("client.client_tick", (0,))] * 5 + [
             ("client.client_total", (0,)),
         ]
@@ -341,7 +345,7 @@ class TestDifferentialHarness:
 
 class TestPipelineIntegration:
     def test_compile_ml_module_optimize_flag(self):
-        lowered = compile_ml_module(ml_workload(), optimize=True)
+        lowered = compile_ml_module(ml_workload(), config=O2)
         assert isinstance(lowered, LoweredModule)
         assert isinstance(lowered.optimization, OptimizationResult)
         interp = WasmInterpreter()
@@ -349,7 +353,7 @@ class TestPipelineIntegration:
         assert interp.invoke(instance, "pipeline", [21]) == [42]
 
     def test_compile_l3_module_optimize_flag(self):
-        lowered = compile_l3_module(l3_workload(), optimize=True)
+        lowered = compile_l3_module(l3_workload(), config=O2)
         assert isinstance(lowered, LoweredModule)
         interp = WasmInterpreter()
         instance = interp.instantiate(lowered.wasm)
@@ -358,7 +362,7 @@ class TestPipelineIntegration:
     def test_lower_module_optimize_flag(self):
         richwasm = compile_ml_module(ml_workload())
         plain = lower_module(richwasm)
-        optimized = lower_module(richwasm, optimize=True)
+        optimized = lower_module(richwasm, config=O2)
         assert optimized.optimization is not None
         assert optimized.wasm.instruction_count() < plain.wasm.instruction_count()
 
@@ -381,7 +385,7 @@ class TestPipelineIntegration:
 
         richwasm = compile_ml_module(ml_workload())
         plain = lower_module(richwasm)
-        optimized = lower_module(richwasm, optimize=True)
+        optimized = lower_module(richwasm, config=O2)
         delta = optimization_delta(plain.wasm, optimized.wasm, name="ml-pipeline")
         assert delta.removed > 0
         report = format_optimization_report([delta])

@@ -18,6 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.syntax import Function, funtype, i32, make_module
 from repro.core.typing import check_module
+from repro.api import CompileConfig
 from repro.lower import lower_module
 from repro.opt import run_engine_cross_check
 from repro.wasm import (
@@ -236,7 +237,7 @@ class TestLoweredProgramEquivalence:
             Function(funtype([i32(), i32()], [i32()]), (), body, ("f",))
         ])
         check_module(module)
-        lowered = lower_module(module, optimize=True)
+        lowered = lower_module(module, config=CompileConfig(opt_level="O2"))
         validate_module(lowered.wasm)
         report = run_engine_cross_check(lowered.wasm, [("f", (x, y))])
         assert report.ok, report.format_report()

@@ -146,7 +146,11 @@ class TestScenarioService:
         assert len({outcome.steps for outcome in report.outcomes}) == 1
 
     def test_accepts_prebuilt_scenario_and_engine(self):
-        runner = scenario_service(counter_program(), cache=ModuleCache(), engine="tree")
+        from repro.api import CompileConfig
+
+        runner = scenario_service(
+            counter_program(), cache=ModuleCache(), config=CompileConfig(engine="tree")
+        )
         outcome = runner.run_one(Session(calls=(
             ("client.client_init", (1,)), ("client.client_total", ()),
         )))
