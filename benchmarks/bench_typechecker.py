@@ -4,57 +4,24 @@ Measures how the RichWasm type checker scales with program size (synthetic
 modules with growing instruction counts) and compares the strict rule (no
 capabilities anywhere on the heap) with the relaxed §5 rule (capabilities
 allowed in the linear memory) — the ablation called out in DESIGN.md.
+
+Since PR 5 it is also the measuring stick for the hash-consing layer: the
+``perf``-marked head-to-head checks the interned checker against the
+pre-refactor structural baseline (the same checker with interning disabled,
+which reverts equality/shift/substitution/entailment to their structural
+slow paths) and asserts a >= 2x throughput floor on the largest synthetic
+module — mirroring how ``bench_interpreters.py`` gates the flat VM.
 """
 
 import pytest
 
-from repro.core.syntax import (
-    Block,
-    Function,
-    GetLocal,
-    IntBinop,
-    LIN,
-    MemUnpack,
-    NumBinop,
-    NumConst,
-    NumType,
-    Return,
-    SetLocal,
-    SizeConst,
-    StructFree,
-    StructGet,
-    StructMalloc,
-    arrow,
-    funtype,
-    i32,
-    make_module,
-)
+from repro.core.syntax import interning_disabled
 from repro.core.typing import check_module
 
+from workloads import best_of, synthetic_module
 
-def synthetic_module(blocks: int):
-    """A function with ``blocks`` repeated allocate/read/free regions."""
-
-    body = []
-    for _ in range(blocks):
-        body.extend([
-            NumConst(NumType.I32, 1),
-            StructMalloc((SizeConst(32),), LIN),
-            MemUnpack(arrow([], [i32()]), (), (
-                StructGet(0),
-                SetLocal(0),
-                StructFree(),
-                GetLocal(0),
-            )),
-            NumConst(NumType.I32, 1),
-            NumBinop(NumType.I32, IntBinop.ADD),
-            SetLocal(0),
-        ])
-    body.append(GetLocal(0))
-    body.append(Return())
-    return make_module(functions=[
-        Function(funtype([], [i32()]), (SizeConst(32),), tuple(body), ("main",))
-    ])
+#: Required interned-over-structural-baseline throughput ratio (CI floor).
+CHECKER_SPEEDUP_FLOOR = 2.0
 
 
 @pytest.mark.parametrize("blocks", [1, 10, 50])
@@ -67,6 +34,53 @@ def test_strict_and_relaxed_rules_agree_on_cap_free_code():
     module = synthetic_module(5)
     check_module(module, allow_caps_in_linear_memory=True)
     check_module(module, allow_caps_in_linear_memory=False)
+
+
+def measure_checker(module, *, repeat: int = 5) -> float:
+    """Best-of-``repeat`` instructions/sec for ``check_module`` on ``module``."""
+
+    instructions = sum(
+        f.instruction_count() for f in module.functions if not f.is_import
+    )
+    return instructions / best_of(lambda: check_module(module), repeat)
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize("blocks", [200])
+def test_interned_checker_is_at_least_2x(blocks):
+    """Hash-consing sustains >= 2x the structural checker's throughput.
+
+    The baseline builds the same module with interning disabled, so its
+    types carry no canonical forms / free-variable summaries and the checker
+    takes its structural equality, full shift/substitution, and memo-free
+    entailment paths — the pre-refactor behaviour.
+    """
+
+    interned = measure_checker(synthetic_module(blocks))
+    with interning_disabled():
+        baseline = measure_checker(synthetic_module(blocks))
+    speedup = interned / baseline
+    print(
+        f"\nblocks={blocks}: interned {interned:,.0f} instrs/s, "
+        f"structural baseline {baseline:,.0f} instrs/s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= CHECKER_SPEEDUP_FLOOR, (
+        f"interned checker only {speedup:.2f}x over the structural baseline "
+        f"({interned:,.0f} vs {baseline:,.0f} instrs/sec)"
+    )
+
+
+def test_interned_and_baseline_checker_agree():
+    """Interning must not change any verdict: both modes accept the corpus
+    and report identical statistics."""
+
+    module = synthetic_module(25)
+    interned = check_module(module)
+    with interning_disabled():
+        baseline = check_module(synthetic_module(25))
+    assert interned.functions_checked == baseline.functions_checked
+    assert interned.globals_checked == baseline.globals_checked
+    assert interned.instructions_checked == baseline.instructions_checked
 
 
 @pytest.mark.benchmark(group="typechecker")

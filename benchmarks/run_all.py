@@ -2,8 +2,10 @@
 """Run the benchmark suite and write a machine-readable BENCH_results.json.
 
 Tracks the perf trajectory across PRs: every run records, per workload, the
-step count, best wall time, steps/sec, and static instruction count, plus
-the tree-walker-vs-flat-VM differential cross-check verdicts.  In full mode
+step count, best wall time, steps/sec, and static instruction count; the
+per-stage compile timings (frontend typecheck, core typecheck, lower,
+decode) with the interned-vs-structural checker speedup; and the
+tree-walker-vs-flat-VM differential cross-check verdicts.  In full mode
 every ``bench_*.py`` file is additionally executed under pytest and its wall
 time and exit status recorded.
 
@@ -35,7 +37,12 @@ for path in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
 from repro.opt import run_engine_cross_check, run_pool_reset_cross_check  # noqa: E402
 from repro.wasm import available_engines  # noqa: E402
 
-from workloads import WORKLOADS, measure_engine, measure_runtime_throughput  # noqa: E402
+from workloads import (  # noqa: E402
+    WORKLOADS,
+    measure_compile_stages,
+    measure_engine,
+    measure_runtime_throughput,
+)
 
 
 def measure_workloads(engine: str) -> dict:
@@ -191,6 +198,16 @@ def main(argv=None) -> int:
             for name, entry in gate["workloads"].items():
                 print(f"  {name}: {'ok' if entry['ok'] else 'REGRESSION'} "
                       f"(x{entry['ratio']} of baseline, x{entry['normalized']} normalized)")
+
+    print("compile-stage timings (frontend typecheck / core typecheck / lower / decode) ...")
+    results["compile"] = measure_compile_stages()
+    for name, entry in results["compile"].items():
+        if name.startswith("synthetic_"):
+            print(f"  {name}: typecheck {entry['typecheck_instrs_per_sec']:,} instrs/s, "
+                  f"lower {entry['lower_wall_s']}s, decode {entry['decode_wall_s']}s")
+    speedup = results["compile"]["checker_speedup_vs_structural"]
+    print(f"  interned checker vs structural baseline: {speedup['speedup']}x "
+          f"on {speedup['blocks']} blocks")
 
     print("runtime throughput (compile-once/run-many vs naive path) ...")
     results["runtime"] = measure_runtime_throughput()

@@ -27,7 +27,9 @@ from repro.core.syntax import (
     Function,
     GetLocal,
     IntBinop,
+    LIN,
     Loop,
+    MemUnpack,
     NumBinop,
     NumConst,
     NumTestop,
@@ -35,6 +37,9 @@ from repro.core.syntax import (
     Return,
     SetLocal,
     SizeConst,
+    StructFree,
+    StructGet,
+    StructMalloc,
     arrow,
     funtype,
     i32,
@@ -104,15 +109,21 @@ def _sum_loop():
     return wasm, [("sum", (SUM_N,))]
 
 
-def _ml_pipeline():
+def ml_pipeline_module():
+    """The §5 ML workload's surface module (shared with the compile bench)."""
+
     sum_ty = TSum(TUnit(), TInt())
-    module = ml_module("work", functions=[
+    return ml_module("work", functions=[
         MLFunction("pipeline", "x", TInt(), TInt(),
                    Let("double", Lam("y", TInt(), BinOp("*", Var("y"), IntLit(2))),
                        Case(If(BinOp("<", Var("x"), IntLit(0)), Inl(Unit(), sum_ty), Inr(Var("x"), sum_ty)),
                             "n", IntLit(0),
                             "p", App(Var("double"), Var("p"))))),
     ])
+
+
+def _ml_pipeline():
+    module = ml_pipeline_module()
     wasm = compile_ml_module(module, lower=True).wasm
     validate_module(wasm)
     calls = [("pipeline", (value,)) for value in (21, -3, 0, 100, 7, -1, 55, 13)]
@@ -230,6 +241,111 @@ def measure_runtime_throughput(*, min_time: float = 0.15) -> dict:
         "requests_per_sec": round(report.requests_per_sec, 1) if report.requests_per_sec else None,
         "steps_per_request": report.total_steps // report.requests if report.requests else 0,
     }
+
+
+def synthetic_module(blocks: int):
+    """A function with ``blocks`` repeated allocate/read/free regions.
+
+    The typechecker scaling workload (shared with ``bench_typechecker.py``):
+    every region allocates a linear struct, opens its existential location,
+    reads and frees it — exercising the checker's binder shifting, size
+    entailment and linearity tracking.
+    """
+
+    body = []
+    for _ in range(blocks):
+        body.extend([
+            NumConst(NumType.I32, 1),
+            StructMalloc((SizeConst(32),), LIN),
+            MemUnpack(arrow([], [i32()]), (), (
+                StructGet(0),
+                SetLocal(0),
+                StructFree(),
+                GetLocal(0),
+            )),
+            NumConst(NumType.I32, 1),
+            NumBinop(NumType.I32, IntBinop.ADD),
+            SetLocal(0),
+        ])
+    body.append(GetLocal(0))
+    body.append(Return())
+    return make_module(functions=[
+        Function(funtype([], [i32()]), (SizeConst(32),), tuple(body), ("main",))
+    ])
+
+
+def best_of(fn: Callable[[], object], repeat: int) -> float:
+    """Best wall time of ``repeat`` calls to ``fn`` (one warm-up first)."""
+
+    fn()
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_compile_stages(*, sizes=(10, 50, 200), repeat: int = 3) -> dict:
+    """Per-stage compile timings for the BENCH_results.json trajectory.
+
+    Records, per synthetic module size: core typecheck, lower (typecheck-
+    driven lowering) and flat-code decode wall times; plus the ML frontend's
+    surface typecheck on the shared ``ml_pipeline`` module, and the
+    interned-vs-structural checker speedup on the largest size (the PR 5
+    tentpole metric — asserted as a CI floor in ``bench_typechecker.py``).
+    """
+
+    from repro.core.syntax import interning_disabled
+    from repro.ml import check_module as check_ml_module
+    from repro.wasm.decode import decode_module
+
+    results: dict[str, object] = {}
+
+    ml = ml_pipeline_module()
+    results["frontend_typecheck"] = {
+        "module": "ml_pipeline",
+        "wall_s": round(best_of(lambda: check_ml_module(ml), repeat), 6),
+    }
+
+    for blocks in sizes:
+        module = synthetic_module(blocks)
+        instructions = module.functions[0].instruction_count()
+        typecheck_s = best_of(lambda: check_module(module), repeat)
+        lower_s = best_of(lambda: lower_module(module), repeat)
+
+        # decode_module memoizes per WasmModule object, so decode a freshly
+        # lowered module each round to time real work.
+        def decode_fresh() -> float:
+            wasm = lower_module(module).wasm
+            start = time.perf_counter()
+            decode_module(wasm)
+            return time.perf_counter() - start
+
+        decode_fresh()  # warm-up
+        decode_s = min(decode_fresh() for _ in range(repeat))
+
+        results[f"synthetic_{blocks}"] = {
+            "instructions": instructions,
+            "typecheck_wall_s": round(typecheck_s, 6),
+            "typecheck_instrs_per_sec": round(instructions / typecheck_s) if typecheck_s else None,
+            "lower_wall_s": round(lower_s, 6),
+            "decode_wall_s": round(decode_s, 6),
+        }
+
+    largest = max(sizes)
+    interned_module = synthetic_module(largest)
+    interned_s = best_of(lambda: check_module(interned_module), repeat)
+    with interning_disabled():
+        baseline_module = synthetic_module(largest)
+        baseline_s = best_of(lambda: check_module(baseline_module), repeat)
+    results["checker_speedup_vs_structural"] = {
+        "blocks": largest,
+        "interned_wall_s": round(interned_s, 6),
+        "structural_wall_s": round(baseline_s, 6),
+        "speedup": round(baseline_s / interned_s, 2) if interned_s else None,
+    }
+    return results
 
 
 def measure_engine(wasm, calls, engine: str, *, min_time: float = 0.3, max_rounds: int = 300):

@@ -1,8 +1,9 @@
 """Structured diagnostics for every compiled artifact.
 
 Every :func:`repro.api.compile`/:func:`repro.api.lower` call records what the
-pipeline actually did — wall time per stage, which stages were served from
-the :class:`~repro.runtime.ModuleCache` (hit/miss/bypass), which frontend
+pipeline actually did — wall time per stage (``frontend``, ``link``,
+``typecheck``, ``lower``, ``decode``), which stages were served from the
+:class:`~repro.runtime.ModuleCache` (hit/miss/bypass), which frontend
 compiled each source module, and the optimizer's per-pass statistics — into
 one :class:`Diagnostics` value attached to the artifact
 (``CompiledProgram.diagnostics`` / ``LoweredModule.diagnostics``).  This

@@ -82,12 +82,15 @@ def lower(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
     if cache_obj is None:
         with diagnostics.stage("link"):
             richwasm = _link_direct(modules, config, diagnostics)
+        # Lowering drives the type checker itself; no standalone pass.
+        diagnostics.cache["typecheck"] = "bypass"
         with diagnostics.stage("lower"):
             lowered = _lower_direct(richwasm, config)
         diagnostics.cache.setdefault("lower", "bypass")
     else:
         with diagnostics.stage("link"):
             richwasm = _link_cached(modules, config, cache_obj, diagnostics)
+        _typecheck_cached(richwasm, cache_obj, diagnostics)
         with diagnostics.stage("lower"):
             before = cache_obj.stats["lower"].hits
             lowered = cache_obj.lower(richwasm, config=config)
@@ -229,6 +232,26 @@ def _link_cached(modules, config: CompileConfig, cache: ModuleCache, diagnostics
     return richwasm
 
 
+def _typecheck_cached(richwasm, cache: ModuleCache, diagnostics: Diagnostics) -> None:
+    """The memoized core-typecheck stage of the cached pipeline.
+
+    Linking already routes its per-module and linked-result checks through
+    ``cache.typecheck``, so for dict sources this lookup is a hit.  A
+    pre-linked ``Module`` the cache has never seen is *not* checked
+    standalone — the lowering stage drives the type checker over the module
+    anyway, and checking twice would double the compile-side hot path this
+    layer exists to speed up — so the stage records a ``bypass`` instead,
+    mirroring the off-cache pipeline.
+    """
+
+    with diagnostics.stage("typecheck"):
+        if cache.typecheck_known(richwasm):
+            cache.typecheck(richwasm)
+            diagnostics.cache["typecheck"] = "hit"
+        else:
+            diagnostics.cache["typecheck"] = "bypass"
+
+
 def _lower_direct(richwasm, config: CompileConfig):
     from ..lower import lower_module
     from ..wasm import validate_module
@@ -244,6 +267,8 @@ def _compile_direct(modules, config: CompileConfig, diagnostics: Diagnostics) ->
         richwasm = _link_direct(modules, config, diagnostics)
     with diagnostics.stage("lower"):
         lowered = _lower_direct(richwasm, config)
+    # Lowering drives the type checker itself; no standalone pass off-cache.
+    diagnostics.cache["typecheck"] = "bypass"
     diagnostics.cache["lower"] = diagnostics.cache["decode"] = "bypass"
     # No cached_key: nothing files this artifact, so the content hash is
     # computed lazily by CompiledProgram.key if ever needed.
@@ -259,9 +284,10 @@ def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
     key = cache.program_key(richwasm, config)
     program = cache.get_program(key, engine=config.engine, config=config)
     if program is not None:
-        diagnostics.cache.update(program="hit", lower="hit", decode="hit")
+        diagnostics.cache.update(program="hit", typecheck="hit", lower="hit", decode="hit")
         return program
     diagnostics.cache["program"] = "miss"
+    _typecheck_cached(richwasm, cache, diagnostics)
     with diagnostics.stage("lower"):
         before = cache.stats["lower"].hits
         lowered = cache.lower(richwasm, config=config)

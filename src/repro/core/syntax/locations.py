@@ -14,6 +14,9 @@ import enum
 from dataclasses import dataclass
 from typing import Union
 
+from . import intern
+from .intern import CLOSED, HashConsMeta
+
 
 class MemKind(enum.Enum):
     """Which of the two global memories a concrete location belongs to."""
@@ -38,7 +41,7 @@ UNR_MEM = MemKind.UNR
 
 
 @dataclass(frozen=True)
-class ConcreteLoc:
+class ConcreteLoc(metaclass=HashConsMeta):
     """A concrete location ``i_lin`` / ``i_unr``: an address in one memory."""
 
     address: int
@@ -53,7 +56,7 @@ class ConcreteLoc:
 
 
 @dataclass(frozen=True)
-class LocVar:
+class LocVar(metaclass=HashConsMeta):
     """A location variable ``ρ`` (de Bruijn index into the location context)."""
 
     index: int
@@ -65,6 +68,9 @@ class LocVar:
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"ρ{self.index}"
 
+
+intern.register(ConcreteLoc, levels=lambda n: CLOSED, canon=lambda n: n)
+intern.register(LocVar, levels=lambda n: (n.index + 1, 0, 0, 0), canon=lambda n: n)
 
 Loc = Union[ConcreteLoc, LocVar]
 

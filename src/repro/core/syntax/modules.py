@@ -46,7 +46,13 @@ class Function:
         return False
 
     def instruction_count(self) -> int:
-        return instruction_count(self.body)
+        # The body is immutable; every check_module call re-reads this for
+        # its statistics, so count the (recursive) instructions only once.
+        cached = self.__dict__.get("_instruction_count")
+        if cached is None:
+            cached = instruction_count(self.body)
+            self.__dict__["_instruction_count"] = cached
+        return cached
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,9 @@ import enum
 from dataclasses import dataclass
 from typing import Union
 
+from . import intern
+from .intern import HashConsMeta
+
 
 class QualConst(enum.Enum):
     """The two concrete qualifiers."""
@@ -42,7 +45,7 @@ LIN = QualConst.LIN
 
 
 @dataclass(frozen=True)
-class QualVar:
+class QualVar(metaclass=HashConsMeta):
     """A qualifier variable ``δ`` bound by a function-type quantifier.
 
     Variables are identified by a de Bruijn-style index into the qualifier
@@ -59,6 +62,8 @@ class QualVar:
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"δ{self.index}"
 
+
+intern.register(QualVar, levels=lambda n: (0, 0, n.index + 1, 0), canon=lambda n: n)
 
 #: A qualifier is either a concrete constant or a bound variable.
 Qual = Union[QualConst, QualVar]

@@ -21,9 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
+from . import intern
+from .intern import CLOSED, HashConsMeta, free_levels
+
 
 @dataclass(frozen=True)
-class SizeConst:
+class SizeConst(metaclass=HashConsMeta):
     """A concrete size (a natural number of bits)."""
 
     value: int
@@ -37,7 +40,7 @@ class SizeConst:
 
 
 @dataclass(frozen=True)
-class SizeVar:
+class SizeVar(metaclass=HashConsMeta):
     """A size variable ``σ`` (de Bruijn index into the size context)."""
 
     index: int
@@ -51,7 +54,7 @@ class SizeVar:
 
 
 @dataclass(frozen=True)
-class SizePlus:
+class SizePlus(metaclass=HashConsMeta):
     """The sum of two sizes."""
 
     left: "Size"
@@ -62,6 +65,31 @@ class SizePlus:
 
 
 Size = Union[SizeConst, SizeVar, SizePlus]
+
+
+def _canonical_size(size: "Size") -> "Size":
+    """The normal form ``const + σi + σj + ...`` with variables sorted.
+
+    Interned canonical forms make size equality up to normalization an
+    identity check: ``32 + σ`` and ``σ + 32`` share one canonical object.
+    """
+
+    const_total = 0
+    var_indices: list[int] = []
+    for leaf in size_leaves(size):
+        if isinstance(leaf, SizeConst):
+            const_total += leaf.value
+        else:
+            var_indices.append(leaf.index)
+    result: Size = SizeConst(const_total)
+    for index in sorted(var_indices):
+        result = size_plus(result, SizeVar(index))
+    return result
+
+
+intern.register(SizeConst, levels=lambda n: CLOSED, canon=lambda n: n)
+intern.register(SizeVar, levels=lambda n: (0, n.index + 1, 0, 0), canon=lambda n: n)
+intern.register(SizePlus, canon=_canonical_size)
 
 
 def size_const(value: int) -> SizeConst:
@@ -165,6 +193,11 @@ def normalize_size(size: Size) -> Size:
 def size_structurally_equal(lhs: Size, rhs: Size) -> bool:
     """Equality up to normalization (constant folding, zero elimination)."""
 
+    if lhs is rhs:
+        return True
+    if intern.interning_enabled() and "_hc" in lhs.__dict__ and "_hc" in rhs.__dict__:
+        # Interned sizes: equal up to normalization ⇔ same canonical object.
+        return intern.canonical(lhs) is intern.canonical(rhs)
     lhs_n = normalize_size(lhs)
     rhs_n = normalize_size(rhs)
     return _normal_form_key(lhs_n) == _normal_form_key(rhs_n)
@@ -187,6 +220,9 @@ def _normal_form_key(size: Size) -> tuple[int, tuple[int, ...]]:
 def shift_size(size: Size, amount: int, cutoff: int = 0) -> Size:
     """Shift size-variable indices >= ``cutoff`` by ``amount``."""
 
+    if amount == 0 or ("_hc" in size.__dict__ and free_levels(size)[1] <= cutoff):
+        # No free size variable at or above the cutoff: nothing to shift.
+        return size
     if isinstance(size, SizeVar):
         if size.index >= cutoff:
             return SizeVar(size.index + amount)
@@ -202,6 +238,12 @@ def shift_size(size: Size, amount: int, cutoff: int = 0) -> Size:
 def substitute_size(size: Size, replacements: dict[int, Size]) -> Size:
     """Substitute size variables according to ``replacements``."""
 
+    if not replacements:
+        return size
+    if "_hc" in size.__dict__:
+        level = free_levels(size)[1]
+        if level == 0 or all(index >= level for index in replacements):
+            return size
     if isinstance(size, SizeVar):
         return replacements.get(size.index, size)
     if isinstance(size, SizePlus):

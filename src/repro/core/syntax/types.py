@@ -19,6 +19,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Union
 
+from . import intern
+from .intern import CLOSED, HashConsMeta, drop_binder, free_levels, levels_of_value
 from .locations import Loc, LocVar, shift_loc, substitute_loc
 from .qualifiers import LIN, UNR, Qual, QualConst, QualVar, shift_qual, substitute_qual
 from .sizes import (
@@ -105,7 +107,7 @@ R = Privilege.R
 
 
 @dataclass(frozen=True)
-class UnitT:
+class UnitT(metaclass=HashConsMeta):
     """The unit pretype."""
 
     def __str__(self) -> str:  # pragma: no cover - trivial
@@ -113,7 +115,7 @@ class UnitT:
 
 
 @dataclass(frozen=True)
-class NumT:
+class NumT(metaclass=HashConsMeta):
     """A numeric pretype."""
 
     numtype: NumType
@@ -123,7 +125,7 @@ class NumT:
 
 
 @dataclass(frozen=True)
-class ProdT:
+class ProdT(metaclass=HashConsMeta):
     """A tuple pretype ``(τ*)``."""
 
     components: tuple["Type", ...]
@@ -134,7 +136,7 @@ class ProdT:
 
 
 @dataclass(frozen=True)
-class RefT:
+class RefT(metaclass=HashConsMeta):
     """A reference ``ref π ℓ ψ``: a capability paired with a pointer."""
 
     privilege: Privilege
@@ -146,7 +148,7 @@ class RefT:
 
 
 @dataclass(frozen=True)
-class PtrT:
+class PtrT(metaclass=HashConsMeta):
     """A bare pointer ``ptr ℓ`` (no ownership, no access rights)."""
 
     loc: Loc
@@ -156,7 +158,7 @@ class PtrT:
 
 
 @dataclass(frozen=True)
-class CapT:
+class CapT(metaclass=HashConsMeta):
     """A capability ``cap π ℓ ψ``: ownership of / access rights to ``ℓ``."""
 
     privilege: Privilege
@@ -168,7 +170,7 @@ class CapT:
 
 
 @dataclass(frozen=True)
-class OwnT:
+class OwnT(metaclass=HashConsMeta):
     """An ownership token ``own ℓ`` (write ownership of a location)."""
 
     loc: Loc
@@ -178,7 +180,7 @@ class OwnT:
 
 
 @dataclass(frozen=True)
-class RecT:
+class RecT(metaclass=HashConsMeta):
     """An isorecursive pretype ``rec q ⪯ α. τ``.
 
     The bound ``q`` constrains the qualifiers of positions the recursive type
@@ -194,7 +196,7 @@ class RecT:
 
 
 @dataclass(frozen=True)
-class ExLocT:
+class ExLocT(metaclass=HashConsMeta):
     """An existential over a location ``∃ρ. τ``.
 
     The location variable is de Bruijn index 0 of the location context inside
@@ -208,7 +210,7 @@ class ExLocT:
 
 
 @dataclass(frozen=True)
-class CodeRefT:
+class CodeRefT(metaclass=HashConsMeta):
     """A code reference ``coderef χ``: a pointer into a function table."""
 
     funtype: "FunType"
@@ -218,7 +220,7 @@ class CodeRefT:
 
 
 @dataclass(frozen=True)
-class VarT:
+class VarT(metaclass=HashConsMeta):
     """A pretype variable ``α`` (de Bruijn index into the type context)."""
 
     index: int
@@ -252,7 +254,7 @@ Pretype = Union[
 
 
 @dataclass(frozen=True)
-class Type:
+class Type(metaclass=HashConsMeta):
     """A type ``τ = p^q``: a pretype annotated with a qualifier."""
 
     pretype: Pretype
@@ -275,7 +277,7 @@ class Type:
 
 
 @dataclass(frozen=True)
-class VariantHT:
+class VariantHT(metaclass=HashConsMeta):
     """A variant heap type ``(variant τ*)``: a tagged union of cases."""
 
     cases: tuple[Type, ...]
@@ -286,7 +288,7 @@ class VariantHT:
 
 
 @dataclass(frozen=True)
-class StructHT:
+class StructHT(metaclass=HashConsMeta):
     """A struct heap type ``(struct (τ, sz)*)``.
 
     Each field records both its type and the size of the slot it was
@@ -309,7 +311,7 @@ class StructHT:
 
 
 @dataclass(frozen=True)
-class ArrayHT:
+class ArrayHT(metaclass=HashConsMeta):
     """An array heap type ``(array τ)``: variable-length, homogeneous."""
 
     element: Type
@@ -319,7 +321,7 @@ class ArrayHT:
 
 
 @dataclass(frozen=True)
-class ExHT:
+class ExHT(metaclass=HashConsMeta):
     """An existential heap type ``(∃ q ⪯ α ≲ sz. τ)``.
 
     Abstracts a pretype ``α`` with a qualifier lower bound ``q`` and a size
@@ -343,7 +345,7 @@ HeapType = Union[VariantHT, StructHT, ArrayHT, ExHT]
 
 
 @dataclass(frozen=True)
-class LocQuant:
+class LocQuant(metaclass=HashConsMeta):
     """Quantification over a memory location ``ρ``."""
 
     def __str__(self) -> str:  # pragma: no cover - trivial
@@ -351,7 +353,7 @@ class LocQuant:
 
 
 @dataclass(frozen=True)
-class SizeQuant:
+class SizeQuant(metaclass=HashConsMeta):
     """Quantification over a size ``sz* ≤ σ ≤ sz*``."""
 
     lower: tuple[Size, ...] = ()
@@ -362,7 +364,7 @@ class SizeQuant:
 
 
 @dataclass(frozen=True)
-class QualQuant:
+class QualQuant(metaclass=HashConsMeta):
     """Quantification over a qualifier ``q* ⪯ δ ⪯ q*``."""
 
     lower: tuple[Qual, ...] = ()
@@ -373,7 +375,7 @@ class QualQuant:
 
 
 @dataclass(frozen=True)
-class TypeQuant:
+class TypeQuant(metaclass=HashConsMeta):
     """Quantification over a pretype ``q ⪯ α (c?) ≲ sz``.
 
     ``qual_bound`` is the lower bound on the qualifiers of positions ``α``
@@ -395,7 +397,7 @@ Quant = Union[LocQuant, SizeQuant, QualQuant, TypeQuant]
 
 
 @dataclass(frozen=True)
-class ArrowType:
+class ArrowType(metaclass=HashConsMeta):
     """A monomorphic arrow type ``τ1* → τ2*``."""
 
     params: tuple[Type, ...]
@@ -408,7 +410,7 @@ class ArrowType:
 
 
 @dataclass(frozen=True)
-class FunType:
+class FunType(metaclass=HashConsMeta):
     """A (possibly polymorphic) function type ``∀κ*. τ1* → τ2*``."""
 
     quants: tuple[Quant, ...]
@@ -427,6 +429,101 @@ class FunType:
     @property
     def results(self) -> tuple[Type, ...]:
         return self.arrow.results
+
+
+# ---------------------------------------------------------------------------
+# Interning registration (hash-consing; see repro.core.syntax.intern)
+# ---------------------------------------------------------------------------
+#
+# Every constructor above routes through the structural intern table, so
+# structurally equal type trees are one object carrying cached hash /
+# free-variable / canonical-form / digest summaries.  Classes owning de
+# Bruijn variables or binders register an explicit free-level rule; the rest
+# use the generic max-over-fields rule.
+
+
+def _rec_levels(node: "RecT") -> tuple:
+    return intern._max4(
+        levels_of_value(node.qual_bound),
+        drop_binder(free_levels(node.body), types=1),
+    )
+
+
+def _exloc_levels(node: "ExLocT") -> tuple:
+    return drop_binder(free_levels(node.body), locs=1)
+
+
+def _exht_levels(node: "ExHT") -> tuple:
+    return intern._max4(
+        intern._max4(levels_of_value(node.qual_bound), levels_of_value(node.size_bound)),
+        drop_binder(free_levels(node.body), types=1),
+    )
+
+
+def _funtype_levels(node: "FunType") -> tuple:
+    # Quantifiers bind left to right: each quantifier's bounds live in the
+    # scope of the *previous* binders, the arrow under all of them.
+    out = CLOSED
+    locs = sizes = quals = types = 0
+    for quant in node.quants:
+        if isinstance(quant, LocQuant):
+            locs += 1
+        elif isinstance(quant, SizeQuant):
+            out = intern._max4(
+                out,
+                drop_binder(
+                    free_levels(quant), locs=locs, sizes=sizes, quals=quals, types=types
+                ),
+            )
+            sizes += 1
+        elif isinstance(quant, QualQuant):
+            out = intern._max4(
+                out,
+                drop_binder(
+                    free_levels(quant), locs=locs, sizes=sizes, quals=quals, types=types
+                ),
+            )
+            quals += 1
+        elif isinstance(quant, TypeQuant):
+            out = intern._max4(
+                out,
+                drop_binder(
+                    free_levels(quant), locs=locs, sizes=sizes, quals=quals, types=types
+                ),
+            )
+            types += 1
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a quantifier: {quant!r}")
+    return intern._max4(
+        out,
+        drop_binder(
+            free_levels(node.arrow), locs=locs, sizes=sizes, quals=quals, types=types
+        ),
+    )
+
+
+intern.register(UnitT, levels=lambda n: CLOSED, canon=lambda n: n)
+intern.register(NumT, levels=lambda n: CLOSED, canon=lambda n: n)
+intern.register(VarT, levels=lambda n: (0, 0, 0, n.index + 1))
+intern.register(ProdT)
+intern.register(RefT)
+intern.register(PtrT)
+intern.register(CapT)
+intern.register(OwnT)
+intern.register(RecT, levels=_rec_levels)
+intern.register(ExLocT, levels=_exloc_levels)
+intern.register(CodeRefT)
+intern.register(Type)
+intern.register(VariantHT)
+intern.register(StructHT)
+intern.register(ArrayHT)
+intern.register(ExHT, levels=_exht_levels)
+intern.register(LocQuant, levels=lambda n: CLOSED, canon=lambda n: n)
+intern.register(SizeQuant)
+intern.register(QualQuant)
+intern.register(TypeQuant)
+intern.register(ArrowType)
+intern.register(FunType, levels=_funtype_levels)
 
 
 # ---------------------------------------------------------------------------
@@ -655,10 +752,37 @@ class _Cutoffs:
         )
 
 
+def _shift_skips(node, shift: Shift, cutoffs: Optional[_Cutoffs]) -> bool:
+    """True when ``node`` (interned) has no free variable the shift moves.
+
+    Every free variable of a shifted namespace must sit below the cutoff —
+    trivially true for closed terms, the common case in the checker.
+    """
+
+    if "_hc" not in node.__dict__:
+        return False
+    levels = free_levels(node)
+    if levels == CLOSED:
+        return True
+    if cutoffs is None:
+        return (
+            (shift.locs == 0 or levels[0] == 0)
+            and (shift.sizes == 0 or levels[1] == 0)
+            and (shift.quals == 0 or levels[2] == 0)
+            and (shift.types == 0 or levels[3] == 0)
+        )
+    return (
+        (shift.locs == 0 or levels[0] <= cutoffs.locs)
+        and (shift.sizes == 0 or levels[1] <= cutoffs.sizes)
+        and (shift.quals == 0 or levels[2] <= cutoffs.quals)
+        and (shift.types == 0 or levels[3] <= cutoffs.types)
+    )
+
+
 def shift_type(ty: Type, shift: Shift, cutoffs: Optional[_Cutoffs] = None) -> Type:
     """Shift all free variables in a type by ``shift``."""
 
-    if shift.is_zero():
+    if shift.is_zero() or _shift_skips(ty, shift, cutoffs):
         return ty
     cutoffs = cutoffs or _Cutoffs()
     return Type(
@@ -670,7 +794,7 @@ def shift_type(ty: Type, shift: Shift, cutoffs: Optional[_Cutoffs] = None) -> Ty
 def shift_heaptype(ht: HeapType, shift: Shift, cutoffs: Optional[_Cutoffs] = None) -> HeapType:
     """Shift all free variables in a heap type by ``shift``."""
 
-    if shift.is_zero():
+    if shift.is_zero() or _shift_skips(ht, shift, cutoffs):
         return ht
     cutoffs = cutoffs or _Cutoffs()
     if isinstance(ht, VariantHT):
@@ -696,7 +820,7 @@ def shift_heaptype(ht: HeapType, shift: Shift, cutoffs: Optional[_Cutoffs] = Non
 def shift_funtype(ft: FunType, shift: Shift, cutoffs: Optional[_Cutoffs] = None) -> FunType:
     """Shift all free variables in a function type by ``shift``."""
 
-    if shift.is_zero():
+    if shift.is_zero() or _shift_skips(ft, shift, cutoffs):
         return ft
     cutoffs = cutoffs or _Cutoffs()
     inner = cutoffs
@@ -740,6 +864,8 @@ def shift_funtype(ft: FunType, shift: Shift, cutoffs: Optional[_Cutoffs] = None)
 
 
 def _shift_pretype(pre: Pretype, shift: Shift, cutoffs: _Cutoffs) -> Pretype:
+    if _shift_skips(pre, shift, cutoffs):
+        return pre
     if isinstance(pre, (UnitT, NumT)):
         return pre
     if isinstance(pre, VarT):
@@ -831,10 +957,28 @@ class Subst:
         )
 
 
+def _subst_skips(node, subst: Subst) -> bool:
+    """True when no free variable of ``node`` (interned) is in the domain."""
+
+    if "_hc" not in node.__dict__:
+        return False
+    levels = free_levels(node)
+    if levels == CLOSED:
+        return True
+    # Free indices per namespace are all < level; a replacement only applies
+    # when some mapped index is below that level.
+    return (
+        (not subst.locs or all(index >= levels[0] for index in subst.locs))
+        and (not subst.sizes or all(index >= levels[1] for index in subst.sizes))
+        and (not subst.quals or all(index >= levels[2] for index in subst.quals))
+        and (not subst.types or all(index >= levels[3] for index in subst.types))
+    )
+
+
 def subst_type(ty: Type, subst: Subst) -> Type:
     """Apply a substitution to a type."""
 
-    if subst.is_empty():
+    if subst.is_empty() or _subst_skips(ty, subst):
         return ty
     new_pre = subst_pretype(ty.pretype, subst)
     new_qual = substitute_qual(ty.qual, subst.quals)
@@ -846,7 +990,7 @@ def subst_type(ty: Type, subst: Subst) -> Type:
 def subst_pretype(pre: Pretype, subst: Subst) -> Pretype:
     """Apply a substitution to a pretype."""
 
-    if subst.is_empty():
+    if subst.is_empty() or _subst_skips(pre, subst):
         return pre
     if isinstance(pre, (UnitT, NumT)):
         return pre
@@ -885,7 +1029,7 @@ def subst_pretype(pre: Pretype, subst: Subst) -> Pretype:
 def subst_heaptype(ht: HeapType, subst: Subst) -> HeapType:
     """Apply a substitution to a heap type."""
 
-    if subst.is_empty():
+    if subst.is_empty() or _subst_skips(ht, subst):
         return ht
     if isinstance(ht, VariantHT):
         return VariantHT(tuple(subst_type(c, subst) for c in ht.cases))
@@ -907,7 +1051,7 @@ def subst_heaptype(ht: HeapType, subst: Subst) -> HeapType:
 def subst_funtype(ft: FunType, subst: Subst) -> FunType:
     """Apply a substitution to a function type."""
 
-    if subst.is_empty():
+    if subst.is_empty() or _subst_skips(ft, subst):
         return ft
     inner = subst
     new_quants: list[Quant] = []
@@ -999,10 +1143,18 @@ def unfold_rec(rec_pre: RecT, qual: Qual) -> Type:
     """Unfold an isorecursive type one level.
 
     ``rec q ⪯ α. τ`` at qualifier ``q'`` unfolds to ``τ[rec q ⪯ α. τ / α]``.
+    The unfolding is independent of the ambient qualifier, so it is memoized
+    on the interned ``rec`` node (``rec.fold``/``rec.unfold`` re-unfold the
+    same types constantly).
     """
 
+    cached = rec_pre.__dict__.get("_hc_unfold")
+    if cached is not None:
+        return cached
     subst = Subst(types={0: RecT(rec_pre.qual_bound, rec_pre.body)})
     unfolded = subst_type(rec_pre.body, subst)
+    if "_hc" in rec_pre.__dict__:
+        rec_pre.__dict__["_hc_unfold"] = unfolded
     return unfolded
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..syntax import intern as _intern
 from ..syntax.qualifiers import LIN, UNR, Qual, QualConst, QualVar, qual_const_leq
 from ..syntax.sizes import (
     Size,
@@ -42,14 +43,45 @@ class QualBounds:
     upper: tuple[Qual, ...] = ()
 
 
+def _MEMO_ENABLED() -> bool:
+    """Entailment memoization rides the interning switch: the benchmark
+    baseline mode (:func:`repro.core.syntax.interning_disabled`) measures the
+    pre-refactor checker, memo-free."""
+
+    return _intern._ENABLED
+
+
+def _qual_base_leq(lhs: Qual, rhs: Qual) -> bool:
+    """The variable-free core of ``⪯`` applied to one reachable pair."""
+
+    if lhs == rhs:
+        return True
+    if isinstance(lhs, QualConst) and isinstance(rhs, QualConst):
+        return qual_const_leq(lhs, rhs)
+    if lhs is UNR or rhs is LIN:
+        return True
+    return False
+
+
 @dataclass
 class QualContext:
     """The qualifier component of a function environment.
 
     ``bounds[0]`` is the innermost (most recently bound) qualifier variable.
+
+    Entailment queries are memoized per context (``push`` builds a *new*
+    context, so the caches can never go stale through the public API; callers
+    must not mutate ``bounds`` in place).
     """
 
     bounds: list[QualBounds] = field(default_factory=list)
+    #: Memoized ``leq`` verdicts and reachability closures for this context.
+    #: ``init=False`` so neither positional construction nor
+    #: ``dataclasses.replace(ctx, bounds=...)`` can inject or carry over a
+    #: memo that does not match ``bounds``.
+    _memo: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _up: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _down: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.bounds)
@@ -76,11 +108,62 @@ class QualContext:
     # -- entailment ---------------------------------------------------------
 
     def leq(self, lhs: Qual, rhs: Qual) -> bool:
-        """Decide ``lhs ⪯ rhs`` under the recorded bounds."""
+        """Decide ``lhs ⪯ rhs`` under the recorded bounds.
 
-        return self._leq(lhs, rhs, frozenset())
+        ``lhs ⪯ rhs`` holds iff some qualifier reachable *upward* from
+        ``lhs`` (through upper bounds) is concretely below some qualifier
+        reachable *downward* from ``rhs`` (through lower bounds).  The two
+        reachability closures are computed once per qualifier per context
+        (breadth-first over the bound graph, linear in its size) and every
+        verdict is memoized, replacing the per-query visited-set recursion
+        that re-walked dense bound graphs exponentially often.
+        """
 
-    def _leq(self, lhs: Qual, rhs: Qual, visited: frozenset) -> bool:
+        if lhs == rhs:
+            return True
+        if isinstance(lhs, QualConst) and isinstance(rhs, QualConst):
+            return qual_const_leq(lhs, rhs)
+        if lhs is UNR or rhs is LIN:
+            return True
+        if not _MEMO_ENABLED():
+            return self._leq_recursive(lhs, rhs, frozenset())
+        key = (lhs, rhs)
+        verdict = self._memo.get(key)
+        if verdict is None:
+            verdict = any(
+                _qual_base_leq(up, down)
+                for up in self._closure(lhs, self._up, upward=True)
+                for down in self._closure(rhs, self._down, upward=False)
+            )
+            self._memo[key] = verdict
+        return verdict
+
+    def _closure(self, qual: Qual, cache: dict, *, upward: bool) -> frozenset:
+        """All qualifiers reachable from ``qual`` through its upper (or
+        lower) bounds, ``qual`` included."""
+
+        cached = cache.get(qual)
+        if cached is not None:
+            return cached
+        seen = {qual}
+        stack = [qual]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, QualVar):
+                if current.index >= len(self.bounds):
+                    raise QualifierError(f"unbound qualifier variable {current}")
+                bounds = self.bounds[current.index]
+                for neighbour in bounds.upper if upward else bounds.lower:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+        cached = frozenset(seen)
+        cache[qual] = cached
+        return cached
+
+    def _leq_recursive(self, lhs: Qual, rhs: Qual, visited: frozenset) -> bool:
+        """The original visited-set recursion (memo-free baseline/oracle)."""
+
         if lhs == rhs:
             return True
         if isinstance(lhs, QualConst) and isinstance(rhs, QualConst):
@@ -98,14 +181,14 @@ class QualContext:
             if lhs.index >= len(self.bounds):
                 raise QualifierError(f"unbound qualifier variable {lhs}")
             for upper in self.bounds[lhs.index].upper:
-                if self._leq(upper, rhs, visited):
+                if self._leq_recursive(upper, rhs, visited):
                     return True
         # Or come down to rhs through its lower bounds.
         if isinstance(rhs, QualVar):
             if rhs.index >= len(self.bounds):
                 raise QualifierError(f"unbound qualifier variable {rhs}")
             for lower in self.bounds[rhs.index].lower:
-                if self._leq(lhs, lower, visited):
+                if self._leq_recursive(lhs, lower, visited):
                     return True
         return False
 
@@ -175,9 +258,15 @@ class SizeBounds:
 
 @dataclass
 class SizeContext:
-    """The size component of a function environment (index 0 is innermost)."""
+    """The size component of a function environment (index 0 is innermost).
+
+    ``leq`` verdicts are memoized per context (``push`` builds a new context,
+    so the cache can never go stale through the public API); interned sizes
+    make the memo keys O(1) to hash.
+    """
 
     bounds: list[SizeBounds] = field(default_factory=list)
+    _memo: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.bounds)
@@ -254,8 +343,18 @@ class SizeContext:
     # -- entailment ---------------------------------------------------------
 
     def leq(self, lhs: Size, rhs: Size) -> bool:
-        """Decide ``lhs ≤ rhs`` under the recorded bounds."""
+        """Decide ``lhs ≤ rhs`` under the recorded bounds (memoized)."""
 
+        if not _MEMO_ENABLED():
+            return self._leq_uncached(lhs, rhs)
+        key = (lhs, rhs)
+        verdict = self._memo.get(key)
+        if verdict is None:
+            verdict = self._leq_uncached(lhs, rhs)
+            self._memo[key] = verdict
+        return verdict
+
+    def _leq_uncached(self, lhs: Size, rhs: Size) -> bool:
         lhs_const, lhs_vars = _size_normal_form(lhs)
         rhs_const, rhs_vars = _size_normal_form(rhs)
         # Cancel variables common to both sides.

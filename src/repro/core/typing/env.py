@@ -53,9 +53,16 @@ class LocalEnv:
         return self.slots[index]
 
     def set_type(self, index: int, ty: Type) -> "LocalEnv":
-        """Return a new environment with slot ``index`` retyped (same size)."""
+        """Return a new environment with slot ``index`` retyped (same size).
+
+        Writing the type the slot already holds returns ``self`` unchanged —
+        with interned types this is one identity check, and keeping the
+        environment object stable lets downstream comparisons short-circuit.
+        """
 
         slot = self.get(index)
+        if slot.type is ty:
+            return self
         new_slots = list(self.slots)
         new_slots[index] = LocalSlot(ty, slot.size)
         return LocalEnv(tuple(new_slots))
@@ -99,11 +106,39 @@ class FunctionEnv:
     loc_ctx: LocContext = field(default_factory=LocContext)
     linear: tuple[Qual, ...] = ()
 
+    # -- derived copies ------------------------------------------------------
+
+    def _with(
+        self,
+        *,
+        labels=None,
+        qual_ctx=None,
+        size_ctx=None,
+        type_ctx=None,
+        loc_ctx=None,
+        linear=None,
+    ) -> "FunctionEnv":
+        """A copy with the given components swapped.
+
+        Hand-rolled instead of :func:`dataclasses.replace`: these copies are
+        made four-plus times per nested block, and ``replace``'s field
+        introspection dominated the checker profile.
+        """
+
+        return FunctionEnv(
+            labels if labels is not None else self.labels,
+            self.return_types,
+            qual_ctx if qual_ctx is not None else self.qual_ctx,
+            size_ctx if size_ctx is not None else self.size_ctx,
+            type_ctx if type_ctx is not None else self.type_ctx,
+            loc_ctx if loc_ctx is not None else self.loc_ctx,
+            linear if linear is not None else self.linear,
+        )
+
     # -- labels -------------------------------------------------------------
 
     def push_label(self, arg_types: Sequence[Type], local_env: LocalEnv) -> "FunctionEnv":
-        return replace(
-            self,
+        return self._with(
             labels=(LabelInfo(tuple(arg_types), local_env), *self.labels),
             linear=(UNR, *self.linear),
         )
@@ -117,8 +152,10 @@ class FunctionEnv:
 
     def set_linear_head(self, qual: Qual) -> "FunctionEnv":
         if not self.linear:
-            return replace(self, linear=(qual,))
-        return replace(self, linear=(qual, *self.linear[1:]))
+            return self._with(linear=(qual,))
+        if self.linear[0] is qual:
+            return self
+        return self._with(linear=(qual, *self.linear[1:]))
 
     def linear_head(self) -> Qual:
         return self.linear[0] if self.linear else UNR
@@ -136,16 +173,16 @@ class FunctionEnv:
     # -- binders -------------------------------------------------------------
 
     def push_loc(self) -> "FunctionEnv":
-        return replace(self, loc_ctx=self.loc_ctx.push())
+        return self._with(loc_ctx=self.loc_ctx.push())
 
     def push_qual(self, lower: Sequence[Qual] = (), upper: Sequence[Qual] = ()) -> "FunctionEnv":
-        return replace(self, qual_ctx=self.qual_ctx.push(lower, upper))
+        return self._with(qual_ctx=self.qual_ctx.push(lower, upper))
 
     def push_size(self, lower: Sequence[Size] = (), upper: Sequence[Size] = ()) -> "FunctionEnv":
-        return replace(self, size_ctx=self.size_ctx.push(lower, upper))
+        return self._with(size_ctx=self.size_ctx.push(lower, upper))
 
     def push_type(self, qual_bound: Qual, size_bound: Size, heapable: bool = True) -> "FunctionEnv":
-        return replace(self, type_ctx=self.type_ctx.push(qual_bound, size_bound, heapable))
+        return self._with(type_ctx=self.type_ctx.push(qual_bound, size_bound, heapable))
 
 
 def empty_function_env(return_types: Optional[Sequence[Type]] = None) -> FunctionEnv:

@@ -1,16 +1,27 @@
-"""Structural equality of RichWasm types.
+"""Structural equality of RichWasm types — identity-fast via hash-consing.
 
 The checker compares types when an instruction's expected operand type must
 match what is on the stack (block parameters, stored field types, branch
 argument types, ...).  Equality is structural, except that size expressions
 are compared up to normalization (constant folding and reordering of
 variables), so ``32 + σ`` and ``σ + 32`` describe the same slot.
+
+Since PR 5 all type constructors route through the interning layer
+(:mod:`repro.core.syntax.intern`), so structurally identical terms are the
+same object and equality is two pointer comparisons: ``lhs is rhs`` for the
+common case, and ``canonical(lhs) is canonical(rhs)`` to fold in the
+size-normalization semantics (each node caches its size-normalized canonical
+form).  The structural algorithms are kept as ``structural_*`` oracles: they
+remain the definition of equality, serve the property tests, and handle
+*non-interned* inputs (nodes built under :func:`interning_disabled` or
+deserialized by other means), which carry no canonical-form cache.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from ..syntax import intern
 from ..syntax.sizes import size_structurally_equal
 from ..syntax.types import (
     ArrayHT,
@@ -41,10 +52,30 @@ from ..syntax.types import (
 )
 
 
+def _canonical_equal(lhs, rhs):
+    """Identity-fast verdict for two nodes, or ``None`` to fall back.
+
+    Only valid when both nodes are interned (the canonical representative of
+    their structure) and interning is on — then equality up to size
+    normalization is exactly identity of the cached canonical forms.
+    """
+
+    if lhs is rhs:
+        return True
+    if type(lhs) is not type(rhs):
+        return False
+    if intern._ENABLED and "_hc" in lhs.__dict__ and "_hc" in rhs.__dict__:
+        return intern.canonical(lhs) is intern.canonical(rhs)
+    return None
+
+
 def types_equal(lhs: Type, rhs: Type) -> bool:
     """Structural equality of types (sizes compared up to normalization)."""
 
-    return lhs.qual == rhs.qual and pretypes_equal(lhs.pretype, rhs.pretype)
+    verdict = _canonical_equal(lhs, rhs)
+    if verdict is not None:
+        return verdict
+    return structural_types_equal(lhs, rhs)
 
 
 def type_lists_equal(lhs: Sequence[Type], rhs: Sequence[Type]) -> bool:
@@ -52,6 +83,58 @@ def type_lists_equal(lhs: Sequence[Type], rhs: Sequence[Type]) -> bool:
 
 
 def pretypes_equal(lhs: Pretype, rhs: Pretype) -> bool:
+    verdict = _canonical_equal(lhs, rhs)
+    if verdict is not None:
+        return verdict
+    return structural_pretypes_equal(lhs, rhs)
+
+
+def heaptypes_equal(lhs: HeapType, rhs: HeapType) -> bool:
+    verdict = _canonical_equal(lhs, rhs)
+    if verdict is not None:
+        return verdict
+    return structural_heaptypes_equal(lhs, rhs)
+
+
+def quants_equal(lhs: Quant, rhs: Quant) -> bool:
+    verdict = _canonical_equal(lhs, rhs)
+    if verdict is not None:
+        return verdict
+    return structural_quants_equal(lhs, rhs)
+
+
+def arrows_equal(lhs: ArrowType, rhs: ArrowType) -> bool:
+    verdict = _canonical_equal(lhs, rhs)
+    if verdict is not None:
+        return verdict
+    return structural_arrows_equal(lhs, rhs)
+
+
+def funtypes_equal(lhs: FunType, rhs: FunType) -> bool:
+    verdict = _canonical_equal(lhs, rhs)
+    if verdict is not None:
+        return verdict
+    return structural_funtypes_equal(lhs, rhs)
+
+
+# ---------------------------------------------------------------------------
+# The structural definition (oracle and non-interned fallback)
+# ---------------------------------------------------------------------------
+
+
+def structural_types_equal(lhs: Type, rhs: Type) -> bool:
+    """The defining structural walk (no interning shortcuts)."""
+
+    return lhs.qual == rhs.qual and structural_pretypes_equal(lhs.pretype, rhs.pretype)
+
+
+def _structural_type_lists_equal(lhs: Sequence[Type], rhs: Sequence[Type]) -> bool:
+    return len(lhs) == len(rhs) and all(
+        structural_types_equal(a, b) for a, b in zip(lhs, rhs)
+    )
+
+
+def structural_pretypes_equal(lhs: Pretype, rhs: Pretype) -> bool:
     if type(lhs) is not type(rhs):
         return False
     if isinstance(lhs, (UnitT,)):
@@ -61,56 +144,56 @@ def pretypes_equal(lhs: Pretype, rhs: Pretype) -> bool:
     if isinstance(lhs, VarT):
         return lhs.index == rhs.index
     if isinstance(lhs, ProdT):
-        return type_lists_equal(lhs.components, rhs.components)
+        return _structural_type_lists_equal(lhs.components, rhs.components)
     if isinstance(lhs, RefT):
         return (
             lhs.privilege == rhs.privilege
             and lhs.loc == rhs.loc
-            and heaptypes_equal(lhs.heaptype, rhs.heaptype)
+            and structural_heaptypes_equal(lhs.heaptype, rhs.heaptype)
         )
     if isinstance(lhs, CapT):
         return (
             lhs.privilege == rhs.privilege
             and lhs.loc == rhs.loc
-            and heaptypes_equal(lhs.heaptype, rhs.heaptype)
+            and structural_heaptypes_equal(lhs.heaptype, rhs.heaptype)
         )
     if isinstance(lhs, PtrT):
         return lhs.loc == rhs.loc
     if isinstance(lhs, OwnT):
         return lhs.loc == rhs.loc
     if isinstance(lhs, RecT):
-        return lhs.qual_bound == rhs.qual_bound and types_equal(lhs.body, rhs.body)
+        return lhs.qual_bound == rhs.qual_bound and structural_types_equal(lhs.body, rhs.body)
     if isinstance(lhs, ExLocT):
-        return types_equal(lhs.body, rhs.body)
+        return structural_types_equal(lhs.body, rhs.body)
     if isinstance(lhs, CodeRefT):
-        return funtypes_equal(lhs.funtype, rhs.funtype)
+        return structural_funtypes_equal(lhs.funtype, rhs.funtype)
     return False
 
 
-def heaptypes_equal(lhs: HeapType, rhs: HeapType) -> bool:
+def structural_heaptypes_equal(lhs: HeapType, rhs: HeapType) -> bool:
     if type(lhs) is not type(rhs):
         return False
     if isinstance(lhs, VariantHT):
-        return type_lists_equal(lhs.cases, rhs.cases)
+        return _structural_type_lists_equal(lhs.cases, rhs.cases)
     if isinstance(lhs, StructHT):
         if len(lhs.fields) != len(rhs.fields):
             return False
         return all(
-            types_equal(lt, rt) and size_structurally_equal(ls, rs)
+            structural_types_equal(lt, rt) and size_structurally_equal(ls, rs)
             for (lt, ls), (rt, rs) in zip(lhs.fields, rhs.fields)
         )
     if isinstance(lhs, ArrayHT):
-        return types_equal(lhs.element, rhs.element)
+        return structural_types_equal(lhs.element, rhs.element)
     if isinstance(lhs, ExHT):
         return (
             lhs.qual_bound == rhs.qual_bound
             and size_structurally_equal(lhs.size_bound, rhs.size_bound)
-            and types_equal(lhs.body, rhs.body)
+            and structural_types_equal(lhs.body, rhs.body)
         )
     return False
 
 
-def quants_equal(lhs: Quant, rhs: Quant) -> bool:
+def structural_quants_equal(lhs: Quant, rhs: Quant) -> bool:
     if type(lhs) is not type(rhs):
         return False
     if isinstance(lhs, LocQuant):
@@ -133,13 +216,15 @@ def quants_equal(lhs: Quant, rhs: Quant) -> bool:
     return False
 
 
-def arrows_equal(lhs: ArrowType, rhs: ArrowType) -> bool:
-    return type_lists_equal(lhs.params, rhs.params) and type_lists_equal(lhs.results, rhs.results)
+def structural_arrows_equal(lhs: ArrowType, rhs: ArrowType) -> bool:
+    return _structural_type_lists_equal(lhs.params, rhs.params) and _structural_type_lists_equal(
+        lhs.results, rhs.results
+    )
 
 
-def funtypes_equal(lhs: FunType, rhs: FunType) -> bool:
+def structural_funtypes_equal(lhs: FunType, rhs: FunType) -> bool:
     return (
         len(lhs.quants) == len(rhs.quants)
-        and all(quants_equal(a, b) for a, b in zip(lhs.quants, rhs.quants))
-        and arrows_equal(lhs.arrow, rhs.arrow)
+        and all(structural_quants_equal(a, b) for a, b in zip(lhs.quants, rhs.quants))
+        and structural_arrows_equal(lhs.arrow, rhs.arrow)
     )

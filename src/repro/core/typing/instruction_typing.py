@@ -135,6 +135,7 @@ from ..syntax.values import (
     UnitV,
     Value,
 )
+from ..syntax import intern as _intern
 from .constraints import QualContext
 from .env import FunctionEnv, LabelInfo, LinearUse, LocalEnv, LocalSlot, ModuleEnv, StoreTyping
 from .equality import heaptypes_equal, pretypes_equal, type_lists_equal, types_equal
@@ -173,24 +174,77 @@ class TypingState:
     dead: bool = False
 
 
+#: Interned singletons for the types the checker synthesizes constantly.
+_UNIT_UNR = Type(UnitT(), UNR)
+_NUM_UNR = {numtype: Type(NumT(numtype), UNR) for numtype in NumType}
+
+
+def _unit_unr() -> Type:
+    """``unit^unr`` — the pre-built singleton, except in the interning-off
+    baseline mode, which reconstructs per call like the pre-refactor
+    checker (keeping the benchmark comparison honest)."""
+
+    if _intern._ENABLED:
+        return _UNIT_UNR
+    return Type(UnitT(), UNR)
+
+
+def _num_unr(numtype: NumType) -> Type:
+    if _intern._ENABLED:
+        return _NUM_UNR[numtype]
+    return Type(NumT(numtype), UNR)
+
+#: Shared shift descriptors for the two binder-introducing instructions.
+_SHIFT_NONE = Shift()
+_SHIFT_LOCS1 = Shift(locs=1)
+_SHIFT_TYPES1 = Shift(types=1)
+
+
 def _shift_local_env(env: LocalEnv, shift: Shift) -> LocalEnv:
-    return LocalEnv(tuple(LocalSlot(shift_type(s.type, shift), s.size) for s in env.slots))
+    # Interned closed types shift to themselves; when no slot changes (the
+    # common case — locals rarely mention binder variables) keep the whole
+    # environment object, sparing the rebuild and downstream comparisons.
+    slots = []
+    changed = False
+    for slot in env.slots:
+        shifted = shift_type(slot.type, shift)
+        if shifted is slot.type:
+            slots.append(slot)
+        else:
+            slots.append(LocalSlot(shifted, slot.size))
+            changed = True
+    return LocalEnv(tuple(slots)) if changed else env
+
+
+def _shift_types(types: tuple, shift: Shift) -> tuple:
+    shifted = tuple(shift_type(t, shift) for t in types)
+    return types if all(a is b for a, b in zip(shifted, types)) else shifted
 
 
 def _shift_function_env(fenv: FunctionEnv, shift: Shift) -> FunctionEnv:
-    labels = tuple(
-        LabelInfo(
-            tuple(shift_type(t, shift) for t in label.arg_types),
-            _shift_local_env(label.local_env, shift),
-        )
-        for label in fenv.labels
-    )
-    returns = (
-        tuple(shift_type(t, shift) for t in fenv.return_types)
-        if fenv.return_types is not None
-        else None
-    )
-    return replace(fenv, labels=labels, return_types=returns)
+    changed = False
+    labels = []
+    for label in fenv.labels:
+        arg_types = _shift_types(label.arg_types, shift)
+        local_env = _shift_local_env(label.local_env, shift)
+        if arg_types is label.arg_types and local_env is label.local_env:
+            labels.append(label)
+        else:
+            labels.append(LabelInfo(arg_types, local_env))
+            changed = True
+    returns = fenv.return_types
+    if returns is not None:
+        returns = _shift_types(returns, shift)
+        changed = changed or returns is not fenv.return_types
+    if not changed:
+        return fenv
+    return replace(fenv, labels=tuple(labels), return_types=returns)
+
+
+#: Resolved ``(checker class, instruction class) -> unbound method`` dispatch
+#: memo — the per-instruction ``getattr(f"_check_{...}")`` lookup showed up
+#: in the checker profile.
+_DISPATCH: dict = {}
 
 
 class InstructionChecker:
@@ -240,7 +294,7 @@ class InstructionChecker:
     def _pop(self, fenv: FunctionEnv, state: TypingState, what: str = "operand") -> Type:
         if state.dead:
             # Dead code: synthesize an unrestricted unit; it will never run.
-            return Type(UnitT(), UNR)
+            return _unit_unr()
         if not state.stack:
             raise StackTypeError(f"stack underflow: expected {what}, stack is empty")
         return state.stack.pop()
@@ -270,7 +324,7 @@ class InstructionChecker:
         state.stack.extend(types)
 
     def _pop_num(self, fenv: FunctionEnv, state: TypingState, numtype: NumType, what: str) -> None:
-        self._pop_expect(fenv, state, Type(NumT(numtype), UNR), what)
+        self._pop_expect(fenv, state, _num_unr(numtype), what)
 
     def _check_final_stack(self, fenv: FunctionEnv, state: TypingState, results: Sequence[Type]) -> None:
         if len(state.stack) != len(results) or not type_lists_equal(state.stack, list(results)):
@@ -325,11 +379,11 @@ class InstructionChecker:
         result_env = local_env.apply_effects(effects)
 
         inner_fenv = fenv
-        inner_shift = Shift()
+        inner_shift = _SHIFT_NONE
         if binder_push == "loc":
-            inner_shift = Shift(locs=1)
+            inner_shift = _SHIFT_LOCS1
         elif binder_push == "type":
-            inner_shift = Shift(types=1)
+            inner_shift = _SHIFT_TYPES1
         if not inner_shift.is_zero():
             inner_fenv = _shift_function_env(inner_fenv, inner_shift)
         if binder_push == "loc":
@@ -353,7 +407,7 @@ class InstructionChecker:
             new_linear[1] = frame_qual
         else:
             new_linear = [new_linear[0] if new_linear else UNR, frame_qual]
-        inner_fenv = replace(inner_fenv, linear=tuple(new_linear))
+        inner_fenv = inner_fenv._with(linear=tuple(new_linear))
 
         for body, extra in zip(bodies, extra_stack_types):
             # ``extra`` types are supplied by the caller already expressed in
@@ -377,6 +431,8 @@ class InstructionChecker:
     def _check_local_envs_compatible(
         self, fenv: FunctionEnv, actual: LocalEnv, expected: LocalEnv
     ) -> None:
+        if actual is expected:
+            return
         if len(actual) != len(expected):
             raise LocalTypeError(
                 f"block changes the number of locals ({len(actual)} vs {len(expected)})"
@@ -441,13 +497,18 @@ class InstructionChecker:
 
         if self.observer is not None:
             self.observer(instr, tuple(state.stack), state.local_env)
-        method = getattr(self, f"_check_{type(instr).__name__}", None)
+        instr_cls = type(instr)
+        key = (type(self), instr_cls)
+        method = _DISPATCH.get(key)
         if method is None:
-            if isinstance(instr, (UnitV, NumV, ProdV, RefV, PtrV, CapV, OwnV, FoldV, MempackV, CoderefV)):
-                self._check_inline_value(fenv, state, instr)
-                return
-            raise RichWasmTypeError(f"no typing rule for instruction {instr!r}")
-        method(fenv, state, instr)
+            method = getattr(type(self), f"_check_{instr_cls.__name__}", None)
+            if method is None:
+                if isinstance(instr, (UnitV, NumV, ProdV, RefV, PtrV, CapV, OwnV, FoldV, MempackV, CoderefV)):
+                    method = type(self)._check_inline_value
+                else:
+                    raise RichWasmTypeError(f"no typing rule for instruction {instr!r}")
+            _DISPATCH[key] = method
+        method(self, fenv, state, instr)
 
     # Values may appear directly in instruction sequences (Fig. 2: e ::= v | ...).
     def _check_inline_value(self, fenv: FunctionEnv, state: TypingState, value: Value) -> None:
@@ -459,29 +520,29 @@ class InstructionChecker:
     # -- numeric -------------------------------------------------------------
 
     def _check_NumConst(self, fenv: FunctionEnv, state: TypingState, instr: NumConst) -> None:
-        self._push(state, Type(NumT(instr.numtype), UNR))
+        self._push(state, _num_unr(instr.numtype))
 
     def _check_NumUnop(self, fenv: FunctionEnv, state: TypingState, instr: NumUnop) -> None:
         self._pop_num(fenv, state, instr.numtype, f"{instr.numtype}.{instr.op.value} operand")
-        self._push(state, Type(NumT(instr.numtype), UNR))
+        self._push(state, _num_unr(instr.numtype))
 
     def _check_NumBinop(self, fenv: FunctionEnv, state: TypingState, instr: NumBinop) -> None:
         self._pop_num(fenv, state, instr.numtype, f"{instr.numtype}.{instr.op.value} rhs")
         self._pop_num(fenv, state, instr.numtype, f"{instr.numtype}.{instr.op.value} lhs")
-        self._push(state, Type(NumT(instr.numtype), UNR))
+        self._push(state, _num_unr(instr.numtype))
 
     def _check_NumTestop(self, fenv: FunctionEnv, state: TypingState, instr: NumTestop) -> None:
         self._pop_num(fenv, state, instr.numtype, "testop operand")
-        self._push(state, Type(NumT(NumType.I32), UNR))
+        self._push(state, _num_unr(NumType.I32))
 
     def _check_NumRelop(self, fenv: FunctionEnv, state: TypingState, instr: NumRelop) -> None:
         self._pop_num(fenv, state, instr.numtype, "relop rhs")
         self._pop_num(fenv, state, instr.numtype, "relop lhs")
-        self._push(state, Type(NumT(NumType.I32), UNR))
+        self._push(state, _num_unr(NumType.I32))
 
     def _check_NumCvtop(self, fenv: FunctionEnv, state: TypingState, instr: NumCvtop) -> None:
         self._pop_num(fenv, state, instr.source, "conversion operand")
-        self._push(state, Type(NumT(instr.target), UNR))
+        self._push(state, _num_unr(instr.target))
 
     # -- parametric / control --------------------------------------------------
 
@@ -570,9 +631,7 @@ class InstructionChecker:
         else:
             # Linear slot: the value is moved out, the slot becomes unit.
             self._push(state, ty)
-            state.local_env = state.local_env.set_type(
-                instr.index, Type(UnitT(), UNR)
-            )
+            state.local_env = state.local_env.set_type(instr.index, _unit_unr())
 
     def _check_SetLocal(self, fenv: FunctionEnv, state: TypingState, instr: SetLocal) -> None:
         ty = self._pop(fenv, state, "set_local operand")
@@ -1214,17 +1273,30 @@ class InstructionChecker:
 # ---------------------------------------------------------------------------
 
 
+_EXISTENTIAL_REF_MEMO: dict = {}
+
+
 def _existential_ref(heaptype: HeapType, qual: Qual) -> Type:
     """``∃ρ. (ref rw ρ ψ)^q`` — the result type of every malloc instruction.
 
     The heap type comes from the outer scope, so its free location variables
-    are shifted past the new existential binder.
+    are shifted past the new existential binder.  Memoized for interned heap
+    types: every malloc of a given shape synthesizes the same result type.
     """
 
     from ..syntax.types import shift_heaptype
 
-    shifted = shift_heaptype(heaptype, Shift(locs=1))
-    return Type(ExLocT(Type(RefT(Privilege.RW, LocVar(0), shifted), qual)), qual)
+    interned = "_hc" in heaptype.__dict__
+    if interned:
+        key = (heaptype, qual)
+        cached = _EXISTENTIAL_REF_MEMO.get(key)
+        if cached is not None:
+            return cached
+    shifted = shift_heaptype(heaptype, _SHIFT_LOCS1)
+    result = Type(ExLocT(Type(RefT(Privilege.RW, LocVar(0), shifted), qual)), qual)
+    if interned:
+        _EXISTENTIAL_REF_MEMO[key] = result
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ the lowering described in §6:
 
 from __future__ import annotations
 
+from ..syntax.intern import free_levels
 from ..syntax.sizes import SIZE_PTR, Size, SizeConst, size_plus, size_sum
 from ..syntax.types import (
     CapT,
@@ -44,8 +45,23 @@ CODEREF_SIZE = SizeConst(64)
 
 
 def size_of_pretype(pretype: Pretype, type_ctx: TypeVarContext) -> Size:
-    """An upper bound for the representation size of ``pretype``."""
+    """An upper bound for the representation size of ``pretype``.
 
+    For pretypes without free pretype variables the result is independent of
+    ``type_ctx`` (``VarT`` is the only case that consults it), so it is
+    memoized on the interned node.
+    """
+
+    cached = pretype.__dict__.get("_hc_size")
+    if cached is not None:
+        return cached
+    result = _size_of_pretype(pretype, type_ctx)
+    if "_hc" in pretype.__dict__ and free_levels(pretype)[3] == 0:
+        pretype.__dict__["_hc_size"] = result
+    return result
+
+
+def _size_of_pretype(pretype: Pretype, type_ctx: TypeVarContext) -> Size:
     if isinstance(pretype, UnitT):
         return SizeConst(0)
     if isinstance(pretype, NumT):

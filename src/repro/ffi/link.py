@@ -65,13 +65,18 @@ def _find_export(modules: dict[str, Module], module_name: str, export_name: str)
     return exporter.functions[exports[export_name]]
 
 
-def check_link(modules: dict[str, Module]) -> LinkResult:
+def check_link(modules: dict[str, Module], *, checker=check_module) -> LinkResult:
     """Check that every import matches its export and every module type-checks.
 
     Raises :class:`LinkError` for unresolved or mismatched imports and a
     :class:`RichWasmTypeError` subclass for modules that are internally
     ill-typed — both constitute the "potentially problematic interaction ...
     will fail to type check" guarantee of the paper.
+
+    ``checker`` is the per-module type check — by default the plain
+    :func:`repro.core.typing.check_module`; :class:`repro.runtime.ModuleCache`
+    passes its memoized ``typecheck`` stage so shared library modules are
+    checked once per cache rather than once per link.
     """
 
     result = LinkResult(modules=dict(modules))
@@ -85,7 +90,7 @@ def check_link(modules: dict[str, Module]) -> LinkResult:
                 )
             result.resolved_imports.append((name, decl.import_ref.module, decl.import_ref.name))
     for name, module in modules.items():
-        check_module(module)
+        checker(module)
     return result
 
 
@@ -135,18 +140,21 @@ def _remap_body(body: Sequence[Instr], remap: _Remap) -> tuple[Instr, ...]:
     return tuple(_remap_instr(instr, remap) for instr in body)
 
 
-def link_modules(modules: dict[str, Module], *, name: str = "linked", check: bool = True) -> Module:
+def link_modules(modules: dict[str, Module], *, name: str = "linked", check: bool = True,
+                 checker=check_module) -> Module:
     """Statically link modules into one (imports resolved to direct calls).
 
     The resulting module exports every export of every input module, holds
     the concatenation of their globals and tables, and contains no imports —
     it can be lowered to a single Wasm module sharing one memory.
     ``check=False`` skips :func:`check_link` (for callers whose modules were
-    already checked, e.g. a :class:`repro.ffi.Program`).
+    already checked, e.g. a :class:`repro.ffi.Program`).  ``checker`` is the
+    module type check used for both the inputs and the linked result (see
+    :func:`check_link`).
     """
 
     if check:
-        check_link(modules)
+        check_link(modules, checker=checker)
 
     order = list(modules.keys())
     # First pass: assign new indices to every *defined* function and global.
@@ -232,5 +240,5 @@ def link_modules(modules: dict[str, Module], *, name: str = "linked", check: boo
         table=Table(entries=tuple(new_table)),
         name=name,
     )
-    check_module(linked)
+    checker(linked)
     return linked

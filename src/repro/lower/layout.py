@@ -74,8 +74,23 @@ def lower_numtype(numtype: NumType) -> ValType:
 
 
 def lower_pretype(pretype: Pretype) -> list[ValType]:
-    """The Wasm layout of a RichWasm pretype."""
+    """The Wasm layout of a RichWasm pretype.
 
+    Layouts depend only on the structure, so they are computed once per
+    interned node (the compiler asks for the same layouts at every
+    instruction) and re-issued as fresh lists (callers may mutate them).
+    """
+
+    cached = pretype.__dict__.get("_hc_layout")
+    if cached is not None:
+        return list(cached)
+    layout = _lower_pretype(pretype)
+    if "_hc" in pretype.__dict__:
+        pretype.__dict__["_hc_layout"] = tuple(layout)
+    return layout
+
+
+def _lower_pretype(pretype: Pretype) -> list[ValType]:
     if isinstance(pretype, (UnitT, CapT, OwnT)):
         return []
     if isinstance(pretype, NumT):

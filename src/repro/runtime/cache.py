@@ -13,13 +13,23 @@ exactly once and every later request reuses the artifacts:
   :class:`~repro.wasm.decode.DecodedModule`, the per-module flat code every
   :class:`~repro.wasm.engine.FlatVMEngine` instance shares.
 
-Keys are SHA-256 digests of the stable dataclass ``repr`` of the (immutable)
-ASTs plus the compile-relevant configuration — the canonical
-:meth:`repro.api.CompileConfig.content_key` (legacy keyword callers are
-bridged onto the same keyspace).  Hashing by content rather than identity
-means two independently built but structurally identical programs share one
-compile; the stages are keyed separately, so e.g. two different module sets
-that link to the same module still share the lowering and decode.
+* **typecheck** — RichWasm ``Module`` → its
+  :class:`~repro.core.typing.ModuleCheckResult` (threaded into linking, so
+  re-linking overlapping module sets re-checks nothing).
+
+Keys are SHA-256 digests of the (immutable) ASTs plus the compile-relevant
+configuration — the canonical :meth:`repro.api.CompileConfig.content_key`
+(legacy keyword callers are bridged onto the same keyspace).  Since PR 5 the
+digests come from :func:`repro.core.syntax.structural_digest` — a recursive
+structural hash cached on interned type nodes and frozen AST dataclasses —
+instead of hashing whole ``repr`` strings, so re-keying a module only walks
+the parts not digested before.  Keys stay deterministic across processes
+(the digest covers class names, enum member names and primitive field
+values, never ``id()`` or ``hash()``) and hashing by content rather than
+identity means two independently built but structurally identical programs
+share one compile; the stages are keyed separately, so e.g. two different
+module sets that link to the same module still share the lowering and
+decode.
 
 :meth:`ModuleCache.compile_program` runs the whole pipeline and returns a
 :class:`CompiledProgram` bundle, the unit the instance pool and batch runner
@@ -33,6 +43,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from ..core.syntax import Module
+from ..core.syntax.intern import structural_digest
 from ..lower import LoweredModule, lower_module
 from ..wasm import validate_module
 from ..wasm.ast import WasmModule
@@ -40,17 +51,20 @@ from ..wasm.decode import DecodedModule, decode_module
 
 
 def content_key(*parts: object) -> str:
-    """SHA-256 digest over the ``repr`` of each part.
+    """SHA-256 digest over the structural digest of each part.
 
-    The ASTs on every pipeline boundary (surface modules, RichWasm,
-    Wasm) are frozen dataclasses built from tuples, enums and primitives, so
-    their reprs are stable and structural — equal trees produce equal keys
-    regardless of object identity.
+    The ASTs on every pipeline boundary (surface modules, RichWasm, Wasm)
+    are frozen dataclasses built from tuples, enums and primitives;
+    :func:`repro.core.syntax.structural_digest` hashes exactly that
+    structure and caches the digest on every frozen node it visits, so equal
+    trees produce equal keys regardless of object identity (and regardless
+    of the producing process), while re-keying an already-digested module is
+    a cache lookup rather than a full-tree ``repr``.
     """
 
     hasher = hashlib.sha256()
     for part in parts:
-        hasher.update(repr(part).encode())
+        hasher.update(structural_digest(part))
         hasher.update(b"\x00")
     return hasher.hexdigest()
 
@@ -137,7 +151,9 @@ class ModuleCache:
         self._lowered: dict[str, LoweredModule] = {}
         self._decoded: dict[str, DecodedModule] = {}
         self._programs: dict[str, CompiledProgram] = {}
+        self._typechecked: dict[str, object] = {}
         self.stats: dict[str, CacheStats] = {
+            "typecheck": CacheStats(),
             "link": CacheStats(),
             "lower": CacheStats(),
             "decode": CacheStats(),
@@ -160,8 +176,41 @@ class ModuleCache:
         self._lowered.clear()
         self._decoded.clear()
         self._programs.clear()
+        self._typechecked.clear()
         for stats in self.stats.values():
             stats.hits = stats.misses = 0
+
+    # -- stage: typecheck --------------------------------------------------
+
+    def typecheck(self, module: Module):
+        """Type-check a RichWasm module, memoized by content.
+
+        Returns the :class:`~repro.core.typing.ModuleCheckResult` (raises the
+        usual ``RichWasmTypeError`` subclass on ill-typed modules — failures
+        are not cached).  :meth:`link` threads this into
+        :func:`repro.ffi.link.link_modules`, so a library module shared by
+        many programs is checked once per cache, not once per link.
+        """
+
+        from ..core.typing import check_module
+
+        key = content_key("typecheck", module)
+        stats = self.stats["typecheck"]
+        result = self._typechecked.get(key)
+        if result is not None:
+            stats.hits += 1
+            return result
+        stats.misses += 1
+        result = check_module(module)
+        self._typechecked[key] = result
+        return result
+
+    def typecheck_known(self, module: Module) -> bool:
+        """Whether ``module``'s check result is already memoized (no stats
+        counted, no check performed) — lets the facade skip a standalone
+        whole-module check when lowering will drive the checker anyway."""
+
+        return content_key("typecheck", module) in self._typechecked
 
     # -- stage: link -------------------------------------------------------
 
@@ -170,7 +219,9 @@ class ModuleCache:
 
         ``check=False`` skips the cross-module import/export re-check —
         safe when the modules came from an already-checked ``Program``
-        (the :class:`repro.api.CompileConfig.check_links` toggle).
+        (the :class:`repro.api.CompileConfig.check_links` toggle).  The
+        per-module and linked-result type checks run through the memoized
+        :meth:`typecheck` stage.
         """
 
         from ..ffi.link import link_modules
@@ -182,7 +233,7 @@ class ModuleCache:
             stats.hits += 1
             return linked
         stats.misses += 1
-        linked = link_modules(modules, name=name, check=check)
+        linked = link_modules(modules, name=name, check=check, checker=self.typecheck)
         self._linked[key] = linked
         return linked
 

@@ -177,8 +177,18 @@ class TestDiagnostics:
         compiled = api.compile(counter_program, "O2", cache=cache)
         diag = compiled.diagnostics
         assert isinstance(diag, Diagnostics)
-        assert [t.stage for t in diag.stages] == ["frontend", "link", "lower", "decode"]
-        assert diag.cache == {"link": "miss", "program": "miss", "lower": "miss", "decode": "miss"}
+        assert [t.stage for t in diag.stages] == [
+            "frontend", "link", "typecheck", "lower", "decode"
+        ]
+        # The linked module was type-checked (memoized) inside the link
+        # stage, so the explicit typecheck stage reports a cache hit.
+        assert diag.cache == {
+            "link": "miss",
+            "typecheck": "hit",
+            "program": "miss",
+            "lower": "miss",
+            "decode": "miss",
+        }
         assert diag.key == compiled.key
         assert diag.total_seconds >= diag.seconds("lower") > 0
         assert {s.name for s in diag.pass_stats} == set(compiled.config.pass_names())
@@ -193,6 +203,31 @@ class TestDiagnostics:
         assert lowered.diagnostics.frontends == {"mlmod": "ml"}
         assert lowered.optimization is not None
         assert lowered.diagnostics.optimization is lowered.optimization
+
+    def test_typecheck_stage_observable_through_facade(self):
+        # Cached pipeline: linking routes every module check through the
+        # cache's memoized typecheck stage, so the stats and the per-call
+        # Diagnostics stay observable through the facade.
+        cache = ModuleCache()
+        compiled = api.compile(counter_program, cache=cache)
+        assert compiled.diagnostics.cache["typecheck"] == "hit"
+        assert compiled.diagnostics.seconds("typecheck") >= 0
+        assert "typecheck" in cache.stats
+        assert cache.stats["typecheck"].misses >= 2  # inputs + linked result
+        again = api.compile(counter_program, cache=cache)
+        assert again.diagnostics.cache["typecheck"] == "hit"
+        # Off-cache pipeline: lowering drives the checker itself, so the
+        # stage is recorded as a bypass rather than re-checked standalone.
+        direct = api.compile(counter_program, CompileConfig(cache="none"))
+        assert direct.diagnostics.cache["typecheck"] == "bypass"
+        # A pre-linked Module the cache has never seen is not checked twice
+        # (lowering checks it): first sight bypasses, later sights do not
+        # suddenly become standalone misses either.
+        linked = cache.link(counter_program().modules(), name="prelinked")
+        fresh = ModuleCache()
+        cold = api.compile(linked, cache=fresh)
+        assert cold.diagnostics.cache["typecheck"] == "bypass"
+        assert fresh.stats["typecheck"].lookups == 0
 
 
 class TestServe:

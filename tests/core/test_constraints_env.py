@@ -225,3 +225,87 @@ class TestTypeEquality:
 
     def test_qualifier_matters(self):
         assert not types_equal(i32(), i32(LIN))
+
+
+class TestQualEntailmentMemoization:
+    """PR 5: ``QualContext.leq`` computes reachability closures once per
+    context instead of re-walking the bound graph per query."""
+
+    @staticmethod
+    def _dense_context(layers: int) -> QualContext:
+        """A diamond lattice: variable ``i`` has *two* upper bounds (``i+1``
+        and ``i+2``), so the number of upward paths doubles per layer.  The
+        old visited-set recursion explored every path on a failing query —
+        O(2^layers); the closure-based entailment is linear.  Variable
+        ``layers`` (the last one) is isolated: nothing reaches it."""
+
+        from repro.core.typing.constraints import QualBounds
+
+        bounds = []
+        for index in range(layers):
+            uppers = tuple(
+                QualVar(j) for j in (index + 1, index + 2) if j < layers - 1
+            )
+            bounds.append(QualBounds(upper=uppers))
+        bounds.append(QualBounds())  # the unreachable sink
+        return QualContext(bounds)
+
+    def test_dense_graph_negative_query_is_polynomial(self):
+        # 60 layers ≈ 2^59 paths for the pre-memoization recursion — this
+        # test only terminates with the closure-based algorithm.
+        layers = 60
+        ctx = self._dense_context(layers)
+        assert not ctx.leq(QualVar(0), QualVar(layers))
+        # The closure was computed once and covers every diamond variable.
+        assert len(ctx._up[QualVar(0)]) == layers - 1
+        # The verdict is memoized: repeated queries are dictionary hits.
+        assert ctx._memo[(QualVar(0), QualVar(layers))] is False
+        assert not ctx.leq(QualVar(0), QualVar(layers))
+
+    def test_dense_graph_positive_query(self):
+        ctx = self._dense_context(20)
+        assert ctx.leq(QualVar(0), QualVar(17))
+        assert ctx.leq(QualVar(0), LIN)
+        assert ctx.leq(UNR, QualVar(19))
+
+    def test_closure_entailment_matches_recursive_oracle(self):
+        """Differential check against the original visited-set recursion on
+        every query over a small but cyclic/dense graph."""
+
+        from repro.core.typing.constraints import QualBounds
+
+        graphs = [
+            # chain with a cycle
+            [QualBounds(upper=(QualVar(1),)), QualBounds(upper=(QualVar(0), QualVar(2))),
+             QualBounds(lower=(QualVar(0),))],
+            # constants as bounds
+            [QualBounds(upper=(LIN,)), QualBounds(lower=(UNR,), upper=(QualVar(0),)),
+             QualBounds(lower=(QualVar(1),))],
+            # diamond
+            [QualBounds(upper=(QualVar(1), QualVar(2))), QualBounds(upper=(QualVar(3),)),
+             QualBounds(upper=(QualVar(3),)), QualBounds()],
+        ]
+        for bounds in graphs:
+            ctx = QualContext(list(bounds))
+            oracle = QualContext(list(bounds))
+            candidates = [UNR, LIN, *(QualVar(i) for i in range(len(bounds)))]
+            for lhs in candidates:
+                for rhs in candidates:
+                    assert ctx.leq(lhs, rhs) == oracle._leq_recursive(
+                        lhs, rhs, frozenset()
+                    ), f"{lhs} ⪯ {rhs} disagrees on {bounds}"
+
+    def test_push_does_not_inherit_stale_memo(self):
+        ctx = QualContext().push(upper=[LIN])
+        assert ctx.leq(QualVar(0), LIN)
+        extended = ctx.push(lower=[UNR])
+        assert extended._memo == {}
+        assert extended.leq(QualVar(1), LIN)
+
+    def test_size_leq_is_memoized_per_context(self):
+        ctx = SizeContext().push(upper=[SizeConst(64)])
+        assert ctx.leq(SizeVar(0), SizeConst(64))
+        assert ctx._memo[(SizeVar(0), SizeConst(64))] is True
+        assert not ctx.leq(SizeConst(65), SizeVar(0))
+        fresh = ctx.push()
+        assert fresh._memo == {}

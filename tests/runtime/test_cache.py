@@ -197,3 +197,60 @@ class TestFrontendCacheThreading:
         assert first.wasm is second.wasm
         interpreter, instance = second.instantiate()
         assert interpreter.invoke(instance, "churn", [9]) == [10]
+
+
+class TestTypecheckStage:
+    """PR 5: the memoized core-typecheck stage threaded into linking."""
+
+    def test_link_checks_each_module_once(self, cache):
+        modules = scenario_modules()
+        cache.link(modules)
+        # One check per input module plus one for the linked result.
+        assert cache.stats["typecheck"].misses == len(modules) + 1
+        assert cache.stats["typecheck"].hits == 0
+        # Structurally identical modules from a fresh builder re-check nothing
+        # (the link stage itself hits, so typecheck is not even consulted).
+        cache.link(scenario_modules())
+        assert cache.stats["typecheck"].misses == len(modules) + 1
+
+    def test_shared_library_module_checked_once_across_links(self, cache):
+        modules = scenario_modules()
+        cache.link(modules)
+        before = cache.stats["typecheck"].misses
+        # A different module set sharing one module: the shared module's
+        # check is a hit, only the new set's other checks miss.
+        cache.link({"counterlib": modules["counterlib"]}, name="solo")
+        assert cache.stats["typecheck"].hits >= 1
+        # Only the new linked result itself needed a fresh check.
+        assert cache.stats["typecheck"].misses == before + 1
+
+    def test_typecheck_returns_check_result_and_memoizes(self, cache):
+        from repro.core.typing import ModuleCheckResult
+
+        linked = cache.link(scenario_modules())
+        before_hits = cache.stats["typecheck"].hits
+        result = cache.typecheck(linked)
+        assert isinstance(result, ModuleCheckResult)
+        assert cache.stats["typecheck"].hits == before_hits + 1  # link checked it
+        assert cache.typecheck(linked) is result
+
+    def test_ill_typed_module_raises_and_is_not_cached(self, cache):
+        from repro.core.syntax import Function, funtype, i32, make_module, Return
+        from repro.core.typing.errors import RichWasmTypeError
+
+        bad = make_module(functions=[
+            Function(funtype([], [i32()]), (), (Return(),), ("broken",))
+        ])
+        for _ in range(2):
+            with pytest.raises(RichWasmTypeError):
+                cache.typecheck(bad)
+        assert cache.stats["typecheck"].misses == 2
+        assert cache.stats["typecheck"].hits == 0
+
+    def test_clear_resets_typecheck_stage(self, cache):
+        linked = cache.link(scenario_modules())
+        cache.typecheck(linked)
+        cache.clear()
+        assert cache.stats["typecheck"].lookups == 0
+        cache.typecheck(linked)
+        assert cache.stats["typecheck"].misses == 1
