@@ -34,6 +34,14 @@ for path in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
     if str(path) not in sys.path:
         sys.path.insert(0, str(path))
 
+from repro.obs import (  # noqa: E402
+    NOOP_TRACER,
+    JsonlSink,
+    Tracer,
+    default_registry,
+    get_tracer,
+    set_tracer,
+)
 from repro.opt import run_engine_cross_check, run_pool_reset_cross_check  # noqa: E402
 from repro.wasm import available_engines  # noqa: E402
 
@@ -172,7 +180,25 @@ def main(argv=None) -> int:
                         help="committed results the regression gate compares against (smoke mode)")
     parser.add_argument("--no-regression-gate", action="store_true",
                         help="skip the steps/sec regression gate (e.g. on a machine unlike the baseline's)")
+    parser.add_argument("--obs-jsonl", metavar="PATH", default=None,
+                        help="export repro.obs telemetry (per-phase spans, request spans, "
+                             "metrics snapshot) as schema-versioned JSONL to PATH")
     args = parser.parse_args(argv)
+
+    sink = None
+    if args.obs_jsonl:
+        sink = JsonlSink(args.obs_jsonl)
+        set_tracer(Tracer(sink=sink))
+    try:
+        return _run(args, sink)
+    finally:
+        if sink is not None:
+            set_tracer(NOOP_TRACER)
+            sink.close()
+            print(f"wrote {sink.records_written} obs record(s) to {args.obs_jsonl}")
+
+
+def _run(args, sink) -> int:
 
     results = {
         "schema": 1,
@@ -181,7 +207,8 @@ def main(argv=None) -> int:
     }
 
     print(f"workload timings on the {args.engine!r} engine ...")
-    results["workloads"] = measure_workloads(args.engine)
+    with get_tracer().span("bench.workloads", engine=args.engine):
+        results["workloads"] = measure_workloads(args.engine)
     for name, entry in results["workloads"].items():
         print(f"  {name}: {entry['steps_per_sec']:,} steps/s ({entry['steps']} steps, {entry['calls']} calls)")
 
@@ -200,7 +227,8 @@ def main(argv=None) -> int:
                       f"(x{entry['ratio']} of baseline, x{entry['normalized']} normalized)")
 
     print("compile-stage timings (frontend typecheck / core typecheck / lower / decode) ...")
-    results["compile"] = measure_compile_stages()
+    with get_tracer().span("bench.compile_stages"):
+        results["compile"] = measure_compile_stages()
     for name, entry in results["compile"].items():
         if name.startswith("synthetic_"):
             print(f"  {name}: typecheck {entry['typecheck_instrs_per_sec']:,} instrs/s, "
@@ -210,7 +238,8 @@ def main(argv=None) -> int:
           f"on {speedup['blocks']} blocks")
 
     print("runtime throughput (compile-once/run-many vs naive path) ...")
-    results["runtime"] = measure_runtime_throughput()
+    with get_tracer().span("bench.runtime_throughput"):
+        results["runtime"] = measure_runtime_throughput()
     runtime = results["runtime"]
     print(f"  instantiations/s: {runtime['uncached_instances_per_sec']:,} uncached -> "
           f"{runtime['cached_instances_per_sec']:,} cached ({runtime['cached_speedup']}x), "
@@ -220,7 +249,8 @@ def main(argv=None) -> int:
           f"{runtime['steps_per_request']} steps/request)")
 
     print("tree-walker vs flat-VM differential + pool-reset cross-check ...")
-    results["cross_check"], cross_ok = cross_check_workloads()
+    with get_tracer().span("bench.cross_check"):
+        results["cross_check"], cross_ok = cross_check_workloads()
     for name, entry in results["cross_check"].items():
         print(f"  {name}: {'ok' if entry['ok'] else 'DIVERGENCE'}")
         if not entry["ok"]:
@@ -232,6 +262,9 @@ def main(argv=None) -> int:
         results["benchmarks"], bench_ok = run_bench_files()
 
     results["ok"] = cross_ok and bench_ok and regression_ok
+    if sink is not None:
+        sink.emit_event("bench.done", mode=results["mode"], ok=results["ok"])
+        sink.emit_metrics(default_registry())
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output} (ok={results['ok']})")

@@ -9,7 +9,9 @@ This walks the whole public API surface on a tiny module:
 4. compile and serve it through the stable facade —
    ``repro.api.compile``/``serve`` with a ``CompileConfig`` (optimization
    level, engine, cache policy) — and read the structured diagnostics;
-5. print the lowered module as WAT-style text.
+5. re-run it under observability — a ``repro.obs`` tracer exporting
+   schema-versioned JSONL spans, summarized by ``repro.obs.report``;
+6. print the lowered module as WAT-style text.
 
 Run with ``python examples/quickstart.py``.
 """
@@ -118,6 +120,32 @@ def main() -> None:
     print("lowering stats    :", lowered.stats)
     print("\n--- compile diagnostics ---")
     print(service.diagnostics.format_report())
+
+    # Observability: install a tracer exporting schema-versioned JSONL, run
+    # some traffic, and summarize the trace with the bundled aggregator.
+    # The default tracer is a shared no-op, so everything above ran untraced
+    # at zero cost; restoring it afterwards is part of the contract.
+    print("\n--- traced run (repro.obs) ---")
+    import tempfile
+
+    from repro.obs import NOOP_TRACER, JsonlSink, Tracer, set_tracer
+    from repro.obs.report import format_summary, summarize
+    from repro.obs.export import read_records
+
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as handle:
+        trace_path = handle.name
+    sink = JsonlSink(trace_path)
+    set_tracer(Tracer(sink=sink))
+    try:
+        traced = serve(module, CompileConfig(opt_level="O2"))
+        traced.call("fact", [6])
+        traced.run([("fact", (5,)), ("cell", (7,))])
+    finally:
+        set_tracer(NOOP_TRACER)
+        sink.close()
+    records = list(read_records(trace_path))  # validates every line
+    print(f"exported {len(records)} schema-valid record(s) to {trace_path}")
+    print(format_summary(summarize(records)))
 
     print("\n--- lowered module (WAT excerpt) ---")
     print("\n".join(module_to_wat(lowered.wasm).splitlines()[:25]))

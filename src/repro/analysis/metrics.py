@@ -7,6 +7,10 @@ code (the syntax, type system and semantics definitions), *systems* code
 (compilers, substrates), and the *evidence* replacing the proofs (tests and
 the empirical safety harness).  ``bench_formalization_stats`` regenerates the
 table from this module.
+
+Not to be confused with :mod:`repro.obs.metrics`, the *runtime telemetry*
+registry (counters/gauges/histograms recorded by the cache, pool and batch
+runner): this module measures the repository itself, paper-statistics style.
 """
 
 from __future__ import annotations

@@ -14,13 +14,20 @@ renders the human-readable view on demand.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.trace import get_tracer
+
 #: Values of ``Diagnostics.cache[stage]``.
 CACHE_EVENTS = ("hit", "miss", "bypass")
+
+#: Canonical stage order, for reporting stages that recorded a cache event
+#: but never ran under a timer (e.g. a ``typecheck`` bypass).
+PIPELINE_STAGES = ("frontend", "link", "typecheck", "lower", "decode")
 
 
 @dataclass(frozen=True)
@@ -53,13 +60,19 @@ class Diagnostics:
 
     @contextmanager
     def stage(self, name: str):
-        """Time a stage: ``with diagnostics.stage("lower"): ...``."""
+        """Time a stage: ``with diagnostics.stage("lower"): ...``.
 
-        started = time.perf_counter()
-        try:
-            yield self
-        finally:
-            self.stages.append(StageTiming(name, time.perf_counter() - started))
+        Each stage also runs under a ``compile.<name>`` tracing span, so an
+        installed :class:`repro.obs.Tracer` sees the same boundaries the
+        timings record (free when tracing is disabled).
+        """
+
+        with get_tracer().span(f"compile.{name}"):
+            started = time.perf_counter()
+            try:
+                yield self
+            finally:
+                self.stages.append(StageTiming(name, time.perf_counter() - started))
 
     # -- derived views -----------------------------------------------------
 
@@ -95,10 +108,86 @@ class Diagnostics:
                 "frontends: "
                 + ", ".join(f"{name}<-{frontend}" for name, frontend in self.frontends.items())
             )
+        timed = set()
         for timing in self.stages:
+            timed.add(timing.stage)
             event = self.cache.get(timing.stage)
             suffix = f" [{event}]" if event else ""
             lines.append(f"  {timing.stage:<10} {timing.seconds:>9.4f}s{suffix}")
+        # Stages that recorded a cache outcome without running under a timer
+        # (a typecheck subsumed by lowering, an off-cache decode) still show,
+        # so the report always accounts for the whole pipeline.
+        for stage in sorted(self.cache, key=_stage_order):
+            if stage not in timed and stage != "program":
+                lines.append(f"  {stage:<10} {'—':>10} [{self.cache[stage]}]")
         if self.optimization is not None:
             lines.append(self.optimization.format_report())
         return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view of everything recorded on this object.
+
+        Round-trips through :meth:`from_dict` at the dict level
+        (``Diagnostics.from_dict(d).to_dict() == d``); the optimization
+        entry keeps per-pass stats but drops the module reference.
+        """
+
+        optimization = None
+        if self.optimization is not None:
+            optimization = {
+                "instructions_before": self.optimization.instructions_before,
+                "instructions_after": self.optimization.instructions_after,
+                "iterations": self.optimization.iterations,
+                "stats": [
+                    {"name": s.name, "runs": s.runs, "rewrites": s.rewrites, "seconds": s.seconds}
+                    for s in self.optimization.stats
+                ],
+            }
+        return {
+            "config": dataclasses.asdict(self.config) if self.config is not None else None,
+            "key": self.key,
+            "engine": self.engine,
+            "frontends": dict(self.frontends),
+            "stages": [{"stage": t.stage, "seconds": t.seconds} for t in self.stages],
+            "cache": dict(self.cache),
+            "optimization": optimization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostics":
+        """Rebuild a :class:`Diagnostics` from :meth:`to_dict` output."""
+
+        config = data.get("config")
+        if config is not None:
+            from .config import CompileConfig
+
+            config = CompileConfig(**config)
+        optimization = data.get("optimization")
+        if optimization is not None:
+            from ..opt.manager import OptimizationResult, PassStats
+
+            optimization = OptimizationResult(
+                module=None,
+                stats=[PassStats(**s) for s in optimization.get("stats", [])],
+                iterations=optimization["iterations"],
+                instructions_before=optimization["instructions_before"],
+                instructions_after=optimization["instructions_after"],
+            )
+        return cls(
+            config=config,
+            key=data.get("key"),
+            engine=data.get("engine"),
+            frontends=dict(data.get("frontends") or {}),
+            stages=[StageTiming(s["stage"], s["seconds"]) for s in data.get("stages") or []],
+            cache=dict(data.get("cache") or {}),
+            optimization=optimization,
+        )
+
+
+def _stage_order(stage: str) -> tuple:
+    try:
+        return (PIPELINE_STAGES.index(stage), stage)
+    except ValueError:
+        return (len(PIPELINE_STAGES), stage)

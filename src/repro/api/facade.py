@@ -14,11 +14,25 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from ..obs.metrics import default_registry
+from ..obs.trace import get_tracer
 from ..runtime.cache import CompiledProgram, ModuleCache
 from .config import CompileConfig, ConfigError
 from .diagnostics import Diagnostics
 from .frontends import detect_frontend, resolve_frontend
 from .service import Service
+
+# Same instrument the ModuleCache stages record hits/misses into; the facade
+# owns the bypass decisions, so it records them.
+_CACHE_EVENTS = default_registry().counter(
+    "runtime.cache.events", "ModuleCache stage lookups by stage/outcome"
+)
+
+
+def _bypass(diagnostics: Diagnostics, *stages: str) -> None:
+    for stage in stages:
+        diagnostics.cache[stage] = "bypass"
+        _CACHE_EVENTS.inc(stage=stage, event="bypass")
 
 
 def compile(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
@@ -48,21 +62,27 @@ def compile(sources, config: Union[CompileConfig, str, int, dict, None] = None, 
     """
 
     config = CompileConfig.of(config, **overrides)
-    diagnostics = Diagnostics(config=config)
-    with diagnostics.stage("frontend"):
-        modules, diagnostics.frontends = _compile_sources(sources, config)
-    cache_obj = _resolve_cache(config, cache)
-    if cache_obj is None:
-        program = _compile_direct(modules, config, diagnostics)
-    else:
-        program = _compile_cached(modules, config, cache_obj, diagnostics)
-    # Read the stored key, not the lazy property: off the cache paths the
-    # program hash is computed only if someone actually asks for it.
-    diagnostics.key = program.cached_key
-    diagnostics.engine = program.engine
-    diagnostics.optimization = program.lowered.optimization
-    program.diagnostics = diagnostics
-    return program
+    with get_tracer().span(
+        "api.compile", opt_level=config.opt_level, cache_policy=config.cache
+    ) as span:
+        diagnostics = Diagnostics(config=config)
+        with diagnostics.stage("frontend"):
+            modules, diagnostics.frontends = _compile_sources(sources, config)
+        cache_obj = _resolve_cache(config, cache)
+        if cache_obj is None:
+            program = _compile_direct(modules, config, diagnostics)
+        else:
+            program = _compile_cached(modules, config, cache_obj, diagnostics)
+        # Read the stored key, not the lazy property: off the cache paths the
+        # program hash is computed only if someone actually asks for it.
+        diagnostics.key = program.cached_key
+        diagnostics.engine = program.engine
+        diagnostics.optimization = program.lowered.optimization
+        program.diagnostics = diagnostics
+        if program.cached_key is not None:
+            span.set_attr(key=program.cached_key)
+        span.set_attr(cache_hit=diagnostics.cache.get("program") == "hit")
+        return program
 
 
 def lower(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
@@ -75,30 +95,33 @@ def lower(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
     """
 
     config = CompileConfig.of(config, **overrides)
-    diagnostics = Diagnostics(config=config)
-    with diagnostics.stage("frontend"):
-        modules, diagnostics.frontends = _compile_sources(sources, config)
-    cache_obj = _resolve_cache(config, cache)
-    if cache_obj is None:
-        with diagnostics.stage("link"):
-            richwasm = _link_direct(modules, config, diagnostics)
-        # Lowering drives the type checker itself; no standalone pass.
-        diagnostics.cache["typecheck"] = "bypass"
-        with diagnostics.stage("lower"):
-            lowered = _lower_direct(richwasm, config)
-        diagnostics.cache.setdefault("lower", "bypass")
-    else:
-        with diagnostics.stage("link"):
-            richwasm = _link_cached(modules, config, cache_obj, diagnostics)
-        _typecheck_cached(richwasm, cache_obj, diagnostics)
-        with diagnostics.stage("lower"):
-            before = cache_obj.stats["lower"].hits
-            lowered = cache_obj.lower(richwasm, config=config)
-            diagnostics.cache["lower"] = "hit" if cache_obj.stats["lower"].hits > before else "miss"
-    diagnostics.engine = lowered.engine
-    diagnostics.optimization = lowered.optimization
-    lowered.diagnostics = diagnostics
-    return lowered
+    with get_tracer().span(
+        "api.lower", opt_level=config.opt_level, cache_policy=config.cache
+    ):
+        diagnostics = Diagnostics(config=config)
+        with diagnostics.stage("frontend"):
+            modules, diagnostics.frontends = _compile_sources(sources, config)
+        cache_obj = _resolve_cache(config, cache)
+        if cache_obj is None:
+            with diagnostics.stage("link"):
+                richwasm = _link_direct(modules, config, diagnostics)
+            # Lowering drives the type checker itself; no standalone pass.
+            _bypass(diagnostics, "typecheck")
+            with diagnostics.stage("lower"):
+                lowered = _lower_direct(richwasm, config)
+            _bypass(diagnostics, "lower")
+        else:
+            with diagnostics.stage("link"):
+                richwasm = _link_cached(modules, config, cache_obj, diagnostics)
+            _typecheck_cached(richwasm, cache_obj, diagnostics)
+            with diagnostics.stage("lower"):
+                before = cache_obj.stats["lower"].hits
+                lowered = cache_obj.lower(richwasm, config=config)
+                diagnostics.cache["lower"] = "hit" if cache_obj.stats["lower"].hits > before else "miss"
+        diagnostics.engine = lowered.engine
+        diagnostics.optimization = lowered.optimization
+        lowered.diagnostics = diagnostics
+        return lowered
 
 
 def serve(compiled, config: Union[CompileConfig, str, int, dict, None] = None, *,
@@ -114,6 +137,11 @@ def serve(compiled, config: Union[CompileConfig, str, int, dict, None] = None, *
 
     from ..runtime import run_initializers_setup
 
+    with get_tracer().span("api.serve"):
+        return _serve(compiled, config, cache, overrides, run_initializers_setup)
+
+
+def _serve(compiled, config, cache, overrides, run_initializers_setup) -> Service:
     cache_obj: Optional[ModuleCache]
     if isinstance(compiled, CompiledProgram):
         base = config if config is not None else compiled.config
@@ -214,17 +242,17 @@ def _resolve_cache(config: CompileConfig, cache: Optional[ModuleCache]) -> Optio
 
 def _link_direct(modules, config: CompileConfig, diagnostics: Diagnostics):
     if not isinstance(modules, dict):
-        diagnostics.cache["link"] = "bypass"
+        _bypass(diagnostics, "link")
         return modules
     from ..ffi.link import link_modules
 
-    diagnostics.cache["link"] = "bypass"
+    _bypass(diagnostics, "link")
     return link_modules(modules, name=config.link_name, check=config.check_links)
 
 
 def _link_cached(modules, config: CompileConfig, cache: ModuleCache, diagnostics: Diagnostics):
     if not isinstance(modules, dict):
-        diagnostics.cache["link"] = "bypass"
+        _bypass(diagnostics, "link")
         return modules
     before = cache.stats["link"].hits
     richwasm = cache.link(modules, name=config.link_name, check=config.check_links)
@@ -249,7 +277,7 @@ def _typecheck_cached(richwasm, cache: ModuleCache, diagnostics: Diagnostics) ->
             cache.typecheck(richwasm)
             diagnostics.cache["typecheck"] = "hit"
         else:
-            diagnostics.cache["typecheck"] = "bypass"
+            _bypass(diagnostics, "typecheck")
 
 
 def _lower_direct(richwasm, config: CompileConfig):
@@ -268,8 +296,7 @@ def _compile_direct(modules, config: CompileConfig, diagnostics: Diagnostics) ->
     with diagnostics.stage("lower"):
         lowered = _lower_direct(richwasm, config)
     # Lowering drives the type checker itself; no standalone pass off-cache.
-    diagnostics.cache["typecheck"] = "bypass"
-    diagnostics.cache["lower"] = diagnostics.cache["decode"] = "bypass"
+    _bypass(diagnostics, "typecheck", "lower", "decode")
     # No cached_key: nothing files this artifact, so the content hash is
     # computed lazily by CompiledProgram.key if ever needed.
     return CompiledProgram(

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..core.typing.errors import LinkError
+from ..obs.trace import get_tracer
 from ..runtime.batch import BatchReport, BatchRunner, Request, RequestOutcome, Session, _normalize_requests
 from ..runtime.cache import CacheStats, ModuleCache
 from ..runtime.pool import InstancePool, PoolStats
@@ -106,10 +107,11 @@ class Service:
         isolated either way.
         """
 
-        outcome = self.runner.run_one(Request(self.resolve(export), tuple(args), max_steps))
-        if not outcome.ok:
-            raise WasmTrap(outcome.trap)
-        return outcome.values
+        with get_tracer().span("service.call", export=export):
+            outcome = self.runner.run_one(Request(self.resolve(export), tuple(args), max_steps))
+            if not outcome.ok:
+                raise WasmTrap(outcome.trap)
+            return outcome.values
 
     def run_one(self, request) -> RequestOutcome:
         """One :class:`Request`/:class:`Session` (or tuple), trap-isolated."""
@@ -120,12 +122,16 @@ class Service:
     def run(self, requests) -> BatchReport:
         """A batch of requests, each on its own pooled-reset instance."""
 
-        return self.runner.run([self._resolved(request) for request in _normalize_requests(requests)])
+        resolved = [self._resolved(request) for request in _normalize_requests(requests)]
+        with get_tracer().span("service.run", requests=len(resolved)):
+            return self.runner.run(resolved)
 
     def session(self, calls, *, max_steps: Optional[int] = None) -> RequestOutcome:
         """A stateful call script served by one pooled instance."""
 
-        return self.run_one(Session(calls=tuple(calls), max_steps=max_steps))
+        calls = tuple(calls)
+        with get_tracer().span("service.session", calls=len(calls)):
+            return self.run_one(Session(calls=calls, max_steps=max_steps))
 
     def warm(self, count: int) -> None:
         """Pre-create pooled instances up to ``count`` idle entries."""

@@ -1,0 +1,94 @@
+"""``repro.obs`` — observability across the compile and serving tiers.
+
+Four pieces, each usable alone, wired together through the rest of the repo:
+
+* :mod:`repro.obs.trace` — nested spans (trace/span/parent ids, attrs,
+  error/trap status) with a thread-local context stack and a no-op global
+  default, so disabled tracing costs one attribute check.  The facade's
+  compile stages, the serving tier's per-request work, and the benchmark
+  driver all emit spans when a real :class:`Tracer` is installed.
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms in a
+  named registry with a cheap :meth:`~MetricsRegistry.snapshot`; the module
+  cache, instance pool and batch runner record into
+  :func:`default_registry`.  (Distinct from :mod:`repro.analysis.metrics`,
+  the paper-statistics module.)
+* :mod:`repro.obs.export` — the schema-versioned JSONL interchange format
+  (:data:`SCHEMA_VERSION`), its validator, the :class:`JsonlSink` writer and
+  :func:`read_records` reader; :mod:`repro.obs.report` is the bundled
+  aggregator CLI (``python -m repro.obs.report trace.jsonl``).
+* :mod:`repro.obs.profile` — :class:`StepProfiler`, a sampled
+  hot-function profiler both execution engines host at ~zero cost when
+  detached (the flat VM folds the sample check into its existing step-budget
+  comparison).
+
+``benchmarks/bench_obs.py`` enforces the overhead contract in CI:
+obs-disabled execution within 2% of baseline steps/sec, tracing-enabled
+within 10%.
+"""
+
+from .export import (
+    RECORD_KINDS,
+    SCHEMA_VERSION,
+    SPAN_STATUSES,
+    JsonlSink,
+    SchemaError,
+    event_record,
+    read_records,
+    span_record,
+    validate_record,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .profile import UNNAMED_FUNCTION, StepProfiler
+from .trace import (
+    NOOP_TRACER,
+    NoOpSpan,
+    NoOpTracer,
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "NoOpSpan",
+    "Tracer",
+    "NoOpTracer",
+    "NOOP_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "current_span",
+    "new_trace_id",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "DEFAULT_BUCKETS",
+    # export
+    "SCHEMA_VERSION",
+    "RECORD_KINDS",
+    "SPAN_STATUSES",
+    "SchemaError",
+    "JsonlSink",
+    "span_record",
+    "event_record",
+    "validate_record",
+    "read_records",
+    # profile
+    "StepProfiler",
+    "UNNAMED_FUNCTION",
+]

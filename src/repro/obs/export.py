@@ -1,0 +1,304 @@
+"""Schema-versioned JSONL export of spans, metrics, events and profiles.
+
+One record per line, every record self-describing:
+
+* ``schema`` — the integer :data:`SCHEMA_VERSION` (currently ``1``);
+* ``kind`` — one of :data:`RECORD_KINDS`;
+* ``ts`` — wall-clock UNIX seconds the record was emitted.
+
+Kind-specific fields (the stability contract — additive changes only within
+a schema version; removing or retyping a field bumps ``SCHEMA_VERSION``):
+
+``span``
+    ``trace_id`` (str), ``span_id`` (str), ``parent_id`` (str|null),
+    ``name`` (str), ``start_s``/``duration_s`` (monotonic floats),
+    ``status`` (``"ok"``/``"error"``/``"trap"``), ``error`` (str|null),
+    ``attrs`` (object of JSON scalars).
+``metric``
+    One instrument snapshot: ``name`` (str), ``type``
+    (``"counter"``/``"gauge"``/``"histogram"``) plus the fields of
+    :meth:`repro.obs.metrics.Counter.snapshot` et al. (``value`` and
+    optional ``labels`` for counters/gauges; ``count``/``sum``/``min``/
+    ``max``/``buckets`` for histograms).
+``event``
+    A point-in-time marker: ``name`` (str), ``attrs`` (object).
+``profile``
+    One :class:`repro.obs.profile.StepProfiler` report: ``engine``
+    (str|null), ``interval`` (int), ``samples`` (int), ``functions``
+    (list of ``{"function", "samples", "share"}``).
+
+:func:`validate_record` checks one parsed record against this contract and
+raises :class:`SchemaError` naming the offending field; :func:`read_records`
+streams a file back, validating by default — the round-trip the test suite
+and the CI obs smoke job enforce.  :class:`JsonlSink` is the writer: attach
+it to a :class:`repro.obs.trace.Tracer` and every finished span becomes a
+line; call :meth:`JsonlSink.emit_metrics` / :meth:`emit_profile` to flush
+registry and profiler state alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RECORD_KINDS",
+    "SPAN_STATUSES",
+    "SchemaError",
+    "JsonlSink",
+    "span_record",
+    "event_record",
+    "validate_record",
+    "read_records",
+]
+
+SCHEMA_VERSION = 1
+
+RECORD_KINDS = ("span", "metric", "event", "profile")
+
+SPAN_STATUSES = ("ok", "error", "trap")
+
+_METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+class SchemaError(ValueError):
+    """A record does not conform to the documented JSONL schema."""
+
+
+# ---------------------------------------------------------------------------
+# Record construction
+# ---------------------------------------------------------------------------
+
+
+def _base(kind: str, ts: Optional[float] = None) -> dict:
+    return {"schema": SCHEMA_VERSION, "kind": kind, "ts": ts if ts is not None else time.time()}
+
+
+def span_record(span) -> dict:
+    """Render a finished :class:`repro.obs.trace.Span` as a schema record."""
+
+    record = _base("span", span.ts)
+    record.update(
+        trace_id=span.trace_id,
+        span_id=span.span_id,
+        parent_id=span.parent_id,
+        name=span.name,
+        start_s=span.start_s,
+        duration_s=span.duration_s,
+        status=span.status,
+        error=span.error,
+        attrs=dict(span.attrs),
+    )
+    return record
+
+
+def event_record(name: str, **attrs) -> dict:
+    record = _base("event")
+    record.update(name=name, attrs=attrs)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def _require(record: dict, field: str, types, *, nullable: bool = False):
+    if field not in record:
+        raise SchemaError(f"{record.get('kind', '?')} record missing field {field!r}")
+    value = record[field]
+    if value is None:
+        if not nullable:
+            raise SchemaError(f"field {field!r} must not be null")
+        return value
+    if not isinstance(value, types):
+        raise SchemaError(
+            f"field {field!r} must be {types!r}, got {type(value).__name__}"
+        )
+    # bool is an int subclass; never a valid stand-in for a number here.
+    if isinstance(value, bool) and not (types is bool or (isinstance(types, tuple) and bool in types)):
+        raise SchemaError(f"field {field!r} must be {types!r}, got bool")
+    return value
+
+
+_NUMBER = (int, float)
+
+
+def _validate_attrs(record: dict) -> None:
+    attrs = _require(record, "attrs", dict)
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            raise SchemaError(f"attr key {key!r} must be a string")
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise SchemaError(f"attr {key!r} must be a JSON scalar, got {type(value).__name__}")
+
+
+def validate_record(record: dict) -> dict:
+    """Check ``record`` against the schema; returns it (raises otherwise)."""
+
+    if not isinstance(record, dict):
+        raise SchemaError(f"record must be an object, got {type(record).__name__}")
+    schema = _require(record, "schema", int)
+    if schema != SCHEMA_VERSION:
+        raise SchemaError(f"unsupported schema version {schema} (expected {SCHEMA_VERSION})")
+    kind = _require(record, "kind", str)
+    if kind not in RECORD_KINDS:
+        raise SchemaError(f"unknown record kind {kind!r}; expected one of {RECORD_KINDS}")
+    _require(record, "ts", _NUMBER)
+
+    if kind == "span":
+        _require(record, "trace_id", str)
+        _require(record, "span_id", str)
+        _require(record, "parent_id", str, nullable=True)
+        _require(record, "name", str)
+        _require(record, "start_s", _NUMBER)
+        _require(record, "duration_s", _NUMBER)
+        status = _require(record, "status", str)
+        if status not in SPAN_STATUSES:
+            raise SchemaError(f"unknown span status {status!r}; expected one of {SPAN_STATUSES}")
+        _require(record, "error", str, nullable=True)
+        _validate_attrs(record)
+    elif kind == "metric":
+        _require(record, "name", str)
+        metric_type = _require(record, "type", str)
+        if metric_type not in _METRIC_TYPES:
+            raise SchemaError(f"unknown metric type {metric_type!r}; expected one of {_METRIC_TYPES}")
+        if metric_type == "histogram":
+            _require(record, "count", int)
+            _require(record, "sum", _NUMBER)
+            _require(record, "min", _NUMBER, nullable=True)
+            _require(record, "max", _NUMBER, nullable=True)
+            buckets = _require(record, "buckets", list)
+            for bucket in buckets:
+                if not isinstance(bucket, dict) or "le" not in bucket or "count" not in bucket:
+                    raise SchemaError("histogram buckets must be {le, count} objects")
+                if not isinstance(bucket["le"], _NUMBER) and bucket["le"] != "+Inf":
+                    raise SchemaError(f"bucket bound must be a number or '+Inf', got {bucket['le']!r}")
+        else:
+            _require(record, "value", _NUMBER)
+            for entry in record.get("labels") or []:
+                if not isinstance(entry, dict) or "labels" not in entry or "value" not in entry:
+                    raise SchemaError("metric labels must be {labels, value} objects")
+    elif kind == "event":
+        _require(record, "name", str)
+        _validate_attrs(record)
+    else:  # profile
+        _require(record, "engine", str, nullable=True)
+        _require(record, "interval", int)
+        _require(record, "samples", int)
+        functions = _require(record, "functions", list)
+        for entry in functions:
+            if not isinstance(entry, dict) or not {"function", "samples", "share"} <= set(entry):
+                raise SchemaError("profile functions must be {function, samples, share} objects")
+    return record
+
+
+# ---------------------------------------------------------------------------
+# The sink
+# ---------------------------------------------------------------------------
+
+
+class JsonlSink:
+    """Writes schema records as JSON lines to a path or file-like stream.
+
+    Every ``emit*`` validates the record before writing (export is off the
+    per-instruction hot path, so the check is cheap insurance that files are
+    readable by :func:`read_records` and the ``repro.obs.report`` CLI) and
+    holds a lock around the write, so concurrent request threads interleave
+    whole lines, never fragments.  Usable as a context manager; ``close`` is
+    a no-op for caller-owned streams.
+    """
+
+    def __init__(self, target: Union[str, Path, object]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._lock = threading.Lock()
+        self.records_written = 0
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, record: dict) -> None:
+        validate_record(record)
+        line = json.dumps(record, sort_keys=True, allow_nan=False)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self.records_written += 1
+
+    def emit_span(self, span) -> None:
+        self.emit(span_record(span))
+
+    def emit_event(self, name: str, **attrs) -> None:
+        self.emit(event_record(name, **attrs))
+
+    def emit_metrics(self, registry) -> None:
+        """One ``metric`` record per instrument of ``registry`` (or of a
+        pre-taken ``snapshot()`` list)."""
+
+        snapshot = registry.snapshot() if hasattr(registry, "snapshot") else registry
+        ts = time.time()
+        for instrument in snapshot:
+            record = _base("metric", ts)
+            record.update(instrument)
+            self.emit(record)
+
+    def emit_profile(self, profiler) -> None:
+        record = _base("profile")
+        record.update(profiler.record_dict())
+        self.emit(record)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream:
+                self._stream.close()
+            else:
+                self._stream.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Reading back
+# ---------------------------------------------------------------------------
+
+
+def read_records(path: Union[str, Path], *, validate: bool = True) -> Iterator[dict]:
+    """Stream the records of a JSONL file (validating each by default).
+
+    Raises :class:`SchemaError` naming the line number on the first invalid
+    line — the contract the CI smoke job checks on every exported file.
+    """
+
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if validate:
+                try:
+                    validate_record(record)
+                except SchemaError as exc:
+                    raise SchemaError(f"{path}:{lineno}: {exc}") from exc
+            yield record

@@ -1,0 +1,119 @@
+"""A sampled step profiler for the execution engines.
+
+The flat VM executes millions of steps per second; per-step instrumentation
+would dominate the hot loop.  :class:`StepProfiler` instead samples: every
+``interval`` *counted* steps the engine attributes one sample to the
+function executing that step, so a hot-function table costs
+``1/interval``-th of the work regardless of program size.
+
+Integration is by duck typing, not import (the engines never import this
+module): :meth:`install` sets ``engine.profiler = self``, and the engine's
+run loop consults three things — ``next_at`` (the absolute cumulative step
+count at which the next sample fires), ``record(function_name, steps)``
+(take a sample, advancing ``next_at``), and ``interval``.  The flat VM folds
+``next_at`` into the single boundary comparison it already performs for the
+step budget, so the profiler-off path costs nothing extra; the tree walker
+checks ``self.profiler`` per step (it is the reference engine, not the perf
+path).  Both engines count steps identically, so a given workload samples at
+the same step numbers and attributes each sample to the same function on
+either engine — the parity contract ``tests/obs/test_profile.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["StepProfiler", "UNNAMED_FUNCTION"]
+
+#: Attribution bucket for functions lowered without a name.
+UNNAMED_FUNCTION = "<unnamed>"
+
+_INF = float("inf")
+
+
+class StepProfiler:
+    """Samples the current function every ``interval`` executed steps.
+
+    ``keep_trace=True`` additionally records every sample as a
+    ``(step_number, function_name)`` pair — the exact-attribution form the
+    engine-parity tests compare; leave it off in production, the aggregate
+    ``samples`` dict is all the report needs.
+    """
+
+    def __init__(self, interval: int = 1024, *, keep_trace: bool = False) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+        self.samples: dict[str, int] = {}
+        self.total_samples = 0
+        self.next_at: float = _INF
+        self.keep_trace = keep_trace
+        self.trace: list[tuple[int, str]] = []
+        self.engine_name: Optional[str] = None
+
+    # -- engine attachment -------------------------------------------------
+
+    def install(self, engine) -> "StepProfiler":
+        """Attach to an engine (or a ``WasmInterpreter`` facade over one)."""
+
+        engine = getattr(engine, "engine", engine)  # unwrap the facade
+        engine.profiler = self
+        self.engine_name = getattr(engine, "name", None)
+        self.next_at = engine.steps + self.interval
+        return self
+
+    def uninstall(self, engine) -> "StepProfiler":
+        engine = getattr(engine, "engine", engine)
+        if getattr(engine, "profiler", None) is self:
+            engine.profiler = None
+        self.next_at = _INF
+        return self
+
+    # -- the sampling hook (called from the engine run loops) --------------
+
+    def record(self, function_name: Optional[str], steps: int) -> None:
+        name = function_name if function_name is not None else UNNAMED_FUNCTION
+        self.samples[name] = self.samples.get(name, 0) + 1
+        self.total_samples += 1
+        if self.keep_trace:
+            self.trace.append((steps, name))
+        self.next_at = steps + self.interval
+
+    # -- reporting ---------------------------------------------------------
+
+    def hot_functions(self) -> list[tuple[str, int, float]]:
+        """``(function, samples, share)`` rows, hottest first."""
+
+        total = self.total_samples or 1
+        return [
+            (name, count, count / total)
+            for name, count in sorted(self.samples.items(), key=lambda item: (-item[1], item[0]))
+        ]
+
+    def record_dict(self) -> dict:
+        """The ``profile`` JSONL record body (see :mod:`repro.obs.export`)."""
+
+        return {
+            "engine": self.engine_name,
+            "interval": self.interval,
+            "samples": self.total_samples,
+            "functions": [
+                {"function": name, "samples": count, "share": round(share, 6)}
+                for name, count, share in self.hot_functions()
+            ],
+        }
+
+    def format_table(self) -> str:
+        lines = [
+            f"step profile: {self.total_samples} sample(s), interval {self.interval}"
+            + (f", engine {self.engine_name}" if self.engine_name else ""),
+            f"  {'function':<28} {'samples':>8} {'share':>7}",
+        ]
+        for name, count, share in self.hot_functions():
+            lines.append(f"  {name:<28} {count:>8} {share:>6.1%}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.samples.clear()
+        self.total_samples = 0
+        self.trace.clear()

@@ -1,0 +1,182 @@
+"""Aggregate an obs JSONL file into per-stage / per-request summary tables.
+
+The interchange idiom is the one the ROADMAP's CLI item commits to: tools
+emit schema-versioned JSONL (:mod:`repro.obs.export`), and downstream
+consumers pipe the file through small aggregators.  This module is the
+first such consumer::
+
+    python -m repro.obs.report trace.jsonl            # summary tables
+    python -m repro.obs.report --validate trace.jsonl # schema check only
+
+Spans aggregate by name (count, total/mean/max duration, error and trap
+counts); spans named ``request`` additionally break down per export (the
+``Service``/``BatchRunner`` serving tier), with trap kinds; ``metric``
+records print totals, ``profile`` records their hot-function tables.  Every
+line is validated against the schema on the way in — the CLI exits non-zero
+on the first bad record, which is exactly the gate the CI obs smoke job
+needs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .export import SchemaError, read_records
+
+__all__ = ["Summary", "summarize", "format_summary", "main"]
+
+
+@dataclass
+class _SpanAgg:
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    errors: int = 0
+    traps: int = 0
+
+    def add(self, record: dict) -> None:
+        self.count += 1
+        self.total_s += record["duration_s"]
+        self.max_s = max(self.max_s, record["duration_s"])
+        if record["status"] == "error":
+            self.errors += 1
+        elif record["status"] == "trap":
+            self.traps += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class Summary:
+    """The aggregate view of one record stream."""
+
+    records: int = 0
+    spans: dict[str, _SpanAgg] = field(default_factory=dict)
+    requests: dict[str, _SpanAgg] = field(default_factory=dict)
+    trap_kinds: dict[str, int] = field(default_factory=dict)
+    traces: set = field(default_factory=set)
+    counters: dict[str, object] = field(default_factory=dict)
+    gauges: dict[str, object] = field(default_factory=dict)
+    histograms: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    profiles: list[dict] = field(default_factory=list)
+
+
+def summarize(records: Iterable[dict]) -> Summary:
+    summary = Summary()
+    for record in records:
+        summary.records += 1
+        kind = record["kind"]
+        if kind == "span":
+            summary.spans.setdefault(record["name"], _SpanAgg()).add(record)
+            summary.traces.add(record["trace_id"])
+            if record["name"] == "request":
+                export = record["attrs"].get("export", "?")
+                summary.requests.setdefault(export, _SpanAgg()).add(record)
+                trap_kind = record["attrs"].get("trap_kind")
+                if trap_kind:
+                    summary.trap_kinds[trap_kind] = summary.trap_kinds.get(trap_kind, 0) + 1
+        elif kind == "metric":
+            if record["type"] == "counter":
+                summary.counters[record["name"]] = record
+            elif record["type"] == "gauge":
+                summary.gauges[record["name"]] = record
+            else:
+                summary.histograms.append(record)
+        elif kind == "event":
+            summary.events.append(record)
+        else:  # profile
+            summary.profiles.append(record)
+    return summary
+
+
+def format_summary(summary: Summary) -> str:
+    lines = [f"{summary.records} record(s), {len(summary.traces)} trace(s)"]
+
+    if summary.spans:
+        lines.append("")
+        lines.append(f"{'span':<24} {'count':>7} {'total s':>10} {'mean s':>10} {'max s':>10} {'err':>4} {'trap':>5}")
+        for name, agg in sorted(summary.spans.items(), key=lambda item: -item[1].total_s):
+            lines.append(
+                f"{name:<24} {agg.count:>7} {agg.total_s:>10.4f} {agg.mean_s:>10.6f} "
+                f"{agg.max_s:>10.6f} {agg.errors:>4} {agg.traps:>5}"
+            )
+
+    if summary.requests:
+        lines.append("")
+        lines.append(f"{'request export':<24} {'count':>7} {'total s':>10} {'mean s':>10} {'err':>4} {'trap':>5}")
+        for export, agg in sorted(summary.requests.items(), key=lambda item: -item[1].count):
+            lines.append(
+                f"{export:<24} {agg.count:>7} {agg.total_s:>10.4f} {agg.mean_s:>10.6f} "
+                f"{agg.errors:>4} {agg.traps:>5}"
+            )
+        if summary.trap_kinds:
+            kinds = ", ".join(f"{kind}={count}" for kind, count in sorted(summary.trap_kinds.items()))
+            lines.append(f"trap kinds: {kinds}")
+
+    if summary.counters or summary.gauges:
+        lines.append("")
+        lines.append(f"{'metric':<40} {'value':>12}")
+        for name, record in sorted(summary.counters.items()):
+            lines.append(f"{name:<40} {record['value']:>12}")
+            for entry in record.get("labels") or []:
+                label = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+                lines.append(f"  {label:<38} {entry['value']:>12}")
+        for name, record in sorted(summary.gauges.items()):
+            lines.append(f"{name:<40} {record['value']:>12} (gauge)")
+
+    for record in summary.histograms:
+        lines.append("")
+        lines.append(
+            f"histogram {record['name']}: count={record['count']} sum={record['sum']:.4f} "
+            f"min={record['min']} max={record['max']}"
+        )
+
+    for record in summary.profiles:
+        lines.append("")
+        engine = record.get("engine") or "?"
+        lines.append(
+            f"profile ({engine}, interval {record['interval']}): {record['samples']} sample(s)"
+        )
+        lines.append(f"  {'function':<28} {'samples':>8} {'share':>7}")
+        for entry in record["functions"]:
+            lines.append(f"  {entry['function']:<28} {entry['samples']:>8} {entry['share']:>6.1%}")
+
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize (or just validate) a repro.obs JSONL export.",
+    )
+    parser.add_argument("path", help="the JSONL file to read")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate every record against the schema and exit (no tables)")
+    args = parser.parse_args(argv)
+
+    try:
+        records = list(read_records(args.path))
+    except (OSError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.validate:
+        print(f"{args.path}: {len(records)} record(s), all valid (schema {_schema_of(records)})")
+        return 0
+
+    print(format_summary(summarize(records)))
+    return 0
+
+
+def _schema_of(records: list[dict]) -> object:
+    return records[0]["schema"] if records else "n/a"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,321 @@
+"""Tracing: nested spans over the compile and serving tiers.
+
+A :class:`Span` is one timed operation — a facade stage, a served request, a
+benchmark phase — carrying a ``trace_id`` shared by every span of one
+logical trace, its own ``span_id``, the ``parent_id`` linking it into the
+tree, string-keyed attributes, and an error/trap status.  Spans nest via a
+thread-local context stack: a span opened while another is active becomes
+its child and inherits the trace id, which is how one request's trace
+crosses the ``Service`` → ``BatchRunner`` → pool layers without threading an
+argument through every call.
+
+The layer is built to be *free when off*: the process-global tracer defaults
+to :data:`NOOP_TRACER`, whose :meth:`~NoOpTracer.span` returns one shared
+do-nothing span — the disabled instrumentation path costs an attribute load
+and a method call, never an allocation.  Enable tracing with
+:func:`set_tracer` (or the :func:`use_tracer` context manager in tests);
+finished spans are buffered thread-safely on the tracer and optionally
+forwarded to a sink such as :class:`repro.obs.export.JsonlSink`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "Span",
+    "NoOpSpan",
+    "Tracer",
+    "NoOpTracer",
+    "NOOP_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "current_span",
+    "new_trace_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random, process-independent)."""
+
+    return os.urandom(8).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(4).hex()
+
+
+def _trap_exception_types() -> tuple:
+    # Resolved lazily so the obs package stays importable without the wasm
+    # layer (and keeps no import cycle: wasm never imports obs.trace).
+    global _TRAP_TYPES
+    if _TRAP_TYPES is None:
+        try:
+            from ..wasm.interpreter import WasmTrap
+
+            _TRAP_TYPES = (WasmTrap,)
+        except Exception:  # pragma: no cover - wasm layer always present here
+            _TRAP_TYPES = ()
+    return _TRAP_TYPES
+
+
+_TRAP_TYPES: Optional[tuple] = None
+
+
+class Span:
+    """One timed, attributed operation inside a trace.
+
+    Use as a context manager: ``with tracer.span("lower", key=...) as span``.
+    ``start_s``/``duration_s`` come from the monotonic clock
+    (``time.perf_counter``); ``ts`` is the wall-clock time the span *ended*
+    (what the JSONL record carries, so cross-process traces line up).
+    Status is ``"ok"`` unless the body raised — a ``WasmTrap`` marks the span
+    ``"trap"``, any other exception ``"error"`` — or :meth:`set_trap` was
+    called explicitly (the batch runner's isolated traps never raise).
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "status",
+        "error",
+        "start_s",
+        "duration_s",
+        "ts",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: Optional[str], attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.start_s: Optional[float] = None
+        self.duration_s: Optional[float] = None
+        self.ts: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def set_attr(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def set_trap(self, message: str, *, kind: Optional[str] = None) -> "Span":
+        """Tag the span as trapped (without raising through it)."""
+
+        self.status = "trap"
+        self.error = message
+        if kind is not None:
+            self.attrs["trap_kind"] = kind
+        return self
+
+    def set_error(self, message: str) -> "Span":
+        self.status = "error"
+        self.error = message
+        return self
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self.start_s
+        self.ts = time.time()
+        if exc is not None and self.status == "ok":
+            if isinstance(exc, _trap_exception_types()):
+                self.set_trap(str(exc))
+            else:
+                self.set_error(f"{exc_type.__name__}: {exc}")
+        self._tracer._pop(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, span={self.span_id}, "
+            f"status={self.status!r}, duration={self.duration_s})"
+        )
+
+
+class Tracer:
+    """Produces spans, tracks the per-thread context stack, buffers output.
+
+    ``sink`` is any object with an ``emit_span(span)`` method (see
+    :class:`repro.obs.export.JsonlSink`); without one, finished spans
+    accumulate in an in-memory buffer drained with :meth:`drain`.  Both the
+    buffer and the sink hand-off are lock-protected; the context stack is
+    thread-local, so concurrent threads nest independently.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, *, max_buffer: int = 100_000) -> None:
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[Span] = []
+        self._max_buffer = max_buffer
+        self.dropped = 0
+
+    # -- span construction -------------------------------------------------
+
+    def span(self, name: str, *, trace_id: Optional[str] = None, **attrs) -> Span:
+        """A new span, child of the current one (if any).
+
+        An explicit ``trace_id`` (e.g. propagated from a
+        :class:`repro.runtime.Request`) overrides the inherited one — that is
+        how a caller-assigned id follows a request through the serving tier.
+        """
+
+        parent = self.current_span()
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else new_trace_id()
+        parent_id = parent.span_id if parent is not None else None
+        return Span(self, name, trace_id, parent_id, attrs)
+
+    def current_span(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- context stack / buffering (called by Span) ------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # unbalanced exit; recover
+            stack.remove(span)
+        with self._lock:
+            if self._sink is not None:
+                self._sink.emit_span(span)
+            elif len(self._finished) < self._max_buffer:
+                self._finished.append(span)
+            else:
+                self.dropped += 1
+
+    def drain(self) -> list[Span]:
+        """Return and clear the buffered finished spans (sink-less mode)."""
+
+        with self._lock:
+            finished, self._finished = self._finished, []
+        return finished
+
+
+class NoOpSpan:
+    """The shared do-nothing span handed out by :class:`NoOpTracer`."""
+
+    __slots__ = ()
+
+    name = None
+    trace_id = None
+    span_id = None
+    parent_id = None
+    status = "ok"
+    error = None
+    start_s = None
+    duration_s = None
+    ts = None
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+    def set_attr(self, **attrs) -> "NoOpSpan":
+        return self
+
+    def set_trap(self, message, *, kind=None) -> "NoOpSpan":
+        return self
+
+    def set_error(self, message) -> "NoOpSpan":
+        return self
+
+    def __enter__(self) -> "NoOpSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = NoOpSpan()
+
+
+class NoOpTracer:
+    """The disabled tracer: every method is constant-time and allocation-free.
+
+    ``tracer.enabled`` is the one attribute instrumentation sites may check
+    to skip attribute computation; ``span()`` always returns the same
+    :class:`NoOpSpan` instance, so even un-guarded ``with tracer.span(...)``
+    sites cost a method call and nothing else.
+    """
+
+    enabled = False
+
+    def span(self, name: str, *, trace_id: Optional[str] = None, **attrs) -> NoOpSpan:
+        return _NOOP_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def drain(self) -> list:
+        return []
+
+
+NOOP_TRACER = NoOpTracer()
+
+_tracer = NOOP_TRACER
+
+
+def get_tracer():
+    """The process-global tracer (the :data:`NOOP_TRACER` by default)."""
+
+    return _tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` globally; pass :data:`NOOP_TRACER` to disable."""
+
+    global _tracer
+    _tracer = tracer if tracer is not None else NOOP_TRACER
+
+
+class use_tracer:
+    """``with use_tracer(Tracer()) as t: ...`` — scoped install/restore."""
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = get_tracer()
+        set_tracer(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_tracer(self._previous)
+        return False
+
+
+def current_span():
+    """The active span of the global tracer (``None`` when disabled/idle)."""
+
+    return _tracer.current_span()

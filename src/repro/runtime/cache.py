@@ -45,9 +45,17 @@ from typing import Optional, Sequence
 from ..core.syntax import Module
 from ..core.syntax.intern import structural_digest
 from ..lower import LoweredModule, lower_module
+from ..obs.metrics import default_registry
 from ..wasm import validate_module
 from ..wasm.ast import WasmModule
 from ..wasm.decode import DecodedModule, decode_module
+
+# Process-wide cache telemetry: one counter, labeled by stage and outcome
+# (hit/miss here; the facade records its bypass decisions under the same
+# name).  The per-cache integer view stays on ``ModuleCache.stats``.
+_CACHE_EVENTS = default_registry().counter(
+    "runtime.cache.events", "ModuleCache stage lookups by stage/outcome"
+)
 
 
 def content_key(*parts: object) -> str:
@@ -199,8 +207,10 @@ class ModuleCache:
         result = self._typechecked.get(key)
         if result is not None:
             stats.hits += 1
+            _CACHE_EVENTS.inc(stage="typecheck", event="hit")
             return result
         stats.misses += 1
+        _CACHE_EVENTS.inc(stage="typecheck", event="miss")
         result = check_module(module)
         self._typechecked[key] = result
         return result
@@ -231,8 +241,10 @@ class ModuleCache:
         linked = self._linked.get(key)
         if linked is not None:
             stats.hits += 1
+            _CACHE_EVENTS.inc(stage="link", event="hit")
             return linked
         stats.misses += 1
+        _CACHE_EVENTS.inc(stage="link", event="miss")
         linked = link_modules(modules, name=name, check=check, checker=self.typecheck)
         self._linked[key] = linked
         return linked
@@ -274,12 +286,14 @@ class ModuleCache:
         lowered = self._lowered.get(key)
         if lowered is None:
             stats.misses += 1
+            _CACHE_EVENTS.inc(stage="lower", event="miss")
             lowered = lower_module(richwasm, config=config, passes=passes)
             if config.validate_wasm:
                 validate_module(lowered.wasm)
             self._lowered[key] = lowered
         else:
             stats.hits += 1
+            _CACHE_EVENTS.inc(stage="lower", event="hit")
         return replace(lowered, engine=engine, diagnostics=None)
 
     # -- stage: decode -----------------------------------------------------
@@ -301,8 +315,10 @@ class ModuleCache:
         stats = self.stats["decode"]
         if key in self._decoded:
             stats.hits += 1
+            _CACHE_EVENTS.inc(stage="decode", event="hit")
         else:
             stats.misses += 1
+            _CACHE_EVENTS.inc(stage="decode", event="miss")
         decoded = decode_module(wasm)
         self._decoded[key] = decoded
         return decoded
@@ -330,8 +346,10 @@ class ModuleCache:
         program = self._programs.get(key)
         if program is None:
             stats.misses += 1
+            _CACHE_EVENTS.inc(stage="program", event="miss")
             return None
         stats.hits += 1
+        _CACHE_EVENTS.inc(stage="program", event="hit")
         if program.engine != engine or (config is not None and config != program.config):
             program = CompiledProgram(
                 richwasm=program.richwasm,

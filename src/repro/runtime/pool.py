@@ -20,8 +20,24 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from ..obs.metrics import default_registry
 from ..wasm.ast import WasmModule
 from ..wasm.interpreter import HostFunction, WasmInstance, WasmInterpreter, WasmValue
+
+# Process-wide pool telemetry (every pool in the process accumulates here;
+# the per-pool view stays on ``InstancePool.stats``).
+_POOL_INSTANTIATIONS = default_registry().counter(
+    "runtime.pool.instantiations", "fresh instances built by instance pools"
+)
+_POOL_RESETS = default_registry().counter(
+    "runtime.pool.resets", "successful in-place instance resets"
+)
+_POOL_RESET_FAILURES = default_registry().counter(
+    "runtime.pool.reset_failures", "resets that failed (instance discarded)"
+)
+_POOL_DISCARDS = default_registry().counter(
+    "runtime.pool.discards", "instances dropped (failed reset or over capacity)"
+)
 
 
 @dataclass(frozen=True)
@@ -159,6 +175,7 @@ class InstancePool:
             self._setup(interpreter, instance)
         image = InstanceImage.capture(interpreter, instance)
         self.stats.created += 1
+        _POOL_INSTANTIATIONS.inc()
         return PooledInstance(interpreter, instance, image)
 
     def acquire(self) -> PooledInstance:
@@ -188,12 +205,16 @@ class InstancePool:
         except Exception:
             self.stats.reset_failures += 1
             self.stats.discarded += 1
+            _POOL_RESET_FAILURES.inc()
+            _POOL_DISCARDS.inc()
             return
         self.stats.resets += 1
+        _POOL_RESETS.inc()
         if len(self._free) < self.max_size:
             self._free.append(entry)
         else:
             self.stats.discarded += 1
+            _POOL_DISCARDS.inc()
 
     @contextmanager
     def instance(self):

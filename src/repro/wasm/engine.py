@@ -148,6 +148,13 @@ class ExecutionEngine(ABC):
     (trap with ``"step budget exhausted"`` once exceeded).  Both engines
     count the same instruction stream, so a program traps at the same step
     number regardless of engine.
+
+    ``profiler`` optionally holds a :class:`repro.obs.profile.StepProfiler`
+    (attached via ``profiler.install(engine)``; the engine never imports the
+    obs layer).  When set, the run loops take one sample every
+    ``profiler.interval`` counted steps, attributed to the function
+    executing that step; since both engines count steps identically, the
+    sample points and attributions agree across engines.
     """
 
     name: ClassVar[str] = "abstract"
@@ -155,6 +162,7 @@ class ExecutionEngine(ABC):
     def __init__(self, *, max_steps: Optional[int] = None) -> None:
         self.max_steps = max_steps
         self.steps = 0
+        self.profiler = None
 
     # -- instantiation -----------------------------------------------------
 
@@ -232,6 +240,12 @@ class TreeWalkingEngine(ExecutionEngine):
 
     name: ClassVar[str] = "tree"
 
+    def __init__(self, *, max_steps: Optional[int] = None) -> None:
+        super().__init__(max_steps=max_steps)
+        # Innermost executing function, maintained only while a profiler is
+        # attached (the sampler's attribution source).
+        self._profile_stack: list = []
+
     def invoke_index(self, instance: WasmInstance, index: int, args: list[WasmValue]) -> list[WasmValue]:
         target = instance.funcs[index]
         if callable(target) and not isinstance(target, WasmFunction):
@@ -244,6 +258,9 @@ class TreeWalkingEngine(ExecutionEngine):
         for valtype in target.locals:
             locals_.append(0 if valtype.is_integer else 0.0)
         stack: list[WasmValue] = []
+        profiling = self.profiler is not None
+        if profiling:
+            self._profile_stack.append(target.name)
         try:
             self._exec_seq(target.body, stack, locals_, instance)
             count = len(target.functype.results)
@@ -253,6 +270,9 @@ class TreeWalkingEngine(ExecutionEngine):
             return ret.values[len(ret.values) - count :] if count else []
         except _Branch as branch:  # pragma: no cover - validation prevents this
             raise WasmTrap(f"branch escaped function body (depth {branch.depth})")
+        finally:
+            if profiling:
+                self._profile_stack.pop()
 
     # -- execution ---------------------------------------------------------
 
@@ -270,6 +290,9 @@ class TreeWalkingEngine(ExecutionEngine):
         self.steps += 1
         if self.max_steps is not None and self.steps > self.max_steps:
             raise WasmTrap("step budget exhausted")
+        profiler = self.profiler
+        if profiler is not None and self.steps >= profiler.next_at:
+            profiler.record(self._profile_stack[-1] if self._profile_stack else None, self.steps)
 
         if isinstance(instr, Const):
             stack.append(_normalize(instr.valtype, instr.value))
@@ -622,9 +645,19 @@ class FlatVMEngine(ExecutionEngine):
         pc = 0
         cur_base = 0
         cur_nres = flat.n_results
+        cur_flat = flat
 
         steps = self.steps
         limit = self.max_steps if self.max_steps is not None else float("inf")
+        # The step check is one comparison against ``boundary`` — the nearer
+        # of the trap point and the profiler's next sample.  With no profiler
+        # attached, ``boundary`` is exactly the trap point (``limit + 1``,
+        # since the budget traps on ``steps > limit``), so profiling support
+        # costs the disabled path nothing.
+        profiler = self.profiler
+        trap_at = limit + 1
+        next_at = profiler.next_at if profiler is not None else float("inf")
+        boundary = trap_at if trap_at < next_at else next_at
 
         NumericTrap = numerics.NumericTrap
         wrap = numerics.wrap
@@ -648,7 +681,7 @@ class FlatVMEngine(ExecutionEngine):
                         del stack[cur_base:]
                     if not frames:
                         return stack
-                    code, pc, locals_, labels, cur_base, cur_nres = frames.pop()
+                    code, pc, locals_, labels, cur_base, cur_nres, cur_flat = frames.pop()
                     code_len = len(code)
                     continue
 
@@ -656,8 +689,12 @@ class FlatVMEngine(ExecutionEngine):
                 op = ins[0]
                 if op >= 0:
                     steps += 1
-                    if steps > limit:
-                        raise WasmTrap("step budget exhausted")
+                    if steps >= boundary:
+                        if steps > limit:
+                            raise WasmTrap("step budget exhausted")
+                        profiler.record(cur_flat.name, steps)
+                        next_at = profiler.next_at
+                        boundary = trap_at if trap_at < next_at else next_at
                 pc += 1
 
                 if op == OP_LOCAL_GET:
@@ -755,7 +792,7 @@ class FlatVMEngine(ExecutionEngine):
                         else:
                             new_locals = []
                         new_locals.extend(callee.local_inits)
-                        frames.append((code, pc, locals_, labels, cur_base, cur_nres))
+                        frames.append((code, pc, locals_, labels, cur_base, cur_nres, cur_flat))
                         code = callee.code
                         code_len = len(code)
                         pc = 0
@@ -763,6 +800,7 @@ class FlatVMEngine(ExecutionEngine):
                         labels = []
                         cur_base = len(stack)
                         cur_nres = callee.n_results
+                        cur_flat = callee
                     else:
                         functype = expected if expected is not None else callee.functype
                         n_args = len(functype.params)
@@ -779,6 +817,11 @@ class FlatVMEngine(ExecutionEngine):
                             results = callee.fn(*host_args)
                         finally:
                             steps = self.steps
+                            # Reentrant execution may have consumed samples;
+                            # re-read the profiler's schedule.
+                            if profiler is not None:
+                                next_at = profiler.next_at
+                                boundary = trap_at if trap_at < next_at else next_at
                         results = list(results) if results is not None else []
                         stack.extend(
                             _normalize(valtype, value) for valtype, value in zip(functype.results, results)

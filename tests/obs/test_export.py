@@ -1,0 +1,137 @@
+"""The JSONL schema: emit → validate → read back, and rejection cases."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    MetricsRegistry,
+    SchemaError,
+    StepProfiler,
+    Tracer,
+    read_records,
+    span_record,
+    validate_record,
+)
+from repro.obs.export import event_record
+
+
+def _finished_span(tracer=None, name="op", **attrs):
+    tracer = tracer or Tracer()
+    with tracer.span(name, **attrs) as span:
+        pass
+    return span
+
+
+class TestRecords:
+    def test_span_record_shape(self):
+        span = _finished_span(name="compile.lower", key="abc")
+        record = validate_record(span_record(span))
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["kind"] == "span"
+        assert record["name"] == "compile.lower"
+        assert record["attrs"] == {"key": "abc"}
+        assert record["status"] == "ok" and record["error"] is None
+        assert record["duration_s"] >= 0.0
+
+    def test_event_record_shape(self):
+        record = validate_record(event_record("bench.done", ok=True, mode="smoke"))
+        assert record["kind"] == "event"
+        assert record["attrs"] == {"ok": True, "mode": "smoke"}
+
+
+class TestValidation:
+    def test_rejects_unknown_kind_and_version(self):
+        record = event_record("x")
+        with pytest.raises(SchemaError, match="unknown record kind"):
+            validate_record({**record, "kind": "trace"})
+        with pytest.raises(SchemaError, match="schema version"):
+            validate_record({**record, "schema": SCHEMA_VERSION + 1})
+
+    def test_rejects_missing_and_mistyped_fields(self):
+        record = span_record(_finished_span())
+        broken = dict(record)
+        del broken["trace_id"]
+        with pytest.raises(SchemaError, match="missing field 'trace_id'"):
+            validate_record(broken)
+        with pytest.raises(SchemaError, match="'duration_s'"):
+            validate_record({**record, "duration_s": "fast"})
+        # bool is not a number, even though Python's bool subclasses int.
+        with pytest.raises(SchemaError, match="'duration_s'"):
+            validate_record({**record, "duration_s": True})
+
+    def test_rejects_non_scalar_attrs(self):
+        record = span_record(_finished_span())
+        with pytest.raises(SchemaError, match="JSON scalar"):
+            validate_record({**record, "attrs": {"nested": {"a": 1}}})
+
+    def test_rejects_unknown_span_status(self):
+        record = span_record(_finished_span())
+        with pytest.raises(SchemaError, match="span status"):
+            validate_record({**record, "status": "maybe"})
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        registry = MetricsRegistry("t")
+        registry.counter("hits").inc(3, stage="lower")
+        registry.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        with JsonlSink(path) as sink:
+            sink.emit_span(_finished_span(name="request", export="fact"))
+            sink.emit_event("marker", phase="end")
+            sink.emit_metrics(registry)
+            assert sink.records_written == 4
+        records = list(read_records(path))
+        assert [r["kind"] for r in records] == ["span", "event", "metric", "metric"]
+        histogram = records[-1]
+        assert histogram["buckets"][-1]["le"] == "+Inf"
+        # Strict JSON end-to-end: every line parses with a vanilla loader.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_sink_validates_before_writing(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        with pytest.raises(SchemaError):
+            sink.emit({"schema": SCHEMA_VERSION, "kind": "span", "ts": 0.0})
+        sink.close()
+        assert sink.records_written == 0
+
+    def test_tracer_sink_integration(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink=sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        sink.close()
+        inner, outer = list(read_records(path))
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["trace_id"] == outer["trace_id"]
+        assert tracer.drain() == []  # sink mode never buffers
+
+    def test_emit_profile(self, tmp_path):
+        path = tmp_path / "prof.jsonl"
+        profiler = StepProfiler(interval=8)
+        profiler.record("hot", 8)
+        profiler.record("hot", 16)
+        profiler.record(None, 24)
+        with JsonlSink(path) as sink:
+            sink.emit_profile(profiler)
+        (record,) = read_records(path)
+        assert record["kind"] == "profile"
+        assert record["samples"] == 3
+        assert record["functions"][0] == {"function": "hot", "samples": 2, "share": 0.666667}
+
+    def test_read_records_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = json.dumps(validate_record(event_record("ok")))
+        path.write_text(good + "\n{not json}\n")
+        with pytest.raises(SchemaError, match="2: not valid JSON"):
+            list(read_records(path))
+        path.write_text(good + "\n" + json.dumps({"schema": SCHEMA_VERSION}) + "\n")
+        with pytest.raises(SchemaError, match=":2:"):
+            list(read_records(path))

@@ -1,0 +1,98 @@
+"""Metrics registry: counters/gauges/histograms and their snapshots."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, default_registry
+from repro.obs.export import _base, validate_record
+
+
+class TestCounter:
+    def test_total_and_label_breakdown(self):
+        counter = MetricsRegistry("t").counter("events", "help text")
+        counter.inc()
+        counter.inc(2, stage="lower", event="hit")
+        counter.inc(stage="lower", event="miss")
+        counter.inc(event="hit", stage="lower")  # label order is irrelevant
+        assert counter.value == 5
+        assert counter.labeled(stage="lower", event="hit") == 3
+        assert counter.labeled(stage="lower", event="miss") == 1
+        assert counter.labeled(stage="decode", event="hit") == 0
+        snap = counter.snapshot()
+        assert snap["value"] == 5
+        assert {tuple(sorted(e["labels"].items())): e["value"] for e in snap["labels"]} == {
+            (("event", "hit"), ("stage", "lower")): 3,
+            (("event", "miss"), ("stage", "lower")): 1,
+        }
+
+    def test_reset_zeroes_but_keeps_registration(self):
+        registry = MetricsRegistry("t")
+        counter = registry.counter("c")
+        counter.inc(5, kind="x")
+        registry.reset()
+        assert counter.value == 0 and counter.labeled(kind="x") == 0
+        assert registry.counter("c") is counter
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry("t").gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+        assert gauge.snapshot() == {"type": "gauge", "name": "depth", "value": 13}
+
+
+class TestHistogram:
+    def test_bucket_placement_and_stats(self):
+        histogram = MetricsRegistry("t").histogram("steps", buckets=(10, 100, 1000))
+        for value in (5, 10, 11, 500, 10_000):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5 and snap["sum"] == 10526
+        assert (snap["min"], snap["max"]) == (5, 10_000)
+        # Bound 10 is inclusive (bisect_left): the observation 10 lands in
+        # its own bucket, not the next one up.
+        assert [(b["le"], b["count"]) for b in snap["buckets"]] == [
+            (10, 2), (100, 1), (1000, 1), ("+Inf", 1),
+        ]
+
+    def test_snapshot_is_schema_valid(self):
+        histogram = MetricsRegistry("t").histogram("h")
+        histogram.observe(0.5)
+        record = _base("metric")
+        record.update(histogram.snapshot())
+        validate_record(record)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry("t").histogram("bad", buckets=(10, 5))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry("t")
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry("t")
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("x")
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry("t")
+        registry.counter("b").inc()
+        registry.gauge("a").set(1)
+        assert [entry["name"] for entry in registry.snapshot()] == ["a", "b"]
+        assert registry.names() == ("a", "b")
+
+    def test_default_registry_is_shared_and_wired(self):
+        import repro.runtime.batch  # noqa: F401 — registers its instruments
+        import repro.runtime.cache  # noqa: F401
+
+        registry = default_registry()
+        assert registry is default_registry()
+        # The wired layers register these at import time.
+        for name in ("runtime.cache.events", "runtime.requests", "runtime.request_steps"):
+            assert registry.get(name) is not None, name

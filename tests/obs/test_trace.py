@@ -1,0 +1,131 @@
+"""Tracer semantics: no-op identity, nesting, trace propagation, status."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_TRACER,
+    NoOpSpan,
+    Tracer,
+    current_span,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
+    use_tracer,
+)
+from repro.wasm.interpreter import WasmTrap
+
+
+class TestNoOpTracer:
+    def test_is_the_global_default(self):
+        assert get_tracer() is NOOP_TRACER
+        assert not NOOP_TRACER.enabled
+
+    def test_span_returns_one_shared_instance(self):
+        # The disabled path must never allocate: every span() call hands
+        # back the same object, usable as a do-nothing context manager.
+        a = NOOP_TRACER.span("x", trace_id="t", attr=1)
+        b = NOOP_TRACER.span("y")
+        assert a is b
+        assert isinstance(a, NoOpSpan)
+        with a as span:
+            assert span is a
+            assert span.set_attr(k="v") is span
+            assert span.attrs == {}
+        assert NOOP_TRACER.current_span() is None
+        assert NOOP_TRACER.drain() == []
+
+    def test_noop_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with NOOP_TRACER.span("x"):
+                raise ValueError("boom")
+
+
+class TestSpans:
+    def test_nesting_assigns_parents_and_shared_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        spans = tracer.drain()
+        assert [s.name for s in spans] == ["inner", "outer"]  # finish order
+        assert outer.parent_id is None
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_explicit_trace_id_overrides_inherited(self):
+        tracer = Tracer()
+        pinned = new_trace_id()
+        with tracer.span("outer"):
+            with tracer.span("inner", trace_id=pinned) as inner:
+                assert inner.trace_id == pinned
+
+    def test_trap_exceptions_tag_trap_other_exceptions_error(self):
+        tracer = Tracer()
+        with pytest.raises(WasmTrap):
+            with tracer.span("t"):
+                raise WasmTrap("unreachable executed")
+        with pytest.raises(RuntimeError):
+            with tracer.span("e"):
+                raise RuntimeError("nope")
+        trap, error = tracer.drain()
+        assert (trap.status, trap.error) == ("trap", "unreachable executed")
+        assert error.status == "error" and "RuntimeError: nope" in error.error
+
+    def test_explicit_set_trap_records_kind_attr(self):
+        tracer = Tracer()
+        with tracer.span("request") as span:
+            span.set_trap("step budget exhausted", kind="step_budget")
+        (span,) = tracer.drain()
+        assert span.status == "trap"
+        assert span.attrs["trap_kind"] == "step_budget"
+
+    def test_buffer_cap_drops_and_counts(self):
+        tracer = Tracer(max_buffer=2)
+        for index in range(4):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.drain()) == 2
+        assert tracer.dropped == 2
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(tag):
+            with tracer.span(f"root-{tag}") as root:
+                with tracer.span(f"child-{tag}") as child:
+                    seen[tag] = (root, child)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for tag, (root, child) in seen.items():
+            assert child.parent_id == root.span_id
+            assert child.trace_id == root.trace_id
+        assert seen["a"][0].trace_id != seen["b"][0].trace_id
+
+
+class TestGlobalInstall:
+    def test_use_tracer_scopes_install_and_restore(self):
+        tracer = Tracer()
+        assert get_tracer() is NOOP_TRACER
+        with use_tracer(tracer) as installed:
+            assert installed is tracer and get_tracer() is tracer
+            with tracer.span("x") as span:
+                assert current_span() is span
+        assert get_tracer() is NOOP_TRACER
+        assert current_span() is None
+
+    def test_set_tracer_none_means_disable(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NOOP_TRACER
