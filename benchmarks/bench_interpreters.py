@@ -1,13 +1,17 @@
 """RUN — execution throughput across interpreters and engines.
 
-Two comparison series:
+Three comparison series:
 
 * RichWasm interpreter vs lowered Wasm (the original §6 companion series);
 * tree-walking engine vs pre-decoded flat VM on the same lowered Wasm — the
   head-to-head for the pluggable execution-engine layer.  The flat VM must
-  deliver at least 2x steps/sec on every workload while agreeing with the
-  tree-walker on results, traps, final memory, globals, and step counts
-  (checked via :func:`repro.opt.run_engine_cross_check`).
+  deliver at least 2x steps/sec on every workload;
+* flat VM vs the compiled tier (:mod:`repro.wasm.pygen`), which translates
+  the decoded flat code to Python source once per module and must deliver at
+  least 3x the flat VM's steps/sec on ``sum_loop``.
+
+Every series agrees on results, traps, final memory, globals, and step
+counts (checked three ways via :func:`repro.opt.run_engine_cross_check`).
 """
 
 import os
@@ -23,9 +27,11 @@ from workloads import SUM_N, WORKLOADS, measure_engine, run_calls
 
 EXPECTED = SUM_N * (SUM_N + 1) // 2
 
-# The acceptance floor; measured headroom is ~2.9-3.3x.  Overridable so a
-# heavily contended runner can relax the gate without a code change.
+# The acceptance floors; measured headroom is ~2.9-3.3x (flat over tree) and
+# ~3.4-5x (compiled over flat).  Overridable so a heavily contended runner
+# can relax the gates without a code change.
 ENGINE_SPEEDUP_FLOOR = float(os.environ.get("REPRO_SPEEDUP_FLOOR", "2.0"))
+COMPILED_SPEEDUP_FLOOR = float(os.environ.get("REPRO_COMPILED_SPEEDUP_FLOOR", "3.0"))
 
 
 # ---------------------------------------------------------------------------
@@ -58,14 +64,23 @@ def test_bench_lowered_wasm_tree(benchmark):
     assert result == EXPECTED
 
 
+@pytest.mark.benchmark(group="execution")
+def test_bench_lowered_wasm_compiled(benchmark):
+    wasm, _ = WORKLOADS["sum_loop"]()
+    wi = WasmInterpreter(engine="compiled")
+    inst = wi.instantiate(wasm)
+    result = benchmark(lambda: wi.invoke(inst, "sum", [SUM_N])[0])
+    assert result == EXPECTED
+
+
 # ---------------------------------------------------------------------------
-# Engine head-to-head: tree walker vs flat VM
+# Engine head-to-head: tree walker vs flat VM vs compiled tier
 # ---------------------------------------------------------------------------
 
 
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_engines_agree(workload):
-    """Tree walker and flat VM agree on every observable, including steps."""
+    """All three engines agree on every observable, including steps."""
 
     wasm, calls = WORKLOADS[workload]()
     report = run_engine_cross_check(wasm, calls)
@@ -95,8 +110,31 @@ def test_flat_vm_is_at_least_2x(workload):
     )
 
 
+@pytest.mark.perf
+def test_compiled_is_at_least_3x_flat():
+    """Acceptance: the compiled tier sustains >= 3x the flat VM's steps/sec
+    on ``sum_loop`` (the tightest-loop workload, i.e. the least favourable
+    case for translation overhead to amortize)."""
+
+    wasm, calls = WORKLOADS["sum_loop"]()
+    flat_steps, flat_time = measure_engine(wasm, calls, "flat")
+    compiled_steps, compiled_time = measure_engine(wasm, calls, "compiled")
+    assert flat_steps == compiled_steps  # identical accounting is a prerequisite
+    flat_sps = flat_steps / flat_time
+    compiled_sps = compiled_steps / compiled_time
+    speedup = compiled_sps / flat_sps
+    print(
+        f"\nsum_loop: flat {flat_sps:,.0f} steps/s, compiled {compiled_sps:,.0f} steps/s, "
+        f"speedup {speedup:.2f}x ({flat_steps} steps/script)"
+    )
+    assert speedup >= COMPILED_SPEEDUP_FLOOR, (
+        f"sum_loop: compiled tier only {speedup:.2f}x over flat VM "
+        f"(flat {flat_sps:,.0f} vs compiled {compiled_sps:,.0f} steps/sec)"
+    )
+
+
 @pytest.mark.benchmark(group="engines")
-@pytest.mark.parametrize("engine", ["tree", "flat"])
+@pytest.mark.parametrize("engine", ["tree", "flat", "compiled"])
 def test_bench_engine_ml_pipeline(benchmark, engine):
     wasm, calls = WORKLOADS["ml_pipeline"]()
     wi = WasmInterpreter(engine=engine)
@@ -105,7 +143,7 @@ def test_bench_engine_ml_pipeline(benchmark, engine):
 
 
 @pytest.mark.benchmark(group="engines")
-@pytest.mark.parametrize("engine", ["tree", "flat"])
+@pytest.mark.parametrize("engine", ["tree", "flat", "compiled"])
 def test_bench_engine_l3_churn(benchmark, engine):
     wasm, calls = WORKLOADS["l3_churn"]()
     wi = WasmInterpreter(engine=engine)
@@ -114,7 +152,7 @@ def test_bench_engine_l3_churn(benchmark, engine):
 
 
 @pytest.mark.benchmark(group="engines")
-@pytest.mark.parametrize("engine", ["tree", "flat"])
+@pytest.mark.parametrize("engine", ["tree", "flat", "compiled"])
 def test_bench_engine_linked_counter(benchmark, engine):
     wasm, calls = WORKLOADS["linked_counter"]()
     wi = WasmInterpreter(engine=engine)

@@ -49,7 +49,7 @@ def test_cached_instantiation_at_least_5x():
 def test_pooled_reset_bit_identical_to_fresh(workload):
     wasm, calls = WORKLOADS[workload]()
     reports = run_pool_reset_cross_check(wasm, calls)
-    assert set(reports) == {"tree", "flat"}
+    assert set(reports) == {"tree", "flat", "compiled"}
     for engine, report in reports.items():
         assert report.ok, f"{workload} on {engine}:\n{report.format_report()}"
 

@@ -2,10 +2,12 @@
 """Run the benchmark suite and write a machine-readable BENCH_results.json.
 
 Tracks the perf trajectory across PRs: every run records, per workload, the
-step count, best wall time, steps/sec, and static instruction count; the
-per-stage compile timings (frontend typecheck, core typecheck, lower,
-decode) with the interned-vs-structural checker speedup; and the
-tree-walker-vs-flat-VM differential cross-check verdicts.  In full mode
+step count, best wall time, steps/sec, and static instruction count (on the
+``--engine`` engine, plus a per-engine steps/sec breakdown across all
+registered engines); the per-stage compile timings (frontend typecheck,
+core typecheck, lower, decode) with the interned-vs-structural checker
+speedup; and the three-engine (tree/flat/compiled) differential cross-check
+verdicts.  In full mode
 every ``bench_*.py`` file is additionally executed under pytest and its wall
 time and exit status recorded.
 
@@ -54,17 +56,34 @@ from workloads import (  # noqa: E402
 
 
 def measure_workloads(engine: str) -> dict:
+    """Per-workload timings on ``engine``, plus an all-engines breakdown.
+
+    The top-level numbers stay keyed to the requested ``--engine`` (that is
+    what the regression gate compares), while ``engines`` records steps/sec
+    for every registered engine so one results file shows the whole
+    tree → flat → compiled trajectory.
+    """
+
     results: dict[str, dict] = {}
     for name, build in sorted(WORKLOADS.items()):
         wasm, calls = build()
-        steps, best = measure_engine(wasm, calls, engine)
+        per_engine: dict[str, dict] = {}
+        for candidate in available_engines():
+            steps, best = measure_engine(wasm, calls, candidate)
+            per_engine[candidate] = {
+                "steps": steps,
+                "wall_s": round(best, 6),
+                "steps_per_sec": round(steps / best) if best else None,
+            }
+        primary = per_engine[engine]
         results[name] = {
             "engine": engine,
             "calls": len(calls),
-            "steps": steps,
+            "steps": primary["steps"],
             "instructions": wasm.instruction_count(),
-            "wall_s": round(best, 6),
-            "steps_per_sec": round(steps / best) if best else None,
+            "wall_s": primary["wall_s"],
+            "steps_per_sec": primary["steps_per_sec"],
+            "engines": per_engine,
         }
     return results
 
@@ -79,7 +98,8 @@ def cross_check_workloads() -> tuple[dict, bool]:
         pool_ok = all(entry.ok for entry in pool_reports.values())
         results[name] = {
             "ok": report.ok and pool_ok,
-            "calls": len(report.outcomes),
+            "calls": len(calls),
+            "outcomes": len(report.outcomes),
             "steps": report.baseline_steps,
             "pool_reset_ok": pool_ok,
             "detail": None
@@ -210,7 +230,11 @@ def _run(args, sink) -> int:
     with get_tracer().span("bench.workloads", engine=args.engine):
         results["workloads"] = measure_workloads(args.engine)
     for name, entry in results["workloads"].items():
-        print(f"  {name}: {entry['steps_per_sec']:,} steps/s ({entry['steps']} steps, {entry['calls']} calls)")
+        breakdown = ", ".join(
+            f"{engine} {stats['steps_per_sec']:,}" for engine, stats in entry["engines"].items()
+        )
+        print(f"  {name}: {entry['steps_per_sec']:,} steps/s ({entry['steps']} steps, "
+              f"{entry['calls']} calls; {breakdown})")
 
     regression_ok = True
     if args.smoke and not args.no_regression_gate:
@@ -248,7 +272,7 @@ def _run(args, sink) -> int:
           f"({runtime['requests_ok']}/{runtime['requests']} ok, "
           f"{runtime['steps_per_request']} steps/request)")
 
-    print("tree-walker vs flat-VM differential + pool-reset cross-check ...")
+    print("three-engine (tree/flat/compiled) differential + pool-reset cross-check ...")
     with get_tracer().span("bench.cross_check"):
         results["cross_check"], cross_ok = cross_check_workloads()
     for name, entry in results["cross_check"].items():

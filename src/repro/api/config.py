@@ -48,7 +48,8 @@ class CompileConfig:
     #: Named optimization level — a :mod:`repro.opt.pipelines` registry name
     #: (``"O0"``/``"O1"``/``"O2"`` ship; ``1`` and ``"o1"`` normalize).
     opt_level: str = "O0"
-    #: Execution-engine *name* (``"flat"``/``"tree"``); ``None`` = default.
+    #: Execution-engine *name* (``"flat"``/``"tree"``/``"compiled"``);
+    #: ``None`` = default.
     #: An :class:`~repro.wasm.engine.ExecutionEngine` instance normalizes to
     #: its registry name — configs record preferences, not live engines.
     engine: Optional[str] = None

@@ -2,7 +2,8 @@
 
 Every :func:`repro.api.compile`/:func:`repro.api.lower` call records what the
 pipeline actually did — wall time per stage (``frontend``, ``link``,
-``typecheck``, ``lower``, ``decode``), which stages were served from the
+``typecheck``, ``lower``, ``decode``, and ``translate`` when the compiled
+engine is selected), which stages were served from the
 :class:`~repro.runtime.ModuleCache` (hit/miss/bypass), which frontend
 compiled each source module, and the optimizer's per-pass statistics — into
 one :class:`Diagnostics` value attached to the artifact
@@ -27,7 +28,7 @@ CACHE_EVENTS = ("hit", "miss", "bypass")
 
 #: Canonical stage order, for reporting stages that recorded a cache event
 #: but never ran under a timer (e.g. a ``typecheck`` bypass).
-PIPELINE_STAGES = ("frontend", "link", "typecheck", "lower", "decode")
+PIPELINE_STAGES = ("frontend", "link", "typecheck", "lower", "decode", "translate")
 
 
 @dataclass(frozen=True)

@@ -297,6 +297,8 @@ def _compile_direct(modules, config: CompileConfig, diagnostics: Diagnostics) ->
         lowered = _lower_direct(richwasm, config)
     # Lowering drives the type checker itself; no standalone pass off-cache.
     _bypass(diagnostics, "typecheck", "lower", "decode")
+    if config.engine == "compiled":
+        _bypass(diagnostics, "translate")
     # No cached_key: nothing files this artifact, so the content hash is
     # computed lazily by CompiledProgram.key if ever needed.
     return CompiledProgram(
@@ -312,6 +314,16 @@ def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
     program = cache.get_program(key, engine=config.engine, config=config)
     if program is not None:
         diagnostics.cache.update(program="hit", typecheck="hit", lower="hit", decode="hit")
+        if config.engine == "compiled":
+            # Re-seed the per-object translation memo from the content store:
+            # a program hit may hand out a structurally equal module object
+            # the pygen memo has never seen.
+            with diagnostics.stage("translate"):
+                before = cache.stats["translate"].hits
+                cache.translate(program.wasm)
+                diagnostics.cache["translate"] = (
+                    "hit" if cache.stats["translate"].hits > before else "miss"
+                )
         return program
     diagnostics.cache["program"] = "miss"
     _typecheck_cached(richwasm, cache, diagnostics)
@@ -323,4 +335,11 @@ def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
         before = cache.stats["decode"].hits
         cache.decode(lowered.wasm)
         diagnostics.cache["decode"] = "hit" if cache.stats["decode"].hits > before else "miss"
+    if config.engine == "compiled":
+        with diagnostics.stage("translate"):
+            before = cache.stats["translate"].hits
+            cache.translate(lowered.wasm)
+            diagnostics.cache["translate"] = (
+                "hit" if cache.stats["translate"].hits > before else "miss"
+            )
     return cache.put_program(key, richwasm, lowered, engine=config.engine, config=config)

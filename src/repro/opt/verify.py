@@ -9,10 +9,11 @@ optionally the final linear memory and globals.
 
 The same machinery doubles as the engine cross-check: with the execution
 engine now pluggable (:mod:`repro.wasm.engine`), ``engine=`` pins both runs
-to one engine, and :func:`run_engine_cross_check` replays one module on the
-tree-walker and the flat VM and requires the two engines to agree on every
-observation — including the cumulative step count, so ``max_steps`` budgets
-trap at the same instruction on either engine.
+to one engine, and :func:`run_engine_cross_check` replays one module on
+every registered engine (tree-walker, flat VM, and the compiled tier by
+default) and requires all of them to agree on every observation — including
+the cumulative step count, so ``max_steps`` budgets trap at the same
+instruction on any engine.
 """
 
 from __future__ import annotations
@@ -203,46 +204,61 @@ def run_engine_cross_check(
     module: WasmModule,
     calls: Sequence[Union[Invocation, tuple]],
     *,
-    engines: tuple = ("tree", "flat"),
+    engines: tuple = ("tree", "flat", "compiled"),
     host_imports: Union[HostImports, HostImportFactory, None] = None,
     compare_state: bool = True,
     compare_steps: bool = True,
     max_steps: Optional[int] = None,
 ) -> DifferentialReport:
-    """Replay one module on two execution engines and require agreement.
+    """Replay one module on every listed engine and require agreement.
 
-    The cross-check mode of the differential harness: ``baseline`` is the
-    first engine (tree-walker by default), ``candidate`` the second (flat
-    VM).  Results, traps, final memory, globals, and — unlike the
-    module-vs-module check — the cumulative step counters must all match, so
-    ``repro.analysis`` step deltas stay engine-independent.
+    The cross-check mode of the differential harness: the first engine (the
+    tree-walker by default) is the baseline and every other engine is a
+    candidate compared against it, call by call in lockstep.  Results,
+    traps, final memory, globals, and — unlike the module-vs-module check —
+    the cumulative step counters must all match across every engine, so
+    ``repro.analysis`` step deltas stay engine-independent.  The report
+    carries one :class:`CallOutcome` per (call, candidate engine) pair.
     """
 
     normalized_calls = _normalize_calls(calls)
-    first_engine, first_steps = _fresh_engine_spec(engines[0], max_steps)
-    second_engine, second_steps = _fresh_engine_spec(engines[1], max_steps)
+    specs = [_fresh_engine_spec(engine, max_steps) for engine in engines]
+    interps = [WasmInterpreter(max_steps=steps, engine=name) for name, steps in specs]
+    instances = [interp.instantiate(module, _resolve_hosts(host_imports)) for interp in interps]
 
-    baseline_interp = WasmInterpreter(max_steps=first_steps, engine=first_engine)
-    candidate_interp = WasmInterpreter(max_steps=second_steps, engine=second_engine)
-    baseline_instance = baseline_interp.instantiate(module, _resolve_hosts(host_imports))
-    candidate_instance = candidate_interp.instantiate(module, _resolve_hosts(host_imports))
+    report = DifferentialReport()
+    for call in normalized_calls:
+        outcomes: list[Union[list[WasmValue], str]] = []
+        for interp, instance in zip(interps, instances):
+            try:
+                outcomes.append(interp.invoke(instance, call.export, list(call.args)))
+            except WasmTrap as trap:
+                outcomes.append(f"trap: {trap}")
+        baseline = outcomes[0]
+        for candidate in outcomes[1:]:
+            if isinstance(baseline, str) or isinstance(candidate, str):
+                matches = baseline == candidate  # both must trap, same reason
+            else:
+                matches = _values_equal(baseline, candidate)
+            report.outcomes.append(CallOutcome(call.export, call.args, baseline, candidate, matches))
 
-    return _compare_runs(
-        baseline_interp,
-        baseline_instance,
-        candidate_interp,
-        candidate_instance,
-        normalized_calls,
-        compare_state=compare_state,
-        compare_steps=compare_steps,
-    )
+    if compare_state:
+        memories = [bytes(inst.memory.data) if inst.memory else b"" for inst in instances]
+        report.state_matches = all(memory == memories[0] for memory in memories) and all(
+            _values_equal(inst.globals, instances[0].globals) for inst in instances
+        )
+    report.baseline_steps = interps[0].steps
+    report.candidate_steps = interps[-1].steps
+    if compare_steps:
+        report.steps_match = len({interp.steps for interp in interps}) == 1
+    return report
 
 
 def run_pool_reset_cross_check(
     module: WasmModule,
     calls: Sequence[Union[Invocation, tuple]],
     *,
-    engines: tuple = ("tree", "flat"),
+    engines: tuple = ("tree", "flat", "compiled"),
     host_imports: Union[HostImports, HostImportFactory, None] = None,
     compare_state: bool = True,
     max_steps: Optional[int] = None,

@@ -11,7 +11,13 @@ exactly once and every later request reuses the artifacts:
   when requested, so the cached artifact is the optimized module);
 * **decode** — lowered :class:`~repro.wasm.ast.WasmModule` →
   :class:`~repro.wasm.decode.DecodedModule`, the per-module flat code every
-  :class:`~repro.wasm.engine.FlatVMEngine` instance shares.
+  :class:`~repro.wasm.engine.FlatVMEngine` instance shares;
+* **translate** — lowered ``WasmModule`` →
+  :class:`~repro.wasm.pygen.ModuleTranslation`, the generated Python source
+  (and its exec'd function objects) the compiled tier runs.  The artifact is
+  instance-independent, so a content hit seeds the per-object memo
+  (:func:`repro.wasm.pygen.adopt_translation`) and a structurally identical
+  module skips source generation and ``exec`` entirely.
 
 * **typecheck** — RichWasm ``Module`` → its
   :class:`~repro.core.typing.ModuleCheckResult` (threaded into linking, so
@@ -158,6 +164,7 @@ class ModuleCache:
         self._linked: dict[str, Module] = {}
         self._lowered: dict[str, LoweredModule] = {}
         self._decoded: dict[str, DecodedModule] = {}
+        self._translated: dict[str, object] = {}
         self._programs: dict[str, CompiledProgram] = {}
         self._typechecked: dict[str, object] = {}
         self.stats: dict[str, CacheStats] = {
@@ -165,6 +172,7 @@ class ModuleCache:
             "link": CacheStats(),
             "lower": CacheStats(),
             "decode": CacheStats(),
+            "translate": CacheStats(),
             "program": CacheStats(),
         }
 
@@ -175,6 +183,7 @@ class ModuleCache:
                 ("link", self._linked),
                 ("lower", self._lowered),
                 ("decode", self._decoded),
+                ("translate", self._translated),
             )
         )
         return f"ModuleCache({sizes})"
@@ -183,6 +192,7 @@ class ModuleCache:
         self._linked.clear()
         self._lowered.clear()
         self._decoded.clear()
+        self._translated.clear()
         self._programs.clear()
         self._typechecked.clear()
         for stats in self.stats.values():
@@ -323,6 +333,38 @@ class ModuleCache:
         self._decoded[key] = decoded
         return decoded
 
+    # -- stage: translate --------------------------------------------------
+
+    def translate(self, wasm: WasmModule):
+        """Translate ``wasm`` to compiled-tier Python source, memoized by
+        content.
+
+        Misses run :func:`repro.wasm.pygen.translate_module` (itself
+        memoized per module object); hits seed the per-object memo with the
+        cached :class:`~repro.wasm.pygen.ModuleTranslation`
+        (:func:`~repro.wasm.pygen.adopt_translation`).  Unlike decode —
+        which the flat VM resolves by module identity — the translation is
+        instance-independent, so sharing one artifact across structurally
+        identical module objects is sound: all mutable state flows through
+        the per-instance runtime object at call time.
+        """
+
+        from ..wasm.pygen import adopt_translation, translate_module
+
+        key = content_key("translate", wasm)
+        stats = self.stats["translate"]
+        translation = self._translated.get(key)
+        if translation is not None:
+            stats.hits += 1
+            _CACHE_EVENTS.inc(stage="translate", event="hit")
+            adopt_translation(wasm, translation)
+            return translation
+        stats.misses += 1
+        _CACHE_EVENTS.inc(stage="translate", event="miss")
+        translation = translate_module(wasm)
+        self._translated[key] = translation
+        return translation
+
     # -- stage: program (the memoized bundle) ------------------------------
 
     def program_key(self, richwasm: Module, config, passes=None) -> str:
@@ -400,6 +442,8 @@ class ModuleCache:
         if program is None:
             lowered = self.lower(richwasm, config=config, passes=passes, engine=engine)
             self.decode(lowered.wasm)
+            if engine == "compiled":
+                self.translate(lowered.wasm)
             program = self.put_program(key, richwasm, lowered, engine=engine, config=config)
         return program
 

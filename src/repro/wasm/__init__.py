@@ -3,10 +3,11 @@
 This package is the execution target for lowered RichWasm modules: an AST
 (:mod:`repro.wasm.ast`), a validator (:mod:`repro.wasm.validation`), a
 pluggable execution-engine layer (:mod:`repro.wasm.engine`: a pre-decoded
-flat-code VM — the default — and the reference tree-walker) behind the
-:class:`WasmInterpreter` facade (:mod:`repro.wasm.interpreter`), the flat
-pre-decoder (:mod:`repro.wasm.decode`), and a WAT-style printer
-(:mod:`repro.wasm.text`).
+flat-code VM — the default — the reference tree-walker, and the compiled
+tier of :mod:`repro.wasm.pygen`, which translates flat code to Python
+source) behind the :class:`WasmInterpreter` facade
+(:mod:`repro.wasm.interpreter`), the flat pre-decoder
+(:mod:`repro.wasm.decode`), and a WAT-style printer (:mod:`repro.wasm.text`).
 """
 
 from .ast import (
@@ -71,6 +72,10 @@ from .interpreter import (
     WasmTrap,
     WasmValue,
 )
+
+# pygen registers CompiledPyEngine in ENGINES as an import side effect, so it
+# must come after the engine import (it subclasses ExecutionEngine).
+from .pygen import CompiledPyEngine, ModuleTranslation, translate_module  # noqa: E402
 from .text import format_instr, module_to_wat
 from .validation import WasmValidationError, validate_function, validate_module
 

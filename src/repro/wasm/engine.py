@@ -2,7 +2,7 @@
 
 :class:`ExecutionEngine` is the abstraction every execution path in the repo
 (differential verification, the FFI ``Program`` layer, benchmarks, examples)
-runs on.  Two implementations ship:
+runs on.  Three implementations ship:
 
 * :class:`TreeWalkingEngine` (``"tree"``) — the original recursive
   tree-walker: structured bodies are re-entered on every execution and
@@ -13,8 +13,12 @@ runs on.  Two implementations ship:
   (:mod:`repro.wasm.decode`), branches are program-counter updates over an
   explicit label stack, and calls push explicit frames — no exceptions on
   the hot path.  This is the default engine.
+* :class:`~repro.wasm.pygen.CompiledPyEngine` (``"compiled"``) — the
+  template-compiled tier (:mod:`repro.wasm.pygen`): flat code is translated
+  once per module into Python source and ``exec``'d, removing interpretive
+  dispatch entirely.  Registered here on import of :mod:`repro.wasm`.
 
-Both engines share instantiation, export lookup and constant-expression
+All engines share instantiation, export lookup and constant-expression
 evaluation (implemented on the base class), count ``steps`` identically
 (one step per executed instruction that the tree walker would have visited),
 and produce bit-identical results, traps, memories and globals — a property

@@ -23,13 +23,13 @@ class TestValidation:
             CompileConfig(opt_level="O9").validate()
 
     def test_unknown_engine_names_registered_engines(self):
-        with pytest.raises(ConfigError, match=r"flat, tree"):
+        with pytest.raises(ConfigError, match=r"compiled, flat, tree"):
             CompileConfig(engine="bogus").validate()
 
     def test_create_engine_rejects_unknown_names_listing_registered(self):
-        with pytest.raises(ValueError, match=r"flat, tree"):
+        with pytest.raises(ValueError, match=r"compiled, flat, tree"):
             create_engine("bogus")
-        assert available_engines() == ("flat", "tree")
+        assert available_engines() == ("compiled", "flat", "tree")
 
     def test_unknown_cache_policy(self):
         with pytest.raises(ConfigError, match=", ".join(CACHE_POLICIES)):

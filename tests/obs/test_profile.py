@@ -53,26 +53,39 @@ def run_profiled(engine: str, *, interval=16, max_steps=None):
 
 
 class TestParity:
-    def test_both_engines_sample_identically(self):
+    def test_all_engines_sample_identically(self):
         # Interval 7 is coprime with the call loop's period, so samples
         # sweep through every phase and land in both functions.
         tree = run_profiled("tree", interval=7)
         flat = run_profiled("flat", interval=7)
-        assert tree[0].steps == flat[0].steps > 0
+        compiled = run_profiled("compiled", interval=7)
+        assert tree[0].steps == flat[0].steps == compiled[0].steps > 0
         # The parity contract: same step numbers, same attributed function.
-        assert tree[1].trace == flat[1].trace
-        assert tree[1].samples == flat[1].samples
+        assert tree[1].trace == flat[1].trace == compiled[1].trace
+        assert tree[1].samples == flat[1].samples == compiled[1].samples
         assert set(tree[1].samples) == {"helper", "outer"}
 
-    def test_budget_trap_beats_sample_on_both_engines(self):
+    def test_budget_trap_beats_sample_on_all_engines(self):
         # Budget 32 with interval 16: the trap at step 33 must fire before
-        # any sample scheduled past it, identically on both engines.
+        # any sample scheduled past it, identically on every engine.
         tree = run_profiled("tree", interval=16, max_steps=32)
         flat = run_profiled("flat", interval=16, max_steps=32)
-        assert tree[2] == flat[2] == "step budget exhausted"
-        assert tree[0].steps == flat[0].steps == 33
-        assert tree[1].trace == flat[1].trace
+        compiled = run_profiled("compiled", interval=16, max_steps=32)
+        assert tree[2] == flat[2] == compiled[2] == "step budget exhausted"
+        assert tree[0].steps == flat[0].steps == compiled[0].steps == 33
+        assert tree[1].trace == flat[1].trace == compiled[1].trace
         assert all(step <= 32 for step, _name in tree[1].trace)
+
+    def test_compiled_engine_batched_sampling_matches_flat(self):
+        # The compiled tier batches its boundary checks per basic block; the
+        # samples must still land on the identical (step, function) pairs at
+        # every phase of the block structure, including interval 1 (a
+        # boundary on every single step — the careful arm throughout).
+        for interval in (1, 3, 16):
+            flat = run_profiled("flat", interval=interval)
+            compiled = run_profiled("compiled", interval=interval)
+            assert flat[1].trace == compiled[1].trace, f"interval {interval}"
+            assert flat[1].samples == compiled[1].samples, f"interval {interval}"
 
 
 class TestAttachment:

@@ -170,7 +170,7 @@ class TestReset:
 
 
 class TestPoolResetParity:
-    @pytest.mark.parametrize("engine", ["tree", "flat"])
+    @pytest.mark.parametrize("engine", ["tree", "flat", "compiled"])
     def test_stateful_module_bit_identical(self, engine):
         reports = run_pool_reset_cross_check(
             stateful_module(),
@@ -184,20 +184,20 @@ class TestPoolResetParity:
     def test_budget_points_bit_identical(self, budget):
         """Across every max_steps budget the engine-parity suite uses, a
         pooled-reset instance traps (or succeeds) exactly like a fresh one,
-        at the same cumulative step count, on both engines."""
+        at the same cumulative step count, on every engine."""
 
         reports = run_pool_reset_cross_check(
             loop_module(),
             [("main", ())],
             max_steps=budget,
         )
-        assert set(reports) == {"tree", "flat"}
-        tree, flat = reports["tree"], reports["flat"]
-        assert tree.ok, f"budget {budget}: {tree.format_report()}"
-        assert flat.ok, f"budget {budget}: {flat.format_report()}"
-        # The two engines also agree with each other.
-        assert tree.outcomes[0].baseline == flat.outcomes[0].baseline
-        assert tree.baseline_steps == flat.baseline_steps
+        assert set(reports) == {"tree", "flat", "compiled"}
+        for engine, report in reports.items():
+            assert report.ok, f"budget {budget} ({engine}): {report.format_report()}"
+        # The engines also agree with each other.
+        baselines = {repr(report.outcomes[0].baseline) for report in reports.values()}
+        assert len(baselines) == 1
+        assert len({report.baseline_steps for report in reports.values()}) == 1
 
     def test_trapping_warmup_leaves_no_trace(self):
         # The warm-up run traps mid-way (budget exhausted while memory and
@@ -214,7 +214,7 @@ class TestPoolResetParity:
 
 
 class TestPoolAcrossEngines:
-    @pytest.mark.parametrize("engine", ["tree", "flat"])
+    @pytest.mark.parametrize("engine", ["tree", "flat", "compiled"])
     def test_pooled_results_match_fresh_interpreter(self, engine):
         module = stateful_module()
         pool = InstancePool(module, engine=engine)
