@@ -51,6 +51,7 @@ from workloads import (  # noqa: E402
     WORKLOADS,
     measure_compile_stages,
     measure_engine,
+    measure_incremental_compile,
     measure_runtime_throughput,
 )
 
@@ -260,6 +261,13 @@ def _run(args, sink) -> int:
     speedup = results["compile"]["checker_speedup_vs_structural"]
     print(f"  interned checker vs structural baseline: {speedup['speedup']}x "
           f"on {speedup['blocks']} blocks")
+
+    print("incremental compile (one-function edit vs cold, per-function units) ...")
+    with get_tracer().span("bench.incremental_compile"):
+        results["compile"]["incremental"] = measure_incremental_compile()
+    incremental = results["compile"]["incremental"]
+    print(f"  {incremental['functions']} functions: cold {incremental['cold_wall_s']}s -> "
+          f"edit {incremental['incremental_wall_s']}s ({incremental['speedup']}x)")
 
     print("runtime throughput (compile-once/run-many vs naive path) ...")
     with get_tracer().span("bench.runtime_throughput"):

@@ -243,19 +243,20 @@ def measure_runtime_throughput(*, min_time: float = 0.15) -> dict:
     }
 
 
-def synthetic_module(blocks: int):
-    """A function with ``blocks`` repeated allocate/read/free regions.
+def synthetic_body(blocks: int, seed: int = 1) -> tuple:
+    """``blocks`` repeated allocate/read/free regions computing ``seed + 1``.
 
-    The typechecker scaling workload (shared with ``bench_typechecker.py``):
-    every region allocates a linear struct, opens its existential location,
-    reads and frees it — exercising the checker's binder shifting, size
-    entailment and linearity tracking.
+    ``seed`` is baked into the allocated struct's payload, so two bodies with
+    different seeds are structurally distinct — which is what makes the
+    ``functions=`` axis of :func:`synthetic_module` a real incremental
+    workload instead of 1000 copies of one function sharing every
+    per-function compile unit.
     """
 
     body = []
     for _ in range(blocks):
         body.extend([
-            NumConst(NumType.I32, 1),
+            NumConst(NumType.I32, seed),
             StructMalloc((SizeConst(32),), LIN),
             MemUnpack(arrow([], [i32()]), (), (
                 StructGet(0),
@@ -269,9 +270,86 @@ def synthetic_module(blocks: int):
         ])
     body.append(GetLocal(0))
     body.append(Return())
+    return tuple(body)
+
+
+def synthetic_module(blocks: int, functions: int = 1):
+    """``functions`` functions of ``blocks`` allocate/read/free regions each.
+
+    The typechecker scaling workload (shared with ``bench_typechecker.py``):
+    every region allocates a linear struct, opens its existential location,
+    reads and frees it — exercising the checker's binder shifting, size
+    entailment and linearity tracking.  Function ``i`` embeds seed ``i + 1``
+    (so every body is structurally distinct) and exports ``main`` (``i = 0``)
+    or ``f{i}``; the many-small-functions shape is the incremental-compile
+    workload (:func:`measure_incremental_compile`).
+    """
+
     return make_module(functions=[
-        Function(funtype([], [i32()]), (SizeConst(32),), tuple(body), ("main",))
+        Function(
+            funtype([], [i32()]),
+            (SizeConst(32),),
+            synthetic_body(blocks, seed=index + 1),
+            ("main",) if index == 0 else (f"f{index}",),
+        )
+        for index in range(functions)
     ])
+
+
+def edit_one_function(module, index: int, *, blocks: int = 1):
+    """``module`` with function ``index``'s body rebuilt under a fresh seed.
+
+    Every *other* ``Function`` object is reused as-is, so its memoized
+    structural digest makes the edited module's per-function unit keys an
+    O(1) lookup — the scenario the incremental pipeline is built for.
+    """
+
+    import dataclasses
+
+    functions = list(module.functions)
+    functions[index] = dataclasses.replace(
+        functions[index], body=synthetic_body(blocks, seed=len(functions) + index + 1)
+    )
+    return make_module(functions=functions, name=module.name)
+
+
+def measure_incremental_compile(*, functions: int = 1000, blocks: int = 1) -> dict:
+    """Cold vs one-function-edit compile walls through the unit cache.
+
+    Compiles a ``functions``-function synthetic module cold on a fresh
+    :class:`repro.runtime.ModuleCache` (compiled engine, ``O1``), then edits
+    exactly one function and recompiles on the *same* cache: every
+    module-level stage misses (the content changed) but all unchanged
+    functions reuse their typecheck/lower/optimize/validate/decode/translate
+    units.  Returns both walls, the speedup, and the per-stage unit deltas
+    of the incremental recompile.
+    """
+
+    from repro.api import CompileConfig
+    from repro.runtime import ModuleCache
+
+    config = CompileConfig(opt_level="O1", engine="compiled", cache="private")
+    base = synthetic_module(blocks, functions=functions)
+    cache = ModuleCache()
+
+    start = time.perf_counter()
+    cache.compile_program(base, config=config)
+    cold_s = time.perf_counter() - start
+
+    edited = edit_one_function(base, functions // 2, blocks=blocks)
+    units_before = cache.units.snapshot()
+    start = time.perf_counter()
+    cache.compile_program(edited, config=config)
+    incremental_s = time.perf_counter() - start
+
+    return {
+        "functions": functions,
+        "blocks": blocks,
+        "cold_wall_s": round(cold_s, 4),
+        "incremental_wall_s": round(incremental_s, 4),
+        "speedup": round(cold_s / incremental_s, 1) if incremental_s else None,
+        "units": cache.units.delta(units_before),
+    }
 
 
 def best_of(fn: Callable[[], object], repeat: int) -> float:

@@ -55,23 +55,29 @@ class Diagnostics:
     stages: list = field(default_factory=list)
     #: Per-stage cache outcome: ``"hit"`` / ``"miss"`` / ``"bypass"``.
     cache: dict = field(default_factory=dict)
+    #: Function-granular reuse per stage:
+    #: ``{stage: {"reused": n, "compiled": m}}`` — how many of the module's
+    #: functions were served from the per-function unit cache versus actually
+    #: compiled when a module-level stage missed.
+    units: dict = field(default_factory=dict)
     #: The :class:`repro.opt.OptimizationResult` (``None`` when ``O0`` or the
     #: artifact was a cache hit carrying its original stats).
     optimization: Optional[object] = None
 
     @contextmanager
     def stage(self, name: str):
-        """Time a stage: ``with diagnostics.stage("lower"): ...``.
+        """Time a stage: ``with diagnostics.stage("lower") as span: ...``.
 
-        Each stage also runs under a ``compile.<name>`` tracing span, so an
-        installed :class:`repro.obs.Tracer` sees the same boundaries the
+        Each stage also runs under a ``compile.<name>`` tracing span (yielded
+        so callers can attach attributes, e.g. per-function unit counts), so
+        an installed :class:`repro.obs.Tracer` sees the same boundaries the
         timings record (free when tracing is disabled).
         """
 
-        with get_tracer().span(f"compile.{name}"):
+        with get_tracer().span(f"compile.{name}") as span:
             started = time.perf_counter()
             try:
-                yield self
+                yield span
             finally:
                 self.stages.append(StageTiming(name, time.perf_counter() - started))
 
@@ -121,6 +127,12 @@ class Diagnostics:
         for stage in sorted(self.cache, key=_stage_order):
             if stage not in timed and stage != "program":
                 lines.append(f"  {stage:<10} {'—':>10} [{self.cache[stage]}]")
+        for stage in sorted(self.units, key=_stage_order):
+            counts = self.units[stage]
+            lines.append(
+                f"  {stage} units: {counts.get('reused', 0)} reused"
+                f" / {counts.get('compiled', 0)} compiled"
+            )
         if self.optimization is not None:
             lines.append(self.optimization.format_report())
         return "\n".join(lines)
@@ -153,6 +165,7 @@ class Diagnostics:
             "frontends": dict(self.frontends),
             "stages": [{"stage": t.stage, "seconds": t.seconds} for t in self.stages],
             "cache": dict(self.cache),
+            "units": {stage: dict(counts) for stage, counts in self.units.items()},
             "optimization": optimization,
         }
 
@@ -183,6 +196,9 @@ class Diagnostics:
             frontends=dict(data.get("frontends") or {}),
             stages=[StageTiming(s["stage"], s["seconds"]) for s in data.get("stages") or []],
             cache=dict(data.get("cache") or {}),
+            units={
+                stage: dict(counts) for stage, counts in (data.get("units") or {}).items()
+            },
             optimization=optimization,
         )
 

@@ -35,6 +35,22 @@ def _bypass(diagnostics: Diagnostics, *stages: str) -> None:
         _CACHE_EVENTS.inc(stage=stage, event="bypass")
 
 
+def _record_units(diagnostics: Diagnostics, cache: ModuleCache, before: dict, span=None) -> None:
+    """Fold the per-function unit reuse since ``before`` (a
+    ``cache.units.snapshot()``) into ``diagnostics.units``, and attach the
+    aggregate counts to the stage's tracing span."""
+
+    reused = compiled = 0
+    for stage, counts in cache.units.delta(before).items():
+        merged = diagnostics.units.setdefault(stage, {"reused": 0, "compiled": 0})
+        merged["reused"] += counts["reused"]
+        merged["compiled"] += counts["compiled"]
+        reused += counts["reused"]
+        compiled += counts["compiled"]
+    if span is not None and (reused or compiled):
+        span.set_attr(units_reused=reused, units_compiled=compiled)
+
+
 def compile(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
             cache: Optional[ModuleCache] = None, **overrides) -> CompiledProgram:
     """Compile any mix of sources into one shareable :class:`CompiledProgram`.
@@ -114,10 +130,12 @@ def lower(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
             with diagnostics.stage("link"):
                 richwasm = _link_cached(modules, config, cache_obj, diagnostics)
             _typecheck_cached(richwasm, cache_obj, diagnostics)
-            with diagnostics.stage("lower"):
+            with diagnostics.stage("lower") as span:
                 before = cache_obj.stats["lower"].hits
+                units_before = cache_obj.units.snapshot()
                 lowered = cache_obj.lower(richwasm, config=config)
                 diagnostics.cache["lower"] = "hit" if cache_obj.stats["lower"].hits > before else "miss"
+                _record_units(diagnostics, cache_obj, units_before, span)
         diagnostics.engine = lowered.engine
         diagnostics.optimization = lowered.optimization
         lowered.diagnostics = diagnostics
@@ -255,8 +273,12 @@ def _link_cached(modules, config: CompileConfig, cache: ModuleCache, diagnostics
         _bypass(diagnostics, "link")
         return modules
     before = cache.stats["link"].hits
+    units_before = cache.units.snapshot()
     richwasm = cache.link(modules, name=config.link_name, check=config.check_links)
     diagnostics.cache["link"] = "hit" if cache.stats["link"].hits > before else "miss"
+    # Linking type-checks its inputs through the memoized typecheck stage,
+    # so per-function typecheck units may have moved here.
+    _record_units(diagnostics, cache, units_before)
     return richwasm
 
 
@@ -272,10 +294,12 @@ def _typecheck_cached(richwasm, cache: ModuleCache, diagnostics: Diagnostics) ->
     mirroring the off-cache pipeline.
     """
 
-    with diagnostics.stage("typecheck"):
+    with diagnostics.stage("typecheck") as span:
         if cache.typecheck_known(richwasm):
+            units_before = cache.units.snapshot()
             cache.typecheck(richwasm)
             diagnostics.cache["typecheck"] = "hit"
+            _record_units(diagnostics, cache, units_before, span)
         else:
             _bypass(diagnostics, "typecheck")
 
@@ -318,28 +342,36 @@ def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
             # Re-seed the per-object translation memo from the content store:
             # a program hit may hand out a structurally equal module object
             # the pygen memo has never seen.
-            with diagnostics.stage("translate"):
+            with diagnostics.stage("translate") as span:
                 before = cache.stats["translate"].hits
+                units_before = cache.units.snapshot()
                 cache.translate(program.wasm)
                 diagnostics.cache["translate"] = (
                     "hit" if cache.stats["translate"].hits > before else "miss"
                 )
+                _record_units(diagnostics, cache, units_before, span)
         return program
     diagnostics.cache["program"] = "miss"
     _typecheck_cached(richwasm, cache, diagnostics)
-    with diagnostics.stage("lower"):
+    with diagnostics.stage("lower") as span:
         before = cache.stats["lower"].hits
+        units_before = cache.units.snapshot()
         lowered = cache.lower(richwasm, config=config)
         diagnostics.cache["lower"] = "hit" if cache.stats["lower"].hits > before else "miss"
-    with diagnostics.stage("decode"):
+        _record_units(diagnostics, cache, units_before, span)
+    with diagnostics.stage("decode") as span:
         before = cache.stats["decode"].hits
+        units_before = cache.units.snapshot()
         cache.decode(lowered.wasm)
         diagnostics.cache["decode"] = "hit" if cache.stats["decode"].hits > before else "miss"
+        _record_units(diagnostics, cache, units_before, span)
     if config.engine == "compiled":
-        with diagnostics.stage("translate"):
+        with diagnostics.stage("translate") as span:
             before = cache.stats["translate"].hits
+            units_before = cache.units.snapshot()
             cache.translate(lowered.wasm)
             diagnostics.cache["translate"] = (
                 "hit" if cache.stats["translate"].hits > before else "miss"
             )
+            _record_units(diagnostics, cache, units_before, span)
     return cache.put_program(key, richwasm, lowered, engine=config.engine, config=config)

@@ -7,6 +7,7 @@ tables may be exported by name or be imports from other modules.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -173,6 +174,41 @@ class Module:
             if isinstance(global_decl, Global):
                 total += instruction_count(global_decl.init)
         return total
+
+
+def signature_env_digest(module: Module) -> bytes:
+    """Digest of the signature environment a function body compiles against.
+
+    Covers exactly what per-function type checking and lowering read from the
+    *rest* of the module: every function type in index order (their count
+    also fixes the runtime malloc/free indices), every global's pretype and
+    mutability in index order (which fix the lowered global layout map), and
+    the table entries.  Function *bodies* are deliberately excluded — that is
+    the point: editing one body leaves every other function's compilation
+    unit key (body digest, signature-environment digest) unchanged, so
+    :class:`repro.compilepipe.FunctionUnitCache` reuses their artifacts.
+
+    The module is immutable, so the digest is computed once and cached on the
+    instance (same idiom as :meth:`Function.instruction_count`).
+    """
+
+    cached = module.__dict__.get("_sig_env_digest")
+    if cached is None:
+        from .intern import structural_digest
+
+        hasher = hashlib.sha256(b"sigenv")
+        for decl in module.functions:
+            hasher.update(structural_digest(decl.funtype))
+        hasher.update(b"|globals")
+        for global_decl in module.globals:
+            hasher.update(structural_digest(global_decl.pretype))
+            hasher.update(b"\x01" if global_decl.mutable else b"\x00")
+        hasher.update(b"|table")
+        for entry in module.table.entries:
+            hasher.update(b"%d," % entry)
+        cached = hasher.digest()
+        module.__dict__["_sig_env_digest"] = cached
+    return cached
 
 
 def make_module(

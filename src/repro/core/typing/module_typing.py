@@ -148,11 +148,22 @@ def check_module(
     *,
     store_typing: Optional[StoreTyping] = None,
     allow_caps_in_linear_memory: bool = True,
+    unit_cache=None,
 ) -> ModuleCheckResult:
-    """Check a whole module; raises a RichWasmTypeError subclass on failure."""
+    """Check a whole module; raises a RichWasmTypeError subclass on failure.
+
+    ``unit_cache`` (a :class:`repro.compilepipe.FunctionUnitCache`) memoizes
+    per-function checks: a function whose (body, signature environment,
+    ``allow_caps_in_linear_memory``) key was checked before is skipped, and
+    only its cached instruction count feeds the statistics.  Only successful
+    checks are cached, and only against the default store typing — a custom
+    ``store_typing`` widens what a body may reference, so its results are
+    not per-function keyed.
+    """
 
     module_env = module_env_of(module)
     store = store_typing if store_typing is not None else empty_store_typing([module_env])
+    units = unit_cache if store_typing is None else None
 
     functions_checked = 0
     instructions_checked = 0
@@ -160,9 +171,18 @@ def check_module(
         if isinstance(function, ImportedFunction):
             check_funtype_valid(empty_function_env(), function.funtype, "imported function type")
             continue
+        if units is not None:
+            key = units.typecheck_key(function, module, allow_caps=allow_caps_in_linear_memory)
+            cached_count = units.get("typecheck", key)
+            if cached_count is not None:
+                functions_checked += 1
+                instructions_checked += cached_count
+                continue
         check_function(
             store, module_env, function, allow_caps_in_linear_memory=allow_caps_in_linear_memory
         )
+        if units is not None:
+            units.put("typecheck", key, function.instruction_count())
         functions_checked += 1
         instructions_checked += function.instruction_count()
 

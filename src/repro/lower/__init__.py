@@ -31,7 +31,7 @@ from .._compat import UNSET as _UNSET, legacy_config as _legacy_config
 
 
 def lower_module(module, *, config=None, memory_pages=_UNSET, optimize=_UNSET,
-                 passes=None, engine=_UNSET) -> LoweredModule:
+                 passes=None, engine=_UNSET, unit_cache=None) -> LoweredModule:
     """Type-check-directed lowering of a RichWasm module to Wasm.
 
     ``config`` (a :class:`repro.api.CompileConfig`) selects the memory size,
@@ -42,6 +42,10 @@ def lower_module(module, *, config=None, memory_pages=_UNSET, optimize=_UNSET,
     carries the :class:`~repro.opt.OptimizationResult` and its ``wasm``
     field is the optimized module.
 
+    ``unit_cache`` (a :class:`repro.compilepipe.FunctionUnitCache`) threads
+    the per-function unit tables through lowering and optimization so
+    unchanged functions are reused across module versions.
+
     The ``memory_pages``/``optimize``/``engine`` keywords are the deprecated
     pre-:mod:`repro.api` surface (one :class:`DeprecationWarning` per call);
     ``optimize=True`` maps to ``O2``.
@@ -51,12 +55,18 @@ def lower_module(module, *, config=None, memory_pages=_UNSET, optimize=_UNSET,
         "lower_module", config,
         {"memory_pages": memory_pages, "optimize": optimize, "engine": engine},
     )
-    lowered = ModuleLowering(module, memory_pages=config.memory_pages).lower()
+    lowered = ModuleLowering(
+        module, memory_pages=config.memory_pages, unit_cache=unit_cache
+    ).lower()
     lowered.engine = config.engine
     if config.optimize:
         from ..opt import optimize_module
 
-        result = optimize_module(lowered.wasm, passes if passes is not None else config.passes())
+        result = optimize_module(
+            lowered.wasm,
+            passes if passes is not None else config.passes(),
+            unit_cache=unit_cache,
+        )
         lowered.wasm = result.module
         lowered.optimization = result
     return lowered

@@ -221,10 +221,14 @@ _ERASED = (
 class ModuleLowering:
     """Lower a type-checked RichWasm module to a Wasm module."""
 
-    def __init__(self, module: Module, *, memory_pages: int = 4) -> None:
+    def __init__(self, module: Module, *, memory_pages: int = 4, unit_cache=None) -> None:
         self.module = module
         self.module_env: ModuleEnv = module_env_of(module)
         self.memory_pages = memory_pages
+        # A repro.compilepipe.FunctionUnitCache: reuses per-function lowering
+        # artifacts (the WasmFunction plus its statistics contributions)
+        # across module versions sharing the same signature environment.
+        self.unit_cache = unit_cache
         self.stats = LoweringStats()
         # Layout of the lowered module: user functions keep their indices,
         # the runtime (malloc/free) is appended after them.
@@ -254,7 +258,7 @@ class ModuleLowering:
                     WasmImportedFunction(functype, decl.import_ref.module, decl.import_ref.name, decl.exports)
                 )
                 continue
-            functions.append(self._lower_function(decl))
+            functions.append(self._lower_function_cached(decl))
             self.stats.functions += 1
 
         functions.append(build_malloc(self.runtime))
@@ -285,9 +289,9 @@ class ModuleLowering:
         )
         for function in functions:
             if isinstance(function, WasmFunction):
-                from ..wasm.ast import count_instrs
+                from ..wasm.ast import function_instruction_count
 
-                self.stats.wasm_instructions += count_instrs(function.body)
+                self.stats.wasm_instructions += function_instruction_count(function)
         self.stats.richwasm_instructions = self.module.instruction_count()
         return LoweredModule(wasm_module, self.stats, self.runtime, self.global_map)
 
@@ -317,6 +321,36 @@ class ModuleLowering:
 
         compiler = _FunctionCompiler(self, function, annotations)
         return compiler.compile()
+
+    def _lower_function_cached(self, function: Function) -> WasmFunction:
+        """:meth:`_lower_function` through the per-function unit cache.
+
+        The cached artifact is the lowered function *plus* the erasure and
+        boxing statistics deltas its compilation contributed, so a reuse
+        replays the same :class:`LoweringStats` a fresh compile would
+        produce.
+        """
+
+        units = self.unit_cache
+        if units is None:
+            return self._lower_function(function)
+        key = units.lower_key(function, self.module)
+        cached = units.get("lower", key)
+        if cached is None:
+            erased_before = self.stats.erased_instructions
+            boxing_before = self.stats.boxing_coercions
+            lowered = self._lower_function(function)
+            cached = (
+                lowered,
+                self.stats.erased_instructions - erased_before,
+                self.stats.boxing_coercions - boxing_before,
+            )
+            units.put("lower", key, cached)
+            return lowered
+        lowered, erased_delta, boxing_delta = cached
+        self.stats.erased_instructions += erased_delta
+        self.stats.boxing_coercions += boxing_delta
+        return lowered
 
 
 class _FunctionCompiler:

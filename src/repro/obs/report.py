@@ -65,6 +65,9 @@ class Summary:
     histograms: list[dict] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
     profiles: list[dict] = field(default_factory=list)
+    #: Per-function compile units by stage: ``{stage: {event: count}}``,
+    #: aggregated from the ``compile.units.events`` counter labels.
+    unit_events: dict[str, dict[str, int]] = field(default_factory=dict)
 
 
 def summarize(records: Iterable[dict]) -> Summary:
@@ -84,6 +87,8 @@ def summarize(records: Iterable[dict]) -> Summary:
         elif kind == "metric":
             if record["type"] == "counter":
                 summary.counters[record["name"]] = record
+                if record["name"] == "compile.units.events":
+                    summary.unit_events = _aggregate_unit_events(record)
             elif record["type"] == "gauge":
                 summary.gauges[record["name"]] = record
             else:
@@ -93,6 +98,19 @@ def summarize(records: Iterable[dict]) -> Summary:
         else:  # profile
             summary.profiles.append(record)
     return summary
+
+
+def _aggregate_unit_events(record: dict) -> dict[str, dict[str, int]]:
+    """``compile.units.events`` labels → ``{stage: {event: count}}``."""
+
+    stages: dict[str, dict[str, int]] = {}
+    for entry in record.get("labels") or []:
+        labels = entry.get("labels") or {}
+        stage = labels.get("stage", "?")
+        event = labels.get("event", "?")
+        per_stage = stages.setdefault(stage, {})
+        per_stage[event] = per_stage.get(event, 0) + entry["value"]
+    return stages
 
 
 def format_summary(summary: Summary) -> str:
@@ -129,6 +147,15 @@ def format_summary(summary: Summary) -> str:
                 lines.append(f"  {label:<38} {entry['value']:>12}")
         for name, record in sorted(summary.gauges.items()):
             lines.append(f"{name:<40} {record['value']:>12} (gauge)")
+
+    if summary.unit_events:
+        lines.append("")
+        lines.append(f"{'compile units':<12} {'reused':>9} {'compiled':>9} {'evicted':>9}")
+        for stage, events in sorted(summary.unit_events.items()):
+            lines.append(
+                f"{stage:<12} {events.get('hit', 0):>9} {events.get('miss', 0):>9} "
+                f"{events.get('evict', 0):>9}"
+            )
 
     for record in summary.histograms:
         lines.append("")

@@ -101,12 +101,18 @@ class PassManager:
         *,
         max_iterations: int = 8,
         validate: bool = True,
+        unit_cache=None,
     ) -> None:
         self.passes: list[Union[FunctionPass, ModulePass]] = (
             list(passes) if passes is not None else default_passes()
         )
         self.max_iterations = max_iterations
         self.validate = validate
+        # A repro.compilepipe.FunctionUnitCache: memoizes each (pass name,
+        # function version) step.  Sound because FunctionPasses are pure
+        # functions of the body — they receive the module but none of the
+        # shipped passes reads it.
+        self.unit_cache = unit_cache
         names = [p.name for p in self.passes]
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate pass names in pipeline: {names}")
@@ -123,7 +129,7 @@ class PassManager:
         if self.validate:
             from ..wasm.validation import validate_module
 
-            validate_module(module)
+            validate_module(module, unit_cache=self.unit_cache)
         return OptimizationResult(
             module=module,
             stats=list(stats.values()),
@@ -131,6 +137,17 @@ class PassManager:
             instructions_before=before,
             instructions_after=module.instruction_count(),
         )
+
+    def _run_function_pass(self, pass_: FunctionPass, function: WasmFunction, module: WasmModule) -> tuple[WasmFunction, int]:
+        units = self.unit_cache
+        if units is None:
+            return pass_.run(function, module)
+        key = units.optimize_key(function, pass_.name)
+        cached = units.get("optimize", key)
+        if cached is None:
+            cached = pass_.run(function, module)
+            units.put("optimize", key, cached)
+        return cached
 
     def _run_pipeline_once(self, module: WasmModule, stats: dict[str, PassStats]) -> tuple[WasmModule, int]:
         total_rewrites = 0
@@ -145,7 +162,7 @@ class PassManager:
                 for index, function in enumerate(functions):
                     if not isinstance(function, WasmFunction):
                         continue
-                    rewritten, count = pass_.run(function, module)
+                    rewritten, count = self._run_function_pass(pass_, function, module)
                     if count:
                         functions[index] = rewritten
                         rewrites += count
@@ -197,7 +214,10 @@ def optimize_module(
     *,
     max_iterations: int = 8,
     validate: bool = True,
+    unit_cache=None,
 ) -> OptimizationResult:
     """Optimize a lowered module with the default (or a custom) pipeline."""
 
-    return PassManager(passes, max_iterations=max_iterations, validate=validate).run(module)
+    return PassManager(
+        passes, max_iterations=max_iterations, validate=validate, unit_cache=unit_cache
+    ).run(module)

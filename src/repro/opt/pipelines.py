@@ -19,6 +19,13 @@ results, traps, memories and globals.
 The table is a registry: projects may install additional named levels (e.g.
 a size-focused ``Os``) via :func:`register_pipeline`;
 ``CompileConfig.validate`` accepts whatever is registered here.
+
+Pass *names* carry semantic weight beyond reporting: the incremental
+pipeline (:mod:`repro.compilepipe`) memoizes each (pass name, function
+version) step, so a registered pass must be a pure function of the function
+body, and two passes sharing a name must perform the same rewrite.  Levels
+built from the same passes (``O1`` ⊂ ``O2``) therefore share per-function
+units for the passes they have in common.
 """
 
 from __future__ import annotations

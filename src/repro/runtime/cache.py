@@ -45,9 +45,11 @@ consume.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from ..compilepipe import FunctionUnitCache
 from ..core.syntax import Module
 from ..core.syntax.intern import structural_digest
 from ..lower import LoweredModule, lower_module
@@ -85,14 +87,35 @@ def content_key(*parts: object) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one pipeline stage."""
+    """Hit/miss counters for one pipeline stage.
 
+    :meth:`record` is the *only* increment path: it bumps the integer view
+    and mirrors the event to the process-wide ``runtime.cache.events``
+    counter under one lock, so the two views cannot drift apart (previously
+    each stage method incremented both separately, with nothing keeping a
+    future call site from updating one and not the other).
+    """
+
+    stage: str = ""
     hits: int = 0
     misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+    def record(self, event: str) -> None:
+        with self._lock:
+            if event == "hit":
+                self.hits += 1
+            else:
+                self.misses += 1
+            _CACHE_EVENTS.inc(stage=self.stage, event=event)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = self.misses = 0
 
 
 @dataclass
@@ -167,13 +190,14 @@ class ModuleCache:
         self._translated: dict[str, object] = {}
         self._programs: dict[str, CompiledProgram] = {}
         self._typechecked: dict[str, object] = {}
+        #: Function-granular units under the module-level stages: a miss at
+        #: module granularity (one edited function) still reuses every
+        #: unchanged function's typecheck/lower/optimize/validate/decode/
+        #: translate work through this cache.
+        self.units = FunctionUnitCache()
         self.stats: dict[str, CacheStats] = {
-            "typecheck": CacheStats(),
-            "link": CacheStats(),
-            "lower": CacheStats(),
-            "decode": CacheStats(),
-            "translate": CacheStats(),
-            "program": CacheStats(),
+            stage: CacheStats(stage)
+            for stage in ("typecheck", "link", "lower", "decode", "translate", "program")
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -189,14 +213,24 @@ class ModuleCache:
         return f"ModuleCache({sizes})"
 
     def clear(self) -> None:
+        """Drop every stage table (module- and function-granular) and zero
+        the statistics.
+
+        Artifacts the cache already handed out — `CompiledProgram`s held by
+        callers, translations adopted into the per-object pygen memo, decode
+        artifacts pinned by live instances — are owned by their consumers
+        and keep working; clearing only forgets the content-keyed indexes.
+        """
+
         self._linked.clear()
         self._lowered.clear()
         self._decoded.clear()
         self._translated.clear()
         self._programs.clear()
         self._typechecked.clear()
+        self.units.clear()
         for stats in self.stats.values():
-            stats.hits = stats.misses = 0
+            stats.reset()
 
     # -- stage: typecheck --------------------------------------------------
 
@@ -213,15 +247,12 @@ class ModuleCache:
         from ..core.typing import check_module
 
         key = content_key("typecheck", module)
-        stats = self.stats["typecheck"]
         result = self._typechecked.get(key)
         if result is not None:
-            stats.hits += 1
-            _CACHE_EVENTS.inc(stage="typecheck", event="hit")
+            self.stats["typecheck"].record("hit")
             return result
-        stats.misses += 1
-        _CACHE_EVENTS.inc(stage="typecheck", event="miss")
-        result = check_module(module)
+        self.stats["typecheck"].record("miss")
+        result = check_module(module, unit_cache=self.units)
         self._typechecked[key] = result
         return result
 
@@ -247,14 +278,11 @@ class ModuleCache:
         from ..ffi.link import link_modules
 
         key = content_key("link", name, sorted(modules), [modules[k] for k in sorted(modules)])
-        stats = self.stats["link"]
         linked = self._linked.get(key)
         if linked is not None:
-            stats.hits += 1
-            _CACHE_EVENTS.inc(stage="link", event="hit")
+            self.stats["link"].record("hit")
             return linked
-        stats.misses += 1
-        _CACHE_EVENTS.inc(stage="link", event="miss")
+        self.stats["link"].record("miss")
         linked = link_modules(modules, name=name, check=check, checker=self.typecheck)
         self._linked[key] = linked
         return linked
@@ -292,18 +320,15 @@ class ModuleCache:
             engine = config.engine
         override = None if passes is None else tuple(p.name for p in passes)
         key = content_key("lower", richwasm, config.content_key(), override)
-        stats = self.stats["lower"]
         lowered = self._lowered.get(key)
         if lowered is None:
-            stats.misses += 1
-            _CACHE_EVENTS.inc(stage="lower", event="miss")
-            lowered = lower_module(richwasm, config=config, passes=passes)
+            self.stats["lower"].record("miss")
+            lowered = lower_module(richwasm, config=config, passes=passes, unit_cache=self.units)
             if config.validate_wasm:
-                validate_module(lowered.wasm)
+                validate_module(lowered.wasm, unit_cache=self.units)
             self._lowered[key] = lowered
         else:
-            stats.hits += 1
-            _CACHE_EVENTS.inc(stage="lower", event="hit")
+            self.stats["lower"].record("hit")
         return replace(lowered, engine=engine, diagnostics=None)
 
     # -- stage: decode -----------------------------------------------------
@@ -322,14 +347,8 @@ class ModuleCache:
         """
 
         key = content_key("decode", wasm)
-        stats = self.stats["decode"]
-        if key in self._decoded:
-            stats.hits += 1
-            _CACHE_EVENTS.inc(stage="decode", event="hit")
-        else:
-            stats.misses += 1
-            _CACHE_EVENTS.inc(stage="decode", event="miss")
-        decoded = decode_module(wasm)
+        self.stats["decode"].record("hit" if key in self._decoded else "miss")
+        decoded = decode_module(wasm, unit_cache=self.units)
         self._decoded[key] = decoded
         return decoded
 
@@ -352,16 +371,13 @@ class ModuleCache:
         from ..wasm.pygen import adopt_translation, translate_module
 
         key = content_key("translate", wasm)
-        stats = self.stats["translate"]
         translation = self._translated.get(key)
         if translation is not None:
-            stats.hits += 1
-            _CACHE_EVENTS.inc(stage="translate", event="hit")
+            self.stats["translate"].record("hit")
             adopt_translation(wasm, translation)
             return translation
-        stats.misses += 1
-        _CACHE_EVENTS.inc(stage="translate", event="miss")
-        translation = translate_module(wasm)
+        self.stats["translate"].record("miss")
+        translation = translate_module(wasm, unit_cache=self.units)
         self._translated[key] = translation
         return translation
 
@@ -384,14 +400,11 @@ class ModuleCache:
         (e.g. dropping a later caller's step budget).
         """
 
-        stats = self.stats["program"]
         program = self._programs.get(key)
         if program is None:
-            stats.misses += 1
-            _CACHE_EVENTS.inc(stage="program", event="miss")
+            self.stats["program"].record("miss")
             return None
-        stats.hits += 1
-        _CACHE_EVENTS.inc(stage="program", event="hit")
+        self.stats["program"].record("hit")
         if program.engine != engine or (config is not None and config != program.config):
             program = CompiledProgram(
                 richwasm=program.richwasm,

@@ -52,6 +52,7 @@ from .ast import (
     WSelect,
     WUnreachable,
     count_instrs,
+    function_instruction_count,
 )
 from .decode import DecodedModule, FlatFunction, decode_function, decode_instance, decode_module
 from .engine import (

@@ -349,7 +349,7 @@ class WasmModule:
         total = 0
         for function in self.functions:
             if isinstance(function, WasmFunction):
-                total += count_instrs(function.body)
+                total += function_instruction_count(function)
         return total
 
 
@@ -367,3 +367,18 @@ def count_instrs(body: Sequence[WInstr]) -> int:
         elif isinstance(instr, WIf):
             total += count_instrs(instr.then_body) + count_instrs(instr.else_body)
     return total
+
+
+def function_instruction_count(function: WasmFunction) -> int:
+    """:func:`count_instrs` over a function body, cached on the instance.
+
+    Lowering statistics, module instruction counts and the optimizer all
+    re-count the same immutable bodies; with function-level caching a reused
+    function would otherwise pay an O(body) walk on every recompile.
+    """
+
+    cached = function.__dict__.get("_instr_count")
+    if cached is None:
+        cached = count_instrs(function.body)
+        function.__dict__["_instr_count"] = cached
+    return cached

@@ -437,12 +437,16 @@ class DecodedModule:
 _MODULE_DECODE_CACHE: dict[int, tuple[weakref.ref, DecodedModule]] = {}
 
 
-def decode_module(module: WasmModule) -> DecodedModule:
+def decode_module(module: WasmModule, *, unit_cache=None) -> DecodedModule:
     """Decode every defined function of ``module``, memoized per module object.
 
     The flat code depends only on the (immutable) function bodies, so all
     instances of one module share a single decode — the compile-once half of
-    the compile-once/run-many runtime layer.
+    the compile-once/run-many runtime layer.  With a ``unit_cache``
+    (:class:`repro.compilepipe.FunctionUnitCache`) the per-function flat code
+    is additionally reused *across* module versions by body digest:
+    :class:`FlatFunction` is immutable and decode reads nothing outside the
+    body, so sharing by content is exact.
     """
 
     key = id(module)
@@ -450,10 +454,23 @@ def decode_module(module: WasmModule) -> DecodedModule:
     if entry is not None and entry[0]() is module:
         return entry[1]
 
-    flat = [
-        decode_function(target) if isinstance(target, WasmFunction) else None
-        for target in module.functions
-    ]
+    if unit_cache is None:
+        flat = [
+            decode_function(target) if isinstance(target, WasmFunction) else None
+            for target in module.functions
+        ]
+    else:
+        flat = []
+        for target in module.functions:
+            if not isinstance(target, WasmFunction):
+                flat.append(None)
+                continue
+            fkey = unit_cache.decode_key(target)
+            cached_flat = unit_cache.get("decode", fkey)
+            if cached_flat is None:
+                cached_flat = decode_function(target)
+                unit_cache.put("decode", fkey, cached_flat)
+            flat.append(cached_flat)
     decoded = DecodedModule(module.functions, flat)
 
     def _evict(ref, _key=key):

@@ -219,6 +219,15 @@ class _FunctionEmitter:
             for ins in code
         )
         self.uses_globals = any(ins[0] in (OP_GLOBAL_GET, OP_GLOBAL_SET) for ins in code)
+        self.uses_targets = any(
+            ins[0] == OP_CALL_INDIRECT
+            or (
+                ins[0] == OP_CALL
+                and ins[1] < len(slots)
+                and isinstance(slots[ins[1]], FlatFunction)
+            )
+            for ins in code
+        )
         self.uses_memory = self.has_memory and any(
             ins[0] in (OP_LOAD_I, OP_LOAD_F, OP_STORE_I, OP_STORE_F, OP_MEMORY_SIZE, OP_MEMORY_GROW)
             for ins in code
@@ -764,10 +773,14 @@ def _host_call_lines(em: _FunctionEmitter, entry_expr: str, functype) -> list[st
 def _emit_call(em: _FunctionEmitter, findex: int, expected) -> None:
     callee = em.slots[findex] if findex < len(em.slots) else None
     if isinstance(callee, FlatFunction):
+        # Direct calls dispatch through the runtime's target table rather
+        # than naming the sibling function: the generated chunk then has no
+        # free reference to the rest of the module, so per-function chunks
+        # can be cached and recombined across module versions.
         args, arg_lines = em.call_args(callee.n_params)
-        call = f"_f{findex}(rt, steps, boundary{', ' + args if args else ''})"
+        call = f"_tg[{findex}](rt, steps, boundary{', ' + args if args else ''})"
         if args == "*_a":
-            call = f"_f{findex}(rt, steps, boundary, *_a)"
+            call = f"_tg[{findex}](rt, steps, boundary, *_a)"
         lines = arg_lines + [f"_r = {call}"]
         lines.extend(em.defined_call_results(callee.n_results))
         em.step(lines)
@@ -793,9 +806,9 @@ def _emit_call_indirect(em: _FunctionEmitter, expected) -> None:
     ]
     depth_snapshot = getattr(em, "depth", None)
     args, arg_lines = em.call_args(len(expected.params))
-    call = f"rt.targets[_fx](rt, steps, boundary{', ' + args if args else ''})"
+    call = f"_tg[_fx](rt, steps, boundary{', ' + args if args else ''})"
     if args == "*_a":
-        call = "rt.targets[_fx](rt, steps, boundary, *_a)"
+        call = "_tg[_fx](rt, steps, boundary, *_a)"
     lines.extend("    " + line for line in arg_lines)
     lines.append(f"    _r = {call}")
     lines.extend("    " + line for line in em.defined_call_results(len(expected.results)))
@@ -832,6 +845,8 @@ def _emit_function(index: int, flat: FlatFunction, slots: list, module: WasmModu
             head = ", ".join(slots_sig)
             em.lines.append(f"def _f{index}(rt, steps, boundary{', ' + head if head else ''}):")
             em.write("eng = rt.engine")
+            if em.uses_targets:
+                em.write("_tg = rt.targets")
             if em.uses_globals:
                 em.write("gl = rt.globals")
             if em.uses_memory:
@@ -874,11 +889,8 @@ class ModuleTranslation:
         return f"ModuleTranslation({self.function_count} functions, {len(self.source)} chars)"
 
 
-def translate_functions(slots: list, module: WasmModule, *, force_list: bool = False) -> ModuleTranslation:
-    """Translate a decoded function table (``FlatFunction``/host per slot)."""
-
-    pool = _ConstPool()
-    pool.values.update(
+def _base_pool_values() -> dict[str, object]:
+    return dict(
         _WT=WasmTrap,
         _NT=numerics.NumericTrap,
         _FF=FlatFunction,
@@ -886,6 +898,13 @@ def translate_functions(slots: list, module: WasmModule, *, force_list: bool = F
         _upf=struct.unpack_from,
         _pki=struct.pack_into,
     )
+
+
+def translate_functions(slots: list, module: WasmModule, *, force_list: bool = False) -> ModuleTranslation:
+    """Translate a decoded function table (``FlatFunction``/host per slot)."""
+
+    pool = _ConstPool()
+    pool.values.update(_base_pool_values())
     chunks: list[str] = []
     modes: list = []
     for index, slot in enumerate(slots):
@@ -905,6 +924,49 @@ def translate_functions(slots: list, module: WasmModule, *, force_list: bool = F
     return ModuleTranslation(source, functions, tuple(modes))
 
 
+def _translate_units(
+    slots: list, module: WasmModule, unit_cache, *, force_list: bool = False
+) -> ModuleTranslation:
+    """Per-function translation: each defined slot becomes its own unit.
+
+    Only reachable through :func:`translate_module`, where ``slots`` is the
+    module's own decode — so ``slots[i]`` *is* the flat code of
+    ``module.functions[i]`` and the (function digest, signature digest,
+    index) unit key addresses the chunk exactly.  Each unit is emitted with
+    a private const pool and exec'd into a private namespace; the generated
+    code reads everything else (including direct-call targets) off the
+    per-invoke runtime object, so a cached callable recombines into any
+    module version whose key matches.
+    """
+
+    chunks: list[str] = []
+    functions: list = []
+    modes: list = []
+    for index, slot in enumerate(slots):
+        if not isinstance(slot, FlatFunction):
+            functions.append(None)
+            modes.append(None)
+            continue
+        key = unit_cache.translate_key(
+            module.functions[index], module, index, force_list=force_list
+        )
+        unit = unit_cache.get("translate", key)
+        if unit is None:
+            pool = _ConstPool()
+            pool.values.update(_base_pool_values())
+            lines, mode = _emit_function(index, slot, slots, module, pool, force_list)
+            chunk = "\n".join(lines)
+            namespace = dict(pool.values)
+            exec(compile(chunk, f"<pygen:{module.name or 'module'}:f{index}>", "exec"), namespace)
+            unit = (chunk, mode, namespace[f"_f{index}"])
+            unit_cache.put("translate", key, unit)
+        chunk, mode, compiled = unit
+        chunks.append(chunk)
+        functions.append(compiled)
+        modes.append(mode)
+    return ModuleTranslation("\n\n".join(chunks), tuple(functions), tuple(modes))
+
+
 # Per-module translation memo, keyed like the decode memo: by id() with a
 # weakref guard so id reuse after collection cannot alias.
 _MODULE_TRANSLATE_CACHE: dict[int, tuple[weakref.ref, ModuleTranslation]] = {}
@@ -921,13 +983,22 @@ def _remember_translation(module: WasmModule, translation: ModuleTranslation) ->
     _MODULE_TRANSLATE_CACHE[key] = (weakref.ref(module, _evict), translation)
 
 
-def translate_module(module: WasmModule) -> ModuleTranslation:
-    """Translate every defined function of ``module``, memoized per object."""
+def translate_module(module: WasmModule, *, unit_cache=None) -> ModuleTranslation:
+    """Translate every defined function of ``module``, memoized per object.
+
+    With a ``unit_cache`` (:class:`repro.compilepipe.FunctionUnitCache`),
+    translation is assembled from per-function units so a new module version
+    re-translates only the functions whose content actually changed.
+    """
 
     entry = _MODULE_TRANSLATE_CACHE.get(id(module))
     if entry is not None and entry[0]() is module:
         return entry[1]
-    translation = translate_functions(decode_module(module).flat, module)
+    slots = decode_module(module, unit_cache=unit_cache).flat
+    if unit_cache is not None:
+        translation = _translate_units(slots, module, unit_cache)
+    else:
+        translation = translate_functions(slots, module)
     _remember_translation(module, translation)
     return translation
 

@@ -126,8 +126,13 @@ def _function_type(module: WasmModule, index: int) -> WasmFuncType:
     return module.functions[index].functype
 
 
-def validate_module(module: WasmModule) -> None:
-    """Validate a module; raises :class:`WasmValidationError` on failure."""
+def validate_module(module: WasmModule, *, unit_cache=None) -> None:
+    """Validate a module; raises :class:`WasmValidationError` on failure.
+
+    ``unit_cache`` (a :class:`repro.compilepipe.FunctionUnitCache`) skips
+    function bodies already validated under the same (body digest, module
+    signature digest) key — only successful validations are recorded.
+    """
 
     for entry in module.table.entries:
         if entry < 0 or entry >= len(module.functions):
@@ -146,7 +151,13 @@ def validate_module(module: WasmModule) -> None:
     for function in module.functions:
         if isinstance(function, WasmImportedFunction):
             continue
+        if unit_cache is not None:
+            key = unit_cache.validate_key(function, module)
+            if unit_cache.get("validate", key) is not None:
+                continue
         validate_function(module, function)
+        if unit_cache is not None:
+            unit_cache.put("validate", key, True)
 
 
 def validate_function(module: WasmModule, function: WasmFunction) -> None:

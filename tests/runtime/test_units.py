@@ -1,0 +1,265 @@
+"""Tests for :mod:`repro.compilepipe` — function-granular compile units.
+
+The PR 8 layer under :class:`repro.runtime.ModuleCache`: per-function unit
+keys (deterministic across processes, like the PR 5 content keys), the
+:class:`FunctionUnitCache` LRU store, its stats/obs-counter consistency,
+eviction and ``clear()`` interaction with partially-reused modules, and the
+``Diagnostics.units`` surface the facade reports reuse through.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api import CompileConfig, Diagnostics
+from repro.compilepipe import (
+    UNIT_STAGES,
+    FunctionUnitCache,
+    UnitStats,
+    lower_unit_key,
+    translate_unit_key,
+    typecheck_unit_key,
+    unit_key,
+    wasm_signature_digest,
+)
+from repro.lower import lower_module
+from repro.obs.metrics import default_registry
+from repro.runtime import ModuleCache
+
+from workloads import edit_one_function, synthetic_module
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# ---------------------------------------------------------------------------
+# Unit keys
+# ---------------------------------------------------------------------------
+
+_KEY_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {benchmarks!r})
+from workloads import synthetic_module
+from repro.compilepipe import lower_unit_key, translate_unit_key, typecheck_unit_key
+from repro.lower import lower_module
+
+module = synthetic_module(3, functions=4)
+wasm = lower_module(module).wasm
+print(typecheck_unit_key(module.functions[2], module))
+print(lower_unit_key(module.functions[2], module))
+print(translate_unit_key(wasm.functions[2], wasm, 2))
+"""
+
+
+def _key_script() -> str:
+    return _KEY_SCRIPT.format(
+        src=str(REPO_ROOT / "src"), benchmarks=str(REPO_ROOT / "benchmarks")
+    )
+
+
+class TestUnitKeys:
+    def test_deterministic_across_fresh_processes(self):
+        """Two fresh interpreters derive identical unit keys for every stage
+        family — no ``id()``/``hash()`` leaks into the keyspace."""
+
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", _key_script()],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.split()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert all(len(key) == 64 and int(key, 16) >= 0 for key in runs[0])
+
+    def test_one_function_edit_leaves_other_keys_unchanged(self):
+        base = synthetic_module(2, functions=5)
+        edited = edit_one_function(base, 2, blocks=2)
+        for index in (0, 1, 3, 4):
+            assert lower_unit_key(base.functions[index], base) == lower_unit_key(
+                edited.functions[index], edited
+            )
+        assert lower_unit_key(base.functions[2], base) != lower_unit_key(
+            edited.functions[2], edited
+        )
+
+    def test_key_ingredients_are_discriminating(self):
+        module = synthetic_module(2, functions=2)
+        function = module.functions[0]
+        assert typecheck_unit_key(function, module) != typecheck_unit_key(
+            function, module, allow_caps=False
+        )
+        assert typecheck_unit_key(function, module) != lower_unit_key(function, module)
+        wasm = lower_module(module).wasm
+        assert translate_unit_key(wasm.functions[0], wasm, 0) != translate_unit_key(
+            wasm.functions[0], wasm, 1
+        )
+        assert translate_unit_key(wasm.functions[0], wasm, 0) != translate_unit_key(
+            wasm.functions[0], wasm, 0, force_list=True
+        )
+
+    def test_structurally_equal_twins_share_keys(self):
+        first = synthetic_module(2, functions=3)
+        second = synthetic_module(2, functions=3)
+        assert first is not second
+        assert lower_unit_key(first.functions[1], first) == lower_unit_key(
+            second.functions[1], second
+        )
+
+    def test_unit_key_accepts_raw_digest_parts(self):
+        wasm = lower_module(synthetic_module(1)).wasm
+        digest = wasm_signature_digest(wasm)
+        assert unit_key("probe", digest, 3) == unit_key("probe", digest, 3)
+        assert unit_key("probe", digest, 3) != unit_key("probe", digest, 4)
+
+
+# ---------------------------------------------------------------------------
+# The cache itself: stats, eviction, clear
+# ---------------------------------------------------------------------------
+
+
+class TestFunctionUnitCache:
+    def test_lookup_counts_one_event_per_get(self):
+        units = FunctionUnitCache()
+        assert units.get("lower", "k") is None
+        units.put("lower", "k", "artifact")
+        assert units.get("lower", "k") == "artifact"
+        stats = units.stats["lower"]
+        assert (stats.reused, stats.compiled, stats.lookups) == (1, 1, 2)
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        units = FunctionUnitCache(max_entries=2)
+        for index in range(4):
+            units.put("decode", f"k{index}", index)
+        assert units.sizes()["decode"] == 2
+        assert units.stats["decode"].evicted == 2
+        # The two youngest survive; touching one protects it from the next put.
+        assert units.get("decode", "k2") == 2
+        units.put("decode", "k4", 4)
+        assert units.get("decode", "k2") == 2
+        assert units.get("decode", "k3") is None
+
+    def test_clear_resets_tables_and_stats(self):
+        units = FunctionUnitCache()
+        units.put("translate", "k", "chunk")
+        units.get("translate", "k")
+        units.clear()
+        assert len(units) == 0
+        assert all(
+            (s.reused, s.compiled, s.evicted) == (0, 0, 0) for s in units.stats.values()
+        )
+
+    def test_snapshot_delta_reports_only_moved_stages(self):
+        units = FunctionUnitCache()
+        before = units.snapshot()
+        units.put("lower", "k", "v")
+        units.get("lower", "k")
+        units.get("lower", "missing")
+        assert units.delta(before) == {"lower": {"reused": 1, "compiled": 1}}
+
+    def test_stats_agree_with_obs_counter(self):
+        """One locked increment path: the integer view and the process-wide
+        ``compile.units.events`` counter move together."""
+
+        counter = default_registry().counter("compile.units.events")
+        stats = UnitStats("probe-stage")
+        base_hits = counter.labeled(stage="probe-stage", event="hit")
+        base_misses = counter.labeled(stage="probe-stage", event="miss")
+        for event in ("hit", "miss", "hit", "evict"):
+            stats.record(event)
+        assert (stats.reused, stats.compiled, stats.evicted) == (2, 1, 1)
+        assert counter.labeled(stage="probe-stage", event="hit") - base_hits == stats.reused
+        assert counter.labeled(stage="probe-stage", event="miss") - base_misses == stats.compiled
+        assert counter.labeled(stage="probe-stage", event="evict") == stats.evicted
+
+
+# ---------------------------------------------------------------------------
+# Through the ModuleCache: incremental reuse, eviction, clear
+# ---------------------------------------------------------------------------
+
+CONFIG = CompileConfig(opt_level="O1", engine="compiled", cache="private")
+N = 8
+
+
+def _incremental(cache: ModuleCache):
+    base = synthetic_module(1, functions=N)
+    cache.compile_program(base, config=CONFIG)
+    edited = edit_one_function(base, N // 2)
+    before = cache.units.snapshot()
+    program = cache.compile_program(edited, config=CONFIG)
+    return program, cache.units.delta(before)
+
+
+class TestIncrementalThroughModuleCache:
+    def test_one_function_edit_reuses_all_other_units(self):
+        program, delta = _incremental(ModuleCache())
+        assert delta["lower"] == {"reused": N - 1, "compiled": 1}
+        for stage in ("decode", "translate"):
+            assert delta[stage]["compiled"] == 1
+            assert delta[stage]["reused"] >= N - 1  # + runtime malloc/free
+        interpreter, instance = program.instantiate()
+        # Function N//2 was re-seeded to N + N//2 + 1; it computes seed + 1.
+        assert interpreter.invoke(instance, f"f{N // 2}", [])[0] == N + N // 2 + 2
+        assert interpreter.invoke(instance, "main", [])[0] == 2
+
+    def test_partially_reused_module_under_eviction(self):
+        # A tiny per-stage bound forces most units out between versions; the
+        # recompile must still be correct, just with less reuse.
+        cache = ModuleCache()
+        cache.units = FunctionUnitCache(max_entries=3)
+        program, delta = _incremental(cache)
+        assert sum(s.evicted for s in cache.units.stats.values()) > 0
+        assert all(size <= 3 for size in cache.units.sizes().values())
+        assert delta["lower"]["compiled"] >= 1
+        interpreter, instance = program.instantiate()
+        assert interpreter.invoke(instance, "main", [])[0] == 2
+
+    def test_clear_resets_units_without_stranding_programs(self):
+        cache = ModuleCache()
+        program, _delta = _incremental(cache)
+        cache.clear()
+        assert len(cache.units) == 0
+        assert all(s.lookups == 0 for s in cache.units.stats.values())
+        # Artifacts already composed into the handed-out program keep working.
+        interpreter, instance = program.instantiate()
+        assert interpreter.invoke(instance, "main", [])[0] == 2
+        # And the next compile rebuilds from nothing: all misses, no hits.
+        rebuilt = cache.compile_program(synthetic_module(1, functions=N), config=CONFIG)
+        assert cache.units.stats["lower"].compiled == N
+        assert cache.units.stats["lower"].reused == 0
+        interpreter, instance = rebuilt.instantiate()
+        assert interpreter.invoke(instance, "main", [])[0] == 2
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics surface
+# ---------------------------------------------------------------------------
+
+
+class TestDiagnosticsUnits:
+    def test_facade_reports_per_stage_unit_reuse(self):
+        cache = ModuleCache()
+        base = synthetic_module(1, functions=N)
+        api.compile(base, CONFIG, cache=cache)
+        edited = edit_one_function(base, N // 2)
+        program = api.compile(edited, CONFIG, cache=cache)
+        units = program.diagnostics.units
+        assert units["lower"] == {"reused": N - 1, "compiled": 1}
+        report = program.diagnostics.format_report()
+        assert f"lower units: {N - 1} reused / 1 compiled" in report
+
+    def test_units_round_trip_through_dict(self):
+        diagnostics = Diagnostics(units={"lower": {"reused": 7, "compiled": 1}})
+        data = diagnostics.to_dict()
+        assert data["units"] == {"lower": {"reused": 7, "compiled": 1}}
+        assert Diagnostics.from_dict(data).to_dict() == data
+
+    def test_unit_stages_cover_the_pipeline(self):
+        assert UNIT_STAGES == (
+            "typecheck", "lower", "optimize", "validate", "decode", "translate",
+        )
