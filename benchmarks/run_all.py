@@ -49,7 +49,9 @@ from repro.wasm import available_engines  # noqa: E402
 
 from workloads import (  # noqa: E402
     WORKLOADS,
+    measure_cluster_throughput,
     measure_compile_stages,
+    measure_disk_warm_start,
     measure_engine,
     measure_incremental_compile,
     measure_runtime_throughput,
@@ -280,6 +282,31 @@ def _run(args, sink) -> int:
           f"({runtime['requests_ok']}/{runtime['requests']} ok, "
           f"{runtime['steps_per_request']} steps/request)")
 
+    print("cluster serving (multi-process fan-out) + disk-cache warm start ...")
+    with get_tracer().span("bench.cluster"):
+        cluster_workers = 2 if args.smoke else 4
+        results["cluster"] = {
+            "throughput": measure_cluster_throughput(
+                workers=cluster_workers,
+                sessions=20 if args.smoke else 60,
+                rounds=1 if args.smoke else 3,
+            ),
+            "disk_warm_start": measure_disk_warm_start(
+                functions=100 if args.smoke else 600,
+                warm_repeats=1 if args.smoke else 2,
+            ),
+        }
+    throughput = results["cluster"]["throughput"]
+    print(f"  {throughput['workers']} workers: {throughput['single_requests_per_sec']:,} rps single -> "
+          f"{throughput['cluster_requests_per_sec']:,} rps cluster "
+          f"({throughput['speedup']}x on {throughput['cpu_count']} CPUs)")
+    warm = results["cluster"]["disk_warm_start"]
+    print(f"  disk warm start: cold {warm['cold_wall_s']}s -> warm {warm['warm_wall_s']}s "
+          f"({warm['speedup']}x, program {warm['program_cold']} -> {warm['program_warm']})")
+    warm_ok = warm["program_cold"] == "miss" and warm["program_warm"] == "hit"
+    if not warm_ok:
+        print("  DISK WARM START FAILED: warm child did not hit the program cache")
+
     print("three-engine (tree/flat/compiled) differential + pool-reset cross-check ...")
     with get_tracer().span("bench.cross_check"):
         results["cross_check"], cross_ok = cross_check_workloads()
@@ -293,7 +320,7 @@ def _run(args, sink) -> int:
         print("benchmark files ...")
         results["benchmarks"], bench_ok = run_bench_files()
 
-    results["ok"] = cross_ok and bench_ok and regression_ok
+    results["ok"] = cross_ok and bench_ok and regression_ok and warm_ok
     if sink is not None:
         sink.emit_event("bench.done", mode=results["mode"], ok=results["ok"])
         sink.emit_metrics(default_registry())

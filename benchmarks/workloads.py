@@ -452,3 +452,140 @@ def measure_engine(wasm, calls, engine: str, *, min_time: float = 0.3, max_round
         elapsed_total += elapsed
         rounds += 1
     return steps, best
+
+
+# ---------------------------------------------------------------------------
+# PR 9: cluster serving + disk-cache warm starts
+# ---------------------------------------------------------------------------
+
+
+def counter_sessions(count: int, *, ticks: int = COUNTER_TICKS) -> list:
+    """``count`` independent init/tick*/total sessions, ids spread so the
+    cluster's sticky router distributes them across workers."""
+
+    from repro.runtime import Session
+
+    calls = (
+        (("client.client_init", (0,)),)
+        + tuple(("client.client_tick", ()) for _ in range(ticks))
+        + (("client.client_total", ()),)
+    )
+    return [Session(calls=calls, session_id=f"bench-{i}") for i in range(count)]
+
+
+def measure_cluster_throughput(*, workers: int = 4, sessions: int = 60,
+                               rounds: int = 3) -> dict:
+    """Aggregate cluster rps vs the single-process serving baseline.
+
+    Serves the same batch of sticky counter sessions through an in-process
+    :class:`repro.api.Service` and through ``api.serve(..., workers=N)``
+    (the :class:`repro.cluster.ClusterService` fan-out), best-of ``rounds``
+    each.  Records ``cpu_count`` alongside the speedup: on a single-CPU host
+    N workers time-slice one core and the wire overhead makes the cluster
+    *slower* — the ≥ 3x gate in ``bench_cluster.py`` therefore only arms
+    when the host has at least ``workers`` CPUs.
+    """
+
+    import os
+
+    from repro import api
+
+    scenario = counter_program()
+
+    def batch_rps(service) -> tuple[float, int]:
+        best = 0.0
+        ok = 0
+        for _ in range(rounds):
+            report = service.run(counter_sessions(sessions))
+            ok = report.ok_count
+            best = max(best, report.requests_per_sec or 0.0)
+        return best, ok
+
+    with api.serve(scenario, {"cache": "private"}) as single:
+        single_rps, single_ok = batch_rps(single)
+
+    with api.serve(scenario, {"cache": "private", "workers": workers}) as cluster:
+        cluster_rps, cluster_ok = batch_rps(cluster)
+        cluster_workers = cluster.workers
+
+    return {
+        "workload": "linked_counter",
+        "workers": cluster_workers,
+        "sessions": sessions,
+        "cpu_count": os.cpu_count(),
+        "single_ok": single_ok,
+        "cluster_ok": cluster_ok,
+        "single_requests_per_sec": round(single_rps, 1),
+        "cluster_requests_per_sec": round(cluster_rps, 1),
+        "speedup": round(cluster_rps / single_rps, 2) if single_rps else None,
+    }
+
+
+_WARM_START_CHILD = """
+import json, sys, time
+sys.path[:0] = {paths!r}
+from workloads import synthetic_module
+from repro import api
+module = synthetic_module(1, functions={functions})
+start = time.perf_counter()
+compiled = api.compile(module, {{"opt_level": "O2", "cache_dir": {cache_dir!r}}})
+wall = time.perf_counter() - start
+print(json.dumps({{"wall": wall, "program": compiled.diagnostics.cache["program"]}}))
+"""
+
+
+def _warm_start_child(cache_dir: str, functions: int) -> dict:
+    """One cold-process compile against ``cache_dir``, timed in the child."""
+
+    import json
+    import os
+    import subprocess
+    import sys
+
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    src_dir = os.path.join(os.path.dirname(bench_dir), "src")
+    script = _WARM_START_CHILD.format(
+        paths=[src_dir, bench_dir], functions=functions, cache_dir=cache_dir
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, check=True
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def measure_disk_warm_start(*, functions: int = 600, warm_repeats: int = 2) -> dict:
+    """Cold-compile vs disk-warm-start walls, each in a fresh process.
+
+    Every sample is a genuinely cold *process* (``subprocess`` — no
+    inherited memo, no forked caches): the first child compiles a
+    ``functions``-function module into an empty cache directory (full
+    pipeline + disk write), the next children start cold against the now
+    warm directory and load the program from disk (fingerprint key lookup +
+    unpickle + decode adoption).  The warm wall is the best of
+    ``warm_repeats`` children; both walls exclude interpreter startup (the
+    child times only ``api.compile``).
+    """
+
+    import shutil
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-warmstart-")
+    try:
+        cold = _warm_start_child(cache_dir, functions)
+        warm_walls = []
+        warm_diag = None
+        for _ in range(max(1, warm_repeats)):
+            record = _warm_start_child(cache_dir, functions)
+            warm_walls.append(record["wall"])
+            warm_diag = record["program"]
+        warm_wall = min(warm_walls)
+        return {
+            "functions": functions,
+            "cold_wall_s": round(cold["wall"], 4),
+            "warm_wall_s": round(warm_wall, 4),
+            "speedup": round(cold["wall"] / warm_wall, 1) if warm_wall else None,
+            "program_cold": cold["program"],
+            "program_warm": warm_diag,
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)

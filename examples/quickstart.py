@@ -11,7 +11,10 @@ This walks the whole public API surface on a tiny module:
    level, engine, cache policy) — and read the structured diagnostics;
 5. re-run it under observability — a ``repro.obs`` tracer exporting
    schema-versioned JSONL spans, summarized by ``repro.obs.report``;
-6. print the lowered module as WAT-style text.
+6. serve the same program from two worker processes —
+   ``serve(..., workers=2)`` returns a ``repro.cluster.ClusterService``
+   with the same surface;
+7. print the lowered module as WAT-style text.
 
 Run with ``python examples/quickstart.py``.
 """
@@ -153,6 +156,22 @@ def main() -> None:
     records = list(read_records(trace_path))  # validates every line
     print(f"exported {len(records)} schema-valid record(s) to {trace_path}")
     print(format_summary(summarize(records)))
+
+    # Scale out: workers=2 builds a ClusterService — the same surface as
+    # the in-process service, but every request is executed by one of two
+    # worker processes (round-robin requests, sticky sessions by id).
+    print("\n--- two-worker cluster (repro.cluster) ---")
+    from repro.runtime import Session
+
+    with serve(module, CompileConfig(opt_level="O2", workers=2)) as cluster:
+        print("cluster fact(6)   =", cluster.call("fact", [6]))
+        report = cluster.run([
+            Session(calls=(("fact", (5,)), ("cell", (7,))), session_id=f"user-{i}")
+            for i in range(4)
+        ])
+        print("cluster batch     :", f"{report.ok_count}/{len(report.outcomes)} ok")
+        stats = cluster.stats()
+        print("cluster workers   :", sorted(stats.workers))
 
     print("\n--- lowered module (WAT excerpt) ---")
     print("\n".join(module_to_wat(lowered.wasm).splitlines()[:25]))

@@ -69,6 +69,19 @@ class CompileConfig:
     check_links: bool = True
     #: Name given to the statically linked module.
     link_name: str = "linked"
+    #: Worker-process count for :func:`repro.api.serve`.  ``1`` (default)
+    #: serves in-process (:class:`~repro.api.Service`); ``>1`` builds a
+    #: :class:`repro.cluster.ClusterService` dispatching over that many
+    #: worker processes.
+    workers: int = 1
+    #: Cache-root directory for the durable artifact tier
+    #: (:class:`repro.cluster.DiskCache`).  ``None`` = memory-only caching;
+    #: a path makes every compile warm-startable by other processes sharing
+    #: the directory (lookup order: memory → disk → compile).
+    cache_dir: Optional[str] = None
+    #: Byte budget for the disk tier (mtime-LRU eviction); ``None`` =
+    #: unbounded.  Ignored without :attr:`cache_dir`.
+    disk_cache_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         level = self.opt_level
@@ -83,6 +96,14 @@ class CompileConfig:
             name = getattr(engine, "name", None)
             if isinstance(name, str):
                 object.__setattr__(self, "engine", name)
+
+        # Path-like cache directories normalize to their string form so
+        # configs stay hashable/comparable by value.
+        cache_dir = self.cache_dir
+        if cache_dir is not None and not isinstance(cache_dir, str):
+            fspath = getattr(cache_dir, "__fspath__", None)
+            if callable(fspath):
+                object.__setattr__(self, "cache_dir", fspath())
 
     # -- validation --------------------------------------------------------
 
@@ -117,6 +138,18 @@ class CompileConfig:
             raise ConfigError(f"max_steps must be a positive int or None, got {self.max_steps!r}")
         if not self._is_int(self.pool_size) or self.pool_size < 1:
             raise ConfigError(f"pool_size must be a positive int, got {self.pool_size!r}")
+        if not self._is_int(self.workers) or self.workers < 1:
+            raise ConfigError(f"workers must be a positive int, got {self.workers!r}")
+        if self.cache_dir is not None and (not isinstance(self.cache_dir, str) or not self.cache_dir):
+            raise ConfigError(
+                f"cache_dir must be a non-empty path string or None, got {self.cache_dir!r}"
+            )
+        if self.disk_cache_bytes is not None and (
+            not self._is_int(self.disk_cache_bytes) or self.disk_cache_bytes < 1
+        ):
+            raise ConfigError(
+                f"disk_cache_bytes must be a positive int or None, got {self.disk_cache_bytes!r}"
+            )
         if not isinstance(self.link_name, str) or not self.link_name:
             raise ConfigError(f"link_name must be a non-empty string, got {self.link_name!r}")
         for name in ("validate_wasm", "check_links"):
@@ -155,9 +188,11 @@ class CompileConfig:
 
         Covers ``opt_level`` (expanded to its pass names, so a re-registered
         pipeline changes the key), ``memory_pages`` and ``link_name`` —
-        nothing else.  ``engine``, ``cache``, ``max_steps``, ``pool_size``
-        and the validation toggles do not change the compiled artifact and
-        therefore do not change the key.  :class:`repro.runtime.ModuleCache`
+        nothing else.  ``engine``, ``cache``, ``max_steps``, ``pool_size``,
+        ``workers``, ``cache_dir``/``disk_cache_bytes`` and the validation
+        toggles do not change the compiled artifact and therefore do not
+        change the key (so disk entries are shared across worker counts and
+        cache locations).  :class:`repro.runtime.ModuleCache`
         combines this digest with the source module's own content hash to
         key its stages.
         """

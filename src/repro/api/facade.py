@@ -181,6 +181,13 @@ def _serve(compiled, config, cache, overrides, run_initializers_setup) -> Servic
         config = CompileConfig.of(config, **overrides)
         cache_obj = _resolve_cache(config, cache)
         compiled = compile(compiled, config, cache=cache_obj)
+    if config.workers > 1:
+        # Multi-process serving: the parent has already compiled (populating
+        # the shared DiskCache when cache_dir is set); the cluster ships the
+        # linked program to each worker and dispatches across them.
+        from ..cluster import ClusterService
+
+        return ClusterService(compiled, config, cache=cache_obj)
     pool_kwargs = dict(
         max_steps=config.max_steps, setup=run_initializers_setup, max_size=config.pool_size
     )
@@ -249,13 +256,27 @@ def _check_cache(cache) -> Optional[ModuleCache]:
 def _resolve_cache(config: CompileConfig, cache: Optional[ModuleCache]) -> Optional[ModuleCache]:
     if _check_cache(cache) is not None:
         return cache
+    if config.cache == "none":
+        return None
+    if config.cache_dir is not None:
+        # Durable tier requested: a disk-backed ModuleCache (memory → disk →
+        # compile).  Policy "shared" reuses one cache per resolved directory
+        # so repeated facade calls share the memory tier too; "private" gets
+        # a fresh memory tier over the same durable store.
+        from ..cluster.diskcache import DiskCache, shared_disk_module_cache
+
+        if config.cache == "shared":
+            return shared_disk_module_cache(
+                config.cache_dir, max_bytes=config.disk_cache_bytes
+            )
+        return ModuleCache(
+            disk=DiskCache(config.cache_dir, max_bytes=config.disk_cache_bytes)
+        )
     if config.cache == "shared":
         from ..runtime import default_cache
 
         return default_cache()
-    if config.cache == "private":
-        return ModuleCache()
-    return None  # policy "none"
+    return ModuleCache()  # policy "private"
 
 
 def _link_direct(modules, config: CompileConfig, diagnostics: Diagnostics):
@@ -335,7 +356,7 @@ def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
     with diagnostics.stage("link"):
         richwasm = _link_cached(modules, config, cache, diagnostics)
     key = cache.program_key(richwasm, config)
-    program = cache.get_program(key, engine=config.engine, config=config)
+    program = cache.get_program(key, engine=config.engine, config=config, richwasm=richwasm)
     if program is not None:
         diagnostics.cache.update(program="hit", typecheck="hit", lower="hit", decode="hit")
         if config.engine == "compiled":

@@ -126,17 +126,40 @@ class Service:
         with get_tracer().span("service.run", requests=len(resolved)):
             return self.runner.run(resolved)
 
-    def session(self, calls, *, max_steps: Optional[int] = None) -> RequestOutcome:
-        """A stateful call script served by one pooled instance."""
+    def session(self, calls, *, max_steps: Optional[int] = None,
+                session_id: Optional[str] = None) -> RequestOutcome:
+        """A stateful call script served by one pooled instance.
+
+        ``session_id`` is accepted for parity with
+        :meth:`repro.cluster.ClusterService.session` (where it pins the
+        session to a worker); in-process there is nothing to pin.
+        """
 
         calls = tuple(calls)
         with get_tracer().span("service.session", calls=len(calls)):
-            return self.run_one(Session(calls=calls, max_steps=max_steps))
+            return self.run_one(
+                Session(calls=calls, max_steps=max_steps, session_id=session_id)
+            )
 
     def warm(self, count: int) -> None:
         """Pre-create pooled instances up to ``count`` idle entries."""
 
         self.pool.warm(count)
+
+    # -- lifecycle ---------------------------------------------------------
+    #
+    # The in-process service holds no external resources, but it mirrors
+    # ClusterService's context-manager surface so call sites stay portable
+    # across ``workers=1`` and ``workers=N``.
+
+    def close(self) -> None:
+        """Release pooled instances (a no-op beyond dropping references)."""
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _resolved(self, request):
         if isinstance(request, Session):

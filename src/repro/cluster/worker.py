@@ -1,0 +1,228 @@
+"""The worker-process side of the cluster: one service per process.
+
+:func:`worker_main` is the ``multiprocessing`` target.  Each worker builds
+its *own* single-process :class:`repro.api.Service` — its own
+:class:`~repro.runtime.InstancePool` and :class:`~repro.runtime.BatchRunner`
+— from the linked program the dispatcher ships, warmed through a
+:class:`~repro.cluster.DiskCache`-backed :class:`~repro.runtime.ModuleCache`
+when the config carries a ``cache_dir`` (the parent compiled first, so the
+worker's compile is a disk hit, not a recompile).
+
+The wire protocol is deliberately plain: JSON-able dicts over
+``multiprocessing`` queues, one record per message (the pipeable-JSONL idiom
+— every field is a primitive, so the protocol survives ``spawn``, ``fork``
+and any pickle protocol).  Parent → worker ops:
+
+* ``{"op": "request", "id", "export", "args", "max_steps", "trace_id"}``
+* ``{"op": "session", "id", "calls", "max_steps", "trace_id", "session_id"}``
+* ``{"op": "stats", "id"}`` — reply with pool/cache stats + a metrics
+  snapshot (the dispatcher merges these via
+  :func:`repro.obs.merge_snapshots`)
+* ``{"op": "crash"}`` — deterministic fault injection for the
+  worker-death tests: hard-exit without cleanup (``os._exit``)
+* ``{"op": "shutdown"}`` — drain and exit cleanly
+
+Worker → parent records always carry ``worker`` (the slot index) and, for
+replies, the originating ``id``:
+
+* ``{"op": "ready", "worker", "pid"}`` — service built, pool warm
+* ``{"op": "result", "worker", "id", "outcome": {...}}`` — one
+  :class:`~repro.runtime.RequestOutcome`, flattened (``ok``, ``values``,
+  ``trap``, ``trap_kind``, ``steps``, ``trace_id``) so trap isolation and
+  span identity cross the process boundary intact
+* ``{"op": "stats", "worker", "id", "stats": {...}}``
+* ``{"op": "error", "worker", "id", "message"}`` — a malformed request
+  (never a trap: traps are ``result`` records with ``ok=False``)
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Optional
+
+__all__ = ["worker_main", "outcome_to_wire", "wire_to_outcome"]
+
+
+def outcome_to_wire(outcome) -> dict:
+    """Flatten a :class:`~repro.runtime.RequestOutcome` to primitives."""
+
+    return {
+        "ok": outcome.ok,
+        "values": outcome.values,
+        "trap": outcome.trap,
+        "trap_kind": outcome.trap_kind,
+        "steps": outcome.steps,
+        "trace_id": outcome.trace_id,
+    }
+
+
+def wire_to_outcome(record: dict, request):
+    """Rebuild a :class:`~repro.runtime.RequestOutcome` against the
+    dispatcher-side request object (the worker never ships the request
+    back — the parent already holds it)."""
+
+    from ..runtime.batch import RequestOutcome
+
+    return RequestOutcome(
+        request=request,
+        ok=record["ok"],
+        values=record["values"],
+        trap=record["trap"],
+        steps=record["steps"],
+        trap_kind=record["trap_kind"],
+        trace_id=record["trace_id"],
+    )
+
+
+def _reset_inherited_telemetry() -> None:
+    """Zero fork-inherited counters so this worker reports only its own.
+
+    Under the ``fork`` start method the child inherits the parent's metric
+    values and cache stats; left alone, every worker would re-report the
+    parent's compile events and :func:`repro.obs.merge_snapshots` would
+    multiply them by N.  The inherited cache *artifacts* are kept — a forked
+    worker warm-starting from inherited memory is the cheapest warm start
+    there is — only the counters reset.  Under ``spawn`` this is a no-op.
+    """
+
+    from .. import runtime
+    from ..obs.metrics import default_registry
+    from ..obs.trace import NOOP_TRACER, set_tracer
+    from . import diskcache
+
+    # A fork-inherited tracer would write into the parent's (duplicated)
+    # sink file descriptor; workers trace only when given their own file.
+    set_tracer(NOOP_TRACER)
+    default_registry().reset()
+    caches = list(diskcache._SHARED_CACHES.values())
+    if runtime._DEFAULT_CACHE is not None:
+        caches.append(runtime._DEFAULT_CACHE)
+    for cache in caches:
+        for stats in cache.stats.values():
+            stats.reset()
+
+
+def _build_service(payload: dict):
+    """Compile (disk-warm) and pool the shipped program in this process."""
+
+    from .. import api
+
+    config = payload["config"]
+    service = api.serve(payload["richwasm"], config)
+    service.warm(min(2, config.pool_size))
+    return service
+
+
+def _run_request(service, message: dict):
+    from ..runtime.batch import Request, Session
+
+    if message["op"] == "session":
+        request = Session(
+            calls=tuple((export, tuple(args)) for export, args in message["calls"]),
+            max_steps=message.get("max_steps"),
+            trace_id=message.get("trace_id"),
+            session_id=message.get("session_id"),
+        )
+    else:
+        request = Request(
+            export=message["export"],
+            args=tuple(message["args"]),
+            max_steps=message.get("max_steps"),
+            trace_id=message.get("trace_id"),
+        )
+    return service.run_one(request)
+
+
+def _stats_record(service) -> dict:
+    from dataclasses import asdict
+
+    from ..obs.metrics import default_registry
+
+    stats = service.stats()
+    cache = {}
+    if stats.cache:
+        cache = {
+            stage: {"hits": s.hits, "misses": s.misses, "evictions": s.evictions}
+            for stage, s in stats.cache.items()
+        }
+    return {
+        "pid": os.getpid(),
+        "pool": asdict(stats.pool),
+        "cache": cache,
+        "metrics": default_registry().snapshot(),
+    }
+
+
+def worker_main(worker_id: int, request_queue, result_queue, payload: dict) -> None:
+    """Process target: build the service, then serve the request queue.
+
+    ``payload`` carries the linked RichWasm module and the (workers=1)
+    :class:`~repro.api.CompileConfig`; optionally ``obs_jsonl``, a path this
+    worker exports its spans/metrics to (one file per worker — the report
+    CLI merges them).
+    """
+
+    sink = None
+    try:
+        _reset_inherited_telemetry()
+        if payload.get("obs_jsonl"):
+            from ..obs import JsonlSink, Tracer, set_tracer
+
+            sink = JsonlSink(payload["obs_jsonl"])
+            set_tracer(Tracer(sink=sink))
+        service = _build_service(payload)
+    except BaseException:
+        result_queue.put({
+            "op": "error", "worker": worker_id, "id": None,
+            "message": f"worker startup failed:\n{traceback.format_exc()}",
+        })
+        return
+    result_queue.put({"op": "ready", "worker": worker_id, "pid": os.getpid()})
+    try:
+        while True:
+            message = request_queue.get()
+            op = message.get("op")
+            if op == "shutdown":
+                return
+            if op == "crash":
+                # Fault injection: die the way a SIGKILLed / OOMed worker
+                # does — no cleanup, no reply, queues left mid-stream.
+                os._exit(1)
+            if op == "stats":
+                result_queue.put({
+                    "op": "stats", "worker": worker_id, "id": message.get("id"),
+                    "stats": _stats_record(service),
+                })
+                continue
+            if op in ("request", "session"):
+                try:
+                    outcome = _run_request(service, message)
+                except Exception:
+                    # Traps never reach here (run_one isolates them into the
+                    # outcome); this is a protocol-level error — unknown
+                    # export, malformed args — reported as such.
+                    result_queue.put({
+                        "op": "error", "worker": worker_id, "id": message.get("id"),
+                        "message": traceback.format_exc(),
+                    })
+                    continue
+                result_queue.put({
+                    "op": "result", "worker": worker_id, "id": message.get("id"),
+                    "outcome": outcome_to_wire(outcome),
+                })
+                continue
+            result_queue.put({
+                "op": "error", "worker": worker_id, "id": message.get("id"),
+                "message": f"unknown op {op!r}",
+            })
+    finally:
+        if sink is not None:
+            from ..obs import NOOP_TRACER, default_registry, set_tracer
+
+            try:
+                sink.emit_metrics(default_registry())
+            except Exception:
+                pass
+            set_tracer(NOOP_TRACER)
+            sink.close()

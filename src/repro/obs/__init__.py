@@ -44,6 +44,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    merge_snapshots,
 )
 from .profile import UNNAMED_FUNCTION, StepProfiler
 from .trace import (
@@ -77,6 +78,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "merge_snapshots",
     "DEFAULT_BUCKETS",
     # export
     "SCHEMA_VERSION",

@@ -33,6 +33,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "merge_snapshots",
     "DEFAULT_BUCKETS",
 ]
 
@@ -236,3 +237,84 @@ def default_registry() -> MetricsRegistry:
     """The process-wide registry the wired layers record into."""
 
     return _DEFAULT
+
+
+# ---------------------------------------------------------------------------
+# cross-process merging
+# ---------------------------------------------------------------------------
+
+
+def merge_snapshots(*snapshots: Sequence[dict]) -> list[dict]:
+    """Combine per-process :meth:`MetricsRegistry.snapshot` lists into one.
+
+    Registries are process-local, so a cluster run produces one snapshot per
+    worker; this folds them into a single dispatcher-side view without
+    double-counting: each input instrument contributes its value exactly
+    once.  Counters sum (total and per-label-set breakdowns), gauges sum
+    (each worker's level is an independent contribution — e.g. pool sizes
+    add up across workers), histograms merge bucket-by-bucket (identical
+    bounds required) with ``sum``/``count`` added and ``min``/``max``
+    combined.  The same name appearing with two different instrument types
+    raises ``ValueError``.
+    """
+
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for record in snapshot:
+            name = record["name"]
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = _copy_record(record)
+            else:
+                _merge_record(existing, record)
+    return [merged[name] for name in sorted(merged)]
+
+
+def _copy_record(record: dict) -> dict:
+    copied = dict(record)
+    if "labels" in copied:
+        copied["labels"] = [
+            {"labels": dict(entry["labels"]), "value": entry["value"]}
+            for entry in copied["labels"]
+        ]
+    if "buckets" in copied:
+        copied["buckets"] = [dict(bucket) for bucket in copied["buckets"]]
+    return copied
+
+
+def _merge_record(existing: dict, record: dict) -> None:
+    if existing["type"] != record["type"]:
+        raise ValueError(
+            f"cannot merge metric {record['name']!r}: "
+            f"{existing['type']} vs {record['type']}"
+        )
+    kind = record["type"]
+    if kind in ("counter", "gauge"):
+        existing["value"] += record["value"]
+        if kind == "counter" and record.get("labels"):
+            by_key = {_label_key(entry["labels"]): entry for entry in existing.setdefault("labels", [])}
+            for entry in record["labels"]:
+                key = _label_key(entry["labels"])
+                target = by_key.get(key)
+                if target is None:
+                    target = {"labels": dict(entry["labels"]), "value": 0}
+                    existing["labels"].append(target)
+                    by_key[key] = target
+                target["value"] += entry["value"]
+            existing["labels"].sort(key=lambda entry: _label_key(entry["labels"]))
+        return
+    if kind == "histogram":
+        bounds = [bucket["le"] for bucket in existing["buckets"]]
+        if bounds != [bucket["le"] for bucket in record["buckets"]]:
+            raise ValueError(
+                f"cannot merge histogram {record['name']!r}: bucket bounds differ"
+            )
+        for target, source in zip(existing["buckets"], record["buckets"]):
+            target["count"] += source["count"]
+        existing["count"] += record["count"]
+        existing["sum"] += record["sum"]
+        for field, pick in (("min", min), ("max", max)):
+            values = [v for v in (existing[field], record[field]) if v is not None]
+            existing[field] = pick(values) if values else None
+        return
+    raise ValueError(f"cannot merge metric {record['name']!r}: unknown type {kind!r}")

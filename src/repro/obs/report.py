@@ -1,20 +1,23 @@
-"""Aggregate an obs JSONL file into per-stage / per-request summary tables.
+"""Aggregate obs JSONL files into per-stage / per-request summary tables.
 
 The interchange idiom is the one the ROADMAP's CLI item commits to: tools
 emit schema-versioned JSONL (:mod:`repro.obs.export`), and downstream
-consumers pipe the file through small aggregators.  This module is the
+consumers pipe the files through small aggregators.  This module is the
 first such consumer::
 
     python -m repro.obs.report trace.jsonl            # summary tables
+    python -m repro.obs.report w0.jsonl w1.jsonl      # cluster-wide merge
     python -m repro.obs.report --validate trace.jsonl # schema check only
 
 Spans aggregate by name (count, total/mean/max duration, error and trap
 counts); spans named ``request`` additionally break down per export (the
 ``Service``/``BatchRunner`` serving tier), with trap kinds; ``metric``
-records print totals, ``profile`` records their hot-function tables.  Every
-line is validated against the schema on the way in — the CLI exits non-zero
-on the first bad record, which is exactly the gate the CI obs smoke job
-needs.
+records fold through :func:`repro.obs.merge_snapshots` (so the per-worker
+files a :class:`repro.cluster.ClusterService` exports sum instead of
+overwriting each other), ``profile`` records print their hot-function
+tables.  Every line is validated against the schema on the way in — the CLI
+exits non-zero on the first bad record, which is exactly the gate the CI
+obs smoke job needs.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from .export import SchemaError, read_records
+from .metrics import merge_snapshots
 
 __all__ = ["Summary", "summarize", "format_summary", "main"]
 
@@ -72,6 +76,7 @@ class Summary:
 
 def summarize(records: Iterable[dict]) -> Summary:
     summary = Summary()
+    metric_records: list[dict] = []
     for record in records:
         summary.records += 1
         kind = record["kind"]
@@ -85,18 +90,23 @@ def summarize(records: Iterable[dict]) -> Summary:
                 if trap_kind:
                     summary.trap_kinds[trap_kind] = summary.trap_kinds.get(trap_kind, 0) + 1
         elif kind == "metric":
-            if record["type"] == "counter":
-                summary.counters[record["name"]] = record
-                if record["name"] == "compile.units.events":
-                    summary.unit_events = _aggregate_unit_events(record)
-            elif record["type"] == "gauge":
-                summary.gauges[record["name"]] = record
-            else:
-                summary.histograms.append(record)
+            metric_records.append(record)
         elif kind == "event":
             summary.events.append(record)
         else:  # profile
             summary.profiles.append(record)
+    # Fold every metric record through merge_snapshots: a single file keeps
+    # its values verbatim, while the per-worker exports of a cluster (one
+    # JSONL per process, same metric names) sum into cluster-wide totals.
+    for record in merge_snapshots(*([record] for record in metric_records)):
+        if record["type"] == "counter":
+            summary.counters[record["name"]] = record
+            if record["name"] == "compile.units.events":
+                summary.unit_events = _aggregate_unit_events(record)
+        elif record["type"] == "gauge":
+            summary.gauges[record["name"]] = record
+        else:
+            summary.histograms.append(record)
     return summary
 
 
@@ -182,22 +192,32 @@ def main(argv: Optional[list[str]] = None) -> int:
         prog="python -m repro.obs.report",
         description="Summarize (or just validate) a repro.obs JSONL export.",
     )
-    parser.add_argument("path", help="the JSONL file to read")
+    parser.add_argument("paths", nargs="+", metavar="path",
+                        help="JSONL file(s) to read; several files (e.g. one "
+                             "per cluster worker) aggregate into one summary")
     parser.add_argument("--validate", action="store_true",
                         help="validate every record against the schema and exit (no tables)")
     args = parser.parse_args(argv)
 
-    try:
-        records = list(read_records(args.path))
-    except (OSError, SchemaError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    records: list[dict] = []
+    for path in args.paths:
+        try:
+            file_records = list(read_records(path))
+        except (OSError, SchemaError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+        if args.validate:
+            print(f"{path}: {len(file_records)} record(s), all valid "
+                  f"(schema {_schema_of(file_records)})")
+        records.extend(file_records)
 
     if args.validate:
-        print(f"{args.path}: {len(records)} record(s), all valid (schema {_schema_of(records)})")
         return 0
 
-    print(format_summary(summarize(records)))
+    summary = summarize(records)
+    if len(args.paths) > 1:
+        print(f"aggregated {len(args.paths)} file(s)")
+    print(format_summary(summary))
     return 0
 
 

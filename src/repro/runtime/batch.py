@@ -93,11 +93,18 @@ class Request:
 @dataclass(frozen=True)
 class Session:
     """A stateful request: a whole call script served by *one* pooled
-    instance under one budget (e.g. Fig. 9's init → tick* → total)."""
+    instance under one budget (e.g. Fig. 9's init → tick* → total).
+
+    ``session_id`` identifies the session for sticky routing: the
+    :class:`repro.cluster.Dispatcher` hashes it so every session with the
+    same id lands on the same worker process.  In-process execution ignores
+    it (one pool, no routing).
+    """
 
     calls: tuple = ()  # of (export, args)
     max_steps: Optional[int] = None
     trace_id: Optional[str] = None
+    session_id: Optional[str] = None
 
     @property
     def export(self) -> str:  # uniform display with Request

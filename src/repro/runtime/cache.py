@@ -45,6 +45,7 @@ consume.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import threading
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
@@ -56,7 +57,7 @@ from ..lower import LoweredModule, lower_module
 from ..obs.metrics import default_registry
 from ..wasm import validate_module
 from ..wasm.ast import WasmModule
-from ..wasm.decode import DecodedModule, decode_module
+from ..wasm.decode import DecodedModule, adopt_decode, decode_module
 
 # Process-wide cache telemetry: one counter, labeled by stage and outcome
 # (hit/miss here; the facade records its bypass decisions under the same
@@ -85,20 +86,40 @@ def content_key(*parts: object) -> str:
     return hasher.hexdigest()
 
 
+def _program_fingerprint(richwasm, config_key: str, override) -> Optional[str]:
+    """A cheap, collision-safe fingerprint of the program-key inputs.
+
+    ``None`` when the module resists pickling — the caller falls back to
+    the structural walk.
+    """
+
+    try:
+        blob = pickle.dumps(
+            ("program", richwasm, config_key, override),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    except Exception:
+        return None
+    return hashlib.sha256(blob).hexdigest()
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one pipeline stage.
+    """Hit/miss/evict counters for one pipeline stage.
 
     :meth:`record` is the *only* increment path: it bumps the integer view
     and mirrors the event to the process-wide ``runtime.cache.events``
     counter under one lock, so the two views cannot drift apart (previously
     each stage method incremented both separately, with nothing keeping a
-    future call site from updating one and not the other).
+    future call site from updating one and not the other).  ``evictions``
+    only moves for bounded/durable tiers (the in-memory stages never evict;
+    the :class:`repro.cluster.DiskCache` stages do).
     """
 
     stage: str = ""
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     @property
@@ -109,13 +130,15 @@ class CacheStats:
         with self._lock:
             if event == "hit":
                 self.hits += 1
+            elif event == "evict":
+                self.evictions += 1
             else:
                 self.misses += 1
             _CACHE_EVENTS.inc(stage=self.stage, event=event)
 
     def reset(self) -> None:
         with self._lock:
-            self.hits = self.misses = 0
+            self.hits = self.misses = self.evictions = 0
 
 
 @dataclass
@@ -181,9 +204,21 @@ class ModuleCache:
     One cache serves many programs; per-stage :class:`CacheStats` live in
     ``stats``.  The cache is unbounded by design — a serving tier hosts a
     fixed catalogue of programs — but :meth:`clear` drops everything.
+
+    ``disk`` optionally attaches a durable tier (a
+    :class:`repro.cluster.DiskCache`), making the lookup order *memory →
+    disk → compile* for the picklable stages (``link``, ``lower``,
+    ``program``): a memory miss consults the disk store before compiling,
+    and every freshly compiled artifact is filed to disk, so a different
+    process sharing the cache directory warm-starts instead of recompiling.
+    ``decode`` and ``translate`` stay process-local — their artifacts embed
+    resolved handlers and ``exec``'d callables — and are recomputed from the
+    disk-loaded Wasm (a small fraction of a cold compile).  The disk tier's
+    per-stage hit/miss/evict stats appear in :attr:`stats` under
+    ``disk.<stage>`` names.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk=None) -> None:
         self._linked: dict[str, Module] = {}
         self._lowered: dict[str, LoweredModule] = {}
         self._decoded: dict[str, DecodedModule] = {}
@@ -195,10 +230,22 @@ class ModuleCache:
         #: unchanged function's typecheck/lower/optimize/validate/decode/
         #: translate work through this cache.
         self.units = FunctionUnitCache()
-        self.stats: dict[str, CacheStats] = {
+        #: The durable tier (duck-typed ``get``/``put``/``stats``; see
+        #: :class:`repro.cluster.DiskCache`), or ``None`` for memory-only.
+        self.disk = disk
+        self._memory_stats: dict[str, CacheStats] = {
             stage: CacheStats(stage)
             for stage in ("typecheck", "link", "lower", "decode", "translate", "program")
         }
+
+    @property
+    def stats(self) -> dict[str, CacheStats]:
+        """Per-stage stats: the memory stages plus the attached disk tier's
+        ``disk.<stage>`` entries (one merged view for ``Service.stats``)."""
+
+        if self.disk is None:
+            return self._memory_stats
+        return {**self._memory_stats, **self.disk.stats}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = ", ".join(
@@ -249,9 +296,9 @@ class ModuleCache:
         key = content_key("typecheck", module)
         result = self._typechecked.get(key)
         if result is not None:
-            self.stats["typecheck"].record("hit")
+            self._memory_stats["typecheck"].record("hit")
             return result
-        self.stats["typecheck"].record("miss")
+        self._memory_stats["typecheck"].record("miss")
         result = check_module(module, unit_cache=self.units)
         self._typechecked[key] = result
         return result
@@ -279,12 +326,18 @@ class ModuleCache:
 
         key = content_key("link", name, sorted(modules), [modules[k] for k in sorted(modules)])
         linked = self._linked.get(key)
+        if linked is None and self.disk is not None:
+            linked = self.disk.get("link", key)
+            if linked is not None:
+                self._linked[key] = linked
         if linked is not None:
-            self.stats["link"].record("hit")
+            self._memory_stats["link"].record("hit")
             return linked
-        self.stats["link"].record("miss")
+        self._memory_stats["link"].record("miss")
         linked = link_modules(modules, name=name, check=check, checker=self.typecheck)
         self._linked[key] = linked
+        if self.disk is not None:
+            self.disk.put("link", key, linked)
         return linked
 
     # -- stage: lower (+ optimize) ----------------------------------------
@@ -321,14 +374,20 @@ class ModuleCache:
         override = None if passes is None else tuple(p.name for p in passes)
         key = content_key("lower", richwasm, config.content_key(), override)
         lowered = self._lowered.get(key)
+        if lowered is None and self.disk is not None:
+            lowered = self.disk.get("lower", key)
+            if lowered is not None:
+                self._lowered[key] = lowered
         if lowered is None:
-            self.stats["lower"].record("miss")
+            self._memory_stats["lower"].record("miss")
             lowered = lower_module(richwasm, config=config, passes=passes, unit_cache=self.units)
             if config.validate_wasm:
                 validate_module(lowered.wasm, unit_cache=self.units)
             self._lowered[key] = lowered
+            if self.disk is not None:
+                self.disk.put("lower", key, replace(lowered, engine=None, diagnostics=None))
         else:
-            self.stats["lower"].record("hit")
+            self._memory_stats["lower"].record("hit")
         return replace(lowered, engine=engine, diagnostics=None)
 
     # -- stage: decode -----------------------------------------------------
@@ -347,7 +406,7 @@ class ModuleCache:
         """
 
         key = content_key("decode", wasm)
-        self.stats["decode"].record("hit" if key in self._decoded else "miss")
+        self._memory_stats["decode"].record("hit" if key in self._decoded else "miss")
         decoded = decode_module(wasm, unit_cache=self.units)
         self._decoded[key] = decoded
         return decoded
@@ -373,10 +432,10 @@ class ModuleCache:
         key = content_key("translate", wasm)
         translation = self._translated.get(key)
         if translation is not None:
-            self.stats["translate"].record("hit")
+            self._memory_stats["translate"].record("hit")
             adopt_translation(wasm, translation)
             return translation
-        self.stats["translate"].record("miss")
+        self._memory_stats["translate"].record("miss")
         translation = translate_module(wasm, unit_cache=self.units)
         self._translated[key] = translation
         return translation
@@ -384,12 +443,33 @@ class ModuleCache:
     # -- stage: program (the memoized bundle) ------------------------------
 
     def program_key(self, richwasm: Module, config, passes=None) -> str:
-        """The program-level cache key: linked content + config content."""
+        """The program-level cache key: linked content + config content.
+
+        With a disk tier attached, a *fingerprint shortcut* skips the
+        structural walk on warm starts: the pickle bytes of the inputs hash
+        in C speed, and the disk's ``key`` stage maps that fingerprint to
+        the structural key computed the first time.  The shortcut is sound
+        because pickle faithfully encodes the frozen AST — equal bytes imply
+        equal structure, so a mapped key is always the key the walk would
+        produce.  The converse does not hold (equal structures built with
+        different internal sharing pickle differently), so a fingerprint
+        miss only costs the ordinary structural digest, never correctness.
+        """
 
         override = None if passes is None else tuple(p.name for p in passes)
+        if self.disk is not None:
+            fingerprint = _program_fingerprint(richwasm, config.content_key(), override)
+            if fingerprint is not None:
+                key = self.disk.get("key", fingerprint)
+                if isinstance(key, str):
+                    return key
+                key = content_key("program", richwasm, config.content_key(), override)
+                self.disk.put("key", fingerprint, key)
+                return key
         return content_key("program", richwasm, config.content_key(), override)
 
-    def get_program(self, key: str, *, engine: Optional[str] = None, config=None) -> Optional[CompiledProgram]:
+    def get_program(self, key: str, *, engine: Optional[str] = None, config=None,
+                    richwasm: Optional[Module] = None) -> Optional[CompiledProgram]:
         """Look a compiled program up (counted in ``stats["program"]``).
 
         The engine preference — and the config's other execution-bookkeeping
@@ -398,13 +478,34 @@ class ModuleCache:
         different engine *or config* hands out a variant sharing the cached
         payload instead of silently serving the first caller's settings
         (e.g. dropping a later caller's step budget).
+
+        With a disk tier attached and ``richwasm`` supplied, a memory miss
+        consults the durable store: the payload there is the lowered module
+        (pickle-safe, bookkeeping stripped), from which the process-local
+        decode/translate artifacts are recomputed — a small fraction of the
+        full compile the hit avoids.
         """
 
         program = self._programs.get(key)
+        if program is None and self.disk is not None and richwasm is not None:
+            lowered = self.disk.get("program", key)
+            if lowered is not None:
+                lowered = replace(lowered, engine=engine)
+                flat = self.disk.get("decode", key)
+                if flat is not None and len(flat) == len(lowered.wasm.functions):
+                    adopt_decode(lowered.wasm, flat)
+                self.decode(lowered.wasm)
+                if engine == "compiled":
+                    self.translate(lowered.wasm)
+                program = CompiledProgram(
+                    richwasm=richwasm, lowered=lowered, engine=engine,
+                    config=config, cached_key=key,
+                )
+                self._programs[key] = program
         if program is None:
-            self.stats["program"].record("miss")
+            self._memory_stats["program"].record("miss")
             return None
-        self.stats["program"].record("hit")
+        self._memory_stats["program"].record("hit")
         if program.engine != engine or (config is not None and config != program.config):
             program = CompiledProgram(
                 richwasm=program.richwasm,
@@ -422,6 +523,12 @@ class ModuleCache:
             richwasm=richwasm, lowered=lowered, engine=engine, config=config, cached_key=key
         )
         self._programs[key] = program
+        if self.disk is not None:
+            self.disk.put("program", key, replace(lowered, engine=None, diagnostics=None))
+            # Flat code is immutable plain data keyed by the same content
+            # hash, so persisting it spares warm starts the per-function
+            # decode + digest pass (see ``adopt_decode``).
+            self.disk.put("decode", key, self.decode(lowered.wasm).flat)
         return program
 
     # -- the whole pipeline ------------------------------------------------
@@ -451,7 +558,7 @@ class ModuleCache:
         if engine is None:
             engine = config.engine
         key = self.program_key(richwasm, config, passes)
-        program = self.get_program(key, engine=engine, config=config)
+        program = self.get_program(key, engine=engine, config=config, richwasm=richwasm)
         if program is None:
             lowered = self.lower(richwasm, config=config, passes=passes, engine=engine)
             self.decode(lowered.wasm)

@@ -471,7 +471,11 @@ def decode_module(module: WasmModule, *, unit_cache=None) -> DecodedModule:
                 cached_flat = decode_function(target)
                 unit_cache.put("decode", fkey, cached_flat)
             flat.append(cached_flat)
-    decoded = DecodedModule(module.functions, flat)
+    return _install_decode(module, DecodedModule(module.functions, flat))
+
+
+def _install_decode(module: WasmModule, decoded: DecodedModule) -> DecodedModule:
+    key = id(module)
 
     def _evict(ref, _key=key):
         cached = _MODULE_DECODE_CACHE.get(_key)
@@ -480,6 +484,21 @@ def decode_module(module: WasmModule, *, unit_cache=None) -> DecodedModule:
 
     _MODULE_DECODE_CACHE[key] = (weakref.ref(module, _evict), decoded)
     return decoded
+
+
+def adopt_decode(module: WasmModule, flat) -> DecodedModule:
+    """Seed the per-module memo with externally cached flat code.
+
+    The disk-cache warm path uses this: :class:`FlatFunction` is immutable
+    plain data (opcode tuples), so a persisted ``flat`` list can be adopted
+    onto a freshly unpickled module without re-decoding — the same
+    by-content sharing :func:`decode_module` already does through the
+    function-unit cache, minus the per-function digest work.  ``flat`` must
+    come from a module with identical function bodies (the caller keys the
+    persisted artifact by content hash, which guarantees it).
+    """
+
+    return _install_decode(module, DecodedModule(module.functions, list(flat)))
 
 
 def decode_instance(instance, shared: Optional[DecodedModule] = None) -> list:

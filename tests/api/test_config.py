@@ -44,6 +44,12 @@ class TestValidation:
         ("pool_size", 0),
         ("link_name", ""),
         ("validate_wasm", 1),
+        ("workers", 0),
+        ("workers", 1.5),
+        ("cache_dir", ""),
+        ("cache_dir", 7),
+        ("disk_cache_bytes", 0),
+        ("disk_cache_bytes", "big"),
     ])
     def test_bad_field_values(self, field, value):
         with pytest.raises(ConfigError, match=field):
@@ -54,6 +60,9 @@ class TestValidation:
 
 
 class TestNormalization:
+    def test_cache_dir_accepts_path_objects(self, tmp_path):
+        assert CompileConfig(cache_dir=tmp_path).cache_dir == str(tmp_path)
+
     def test_int_and_lowercase_levels_normalize(self):
         assert CompileConfig(opt_level=1).opt_level == "O1"
         assert CompileConfig(opt_level="o2").opt_level == "O2"
@@ -101,6 +110,10 @@ class TestContentKey:
         assert CompileConfig(pool_size=2).content_key() == base
         assert CompileConfig(validate_wasm=False).content_key() == base
         assert CompileConfig(check_links=False).content_key() == base
+        # Serving topology and cache placement are bookkeeping too: the
+        # same artifact is shared across workers and disk directories.
+        assert CompileConfig(workers=4).content_key() == base
+        assert CompileConfig(cache_dir="/tmp/x", disk_cache_bytes=10).content_key() == base
 
 
 class TestPipelines:

@@ -1,0 +1,193 @@
+"""DiskCache durability contract: atomicity, corruption tolerance, LRU,
+version stamping, and the cross-process warm start through ModuleCache."""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import CompileConfig
+from repro.cluster import DISK_FORMAT, DiskCache
+from repro.runtime import ModuleCache
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.put("lower", "k" * 64, {"payload": [1, 2, 3]})
+        assert cache.get("lower", "k" * 64) == {"payload": [1, 2, 3]}
+        stats = cache.stats["disk.lower"]
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 0, 0)
+
+    def test_absent_key_is_a_miss_without_eviction(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get("lower", "absent" * 11) is None
+        stats = cache.stats["disk.lower"]
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 1, 0)
+
+    def test_entries_and_total_bytes(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("link", "a" * 64, b"x" * 100)
+        cache.put("lower", "b" * 64, b"y" * 100)
+        entries = cache.entries()
+        assert {entry.stage for entry in entries} == {"link", "lower"}
+        assert cache.total_bytes() == sum(entry.size for entry in entries) > 0
+
+    def test_clear_removes_entries_and_resets_stats(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("link", "a" * 64, 1)
+        cache.get("link", "a" * 64)
+        cache.clear()
+        assert cache.entries() == []
+        assert cache.stats["disk.link"].hits == 0
+
+
+class TestConcurrency:
+    def test_concurrent_writers_same_key_never_corrupt(self, tmp_path):
+        # Many threads race to publish the same key; every interleaving must
+        # leave a complete, readable entry (temp file + os.replace).
+        cache = DiskCache(tmp_path)
+        key = "c" * 64
+        payload = list(range(2000))
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    assert cache.put("program", key, payload)
+            except Exception as exc:  # pragma: no cover - the failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.get("program", key) == payload
+        # No leftover temp files from the races.
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestCorruption:
+    def _entry_path(self, cache, stage, key):
+        cache.put(stage, key, "seed")
+        (entry,) = cache.entries()
+        return entry.path
+
+    def test_truncated_entry_is_miss_and_evicted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(cache, "lower", "t" * 64)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("lower", "t" * 64) is None
+        assert not path.exists()
+        stats = cache.stats["disk.lower"]
+        assert stats.misses == 1 and stats.evictions == 1
+
+    def test_garbage_bytes_are_miss_and_evicted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(cache, "lower", "g" * 64)
+        path.write_bytes(b"not a pickle at all")
+        assert cache.get("lower", "g" * 64) is None
+        assert not path.exists()
+
+    def test_unpicklable_payload_put_returns_false(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.put("lower", "u" * 64, lambda: None) is False
+        assert cache.entries() == []
+
+    def test_format_version_mismatch_is_miss_and_evicted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(cache, "lower", "v" * 64)
+        stale = {"format": DISK_FORMAT + 1, "stage": "lower", "key": "v" * 64, "payload": 1}
+        path.write_bytes(pickle.dumps(stale))
+        assert cache.get("lower", "v" * 64) is None
+        assert not path.exists()
+
+    def test_stage_or_key_mismatch_is_miss_and_evicted(self, tmp_path):
+        # A well-formed entry filed under the wrong name (e.g. a collision
+        # or a renamed directory) must not be served.
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(cache, "lower", "w" * 64)
+        impostor = {"format": DISK_FORMAT, "stage": "link", "key": "w" * 64, "payload": 1}
+        path.write_bytes(pickle.dumps(impostor))
+        assert cache.get("lower", "w" * 64) is None
+        assert not path.exists()
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_mtime_first(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=10_000_000)  # no eviction yet
+        cache.put("lower", "a" * 64, b"x" * 400)
+        cache.put("lower", "b" * 64, b"x" * 400)
+        cache.put("lower", "c" * 64, b"x" * 400)
+        # Age the entries deterministically: a oldest, c newest ...
+        now = time.time()
+        for index, key in enumerate(("a", "b", "c")):
+            path = cache._path("lower", key * 64)
+            os.utime(path, (now - 300 + index * 100, now - 300 + index * 100))
+        # ... then touch a via a read: it becomes most-recently-used.
+        assert cache.get("lower", "a" * 64) is not None
+        per_entry = cache.total_bytes() // 3
+        cache.max_bytes = per_entry * 2 + 10
+        cache._evict_over_budget()
+        kept = {entry.key for entry in cache.entries()}
+        assert kept == {"a" * 64, "c" * 64}  # b had the oldest clock
+        assert cache.stats["disk.lower"].evictions == 1
+
+    def test_budget_enforced_on_put(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=1)
+        cache.put("lower", "a" * 64, b"x" * 400)
+        cache.put("lower", "b" * 64, b"x" * 400)
+        assert len(cache.entries()) <= 1
+
+    def test_rejects_non_positive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCache(tmp_path, max_bytes=0)
+
+
+class TestModuleCacheTiering:
+    def test_lower_misses_memory_then_hits_disk(self, tmp_path):
+        from repro.ffi import counter_program
+
+        modules = counter_program().modules()
+        first = ModuleCache(disk=DiskCache(tmp_path))
+        first.compile_program(modules, config=CompileConfig(cache="private"))
+        assert first.disk.stats["disk.program"].misses >= 1
+
+        # A second ModuleCache over the same directory models a fresh
+        # process: its memory tier is empty, the disk tier is warm.
+        second = ModuleCache(disk=DiskCache(tmp_path))
+        second.compile_program(modules, config=CompileConfig(cache="private"))
+        assert second.disk.stats["disk.program"].hits == 1
+        assert second.stats["program"].hits == 1
+
+    def test_subprocess_warm_start_hits_disk_stages(self, tmp_path):
+        # The real thing: a genuinely cold process (no fork inheritance)
+        # compiling against the warm directory must hit the disk tier and
+        # report the compile as cached.
+        script = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro import api
+from repro.ffi import counter_program
+compiled = api.compile(counter_program(), {{"cache_dir": {cache_dir!r}}})
+diag = compiled.diagnostics
+print(json.dumps({{"program": diag.cache["program"]}}))
+""".format(src=os.path.abspath(REPO_SRC), cache_dir=str(tmp_path))
+        runs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True, text=True
+            )
+            assert proc.returncode == 0, proc.stderr
+            runs.append(json.loads(proc.stdout.strip().splitlines()[-1]))
+        assert runs[0]["program"] == "miss"
+        assert runs[1]["program"] == "hit"

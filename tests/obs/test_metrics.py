@@ -96,3 +96,94 @@ class TestRegistry:
         # The wired layers register these at import time.
         for name in ("runtime.cache.events", "runtime.requests", "runtime.request_steps"):
             assert registry.get(name) is not None, name
+
+
+class TestMergeSnapshots:
+    def _registry(self, requests=0, depth=0, samples=()):
+        registry = MetricsRegistry("t")
+        counter = registry.counter("requests")
+        if requests:
+            counter.inc(requests, outcome="ok")
+        registry.gauge("depth").set(depth)
+        histogram = registry.histogram("latency", buckets=(1, 10))
+        for sample in samples:
+            histogram.observe(sample)
+        return registry
+
+    def test_counters_and_gauges_sum(self):
+        from repro.obs import merge_snapshots
+
+        a = self._registry(requests=3, depth=2).snapshot()
+        b = self._registry(requests=5, depth=4).snapshot()
+        merged = {record["name"]: record for record in merge_snapshots(a, b)}
+        assert merged["requests"]["value"] == 8
+        assert merged["depth"]["value"] == 6
+
+    def test_counter_labels_merge_by_label_set(self):
+        from repro.obs import merge_snapshots
+
+        first = MetricsRegistry("t").counter("events")
+        first.inc(2, stage="lower", event="hit")
+        first.inc(1, stage="lower", event="miss")
+        second = MetricsRegistry("t").counter("events")
+        second.inc(3, event="hit", stage="lower")  # order-insensitive
+        second.inc(4, stage="decode", event="hit")
+        (merged,) = merge_snapshots([first.snapshot()], [second.snapshot()])
+        by_labels = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for entry in merged["labels"]
+        }
+        assert by_labels[(("event", "hit"), ("stage", "lower"))] == 5
+        assert by_labels[(("event", "miss"), ("stage", "lower"))] == 1
+        assert by_labels[(("event", "hit"), ("stage", "decode"))] == 4
+
+    def test_histograms_merge_buckets_and_extrema(self):
+        from repro.obs import merge_snapshots
+
+        a = self._registry(samples=(0.5, 20)).snapshot()
+        b = self._registry(samples=(5,)).snapshot()
+        merged = {record["name"]: record for record in merge_snapshots(a, b)}
+        latency = merged["latency"]
+        assert latency["count"] == 3
+        assert latency["sum"] == 25.5
+        assert latency["min"] == 0.5 and latency["max"] == 20
+        assert [bucket["count"] for bucket in latency["buckets"]] == [1, 1, 1]
+
+    def test_disjoint_names_union(self):
+        from repro.obs import merge_snapshots
+
+        only_a = MetricsRegistry("t").counter("a")
+        only_a.inc()
+        only_b = MetricsRegistry("t").counter("b")
+        only_b.inc(2)
+        merged = {r["name"]: r["value"]
+                  for r in merge_snapshots([only_a.snapshot()], [only_b.snapshot()])}
+        assert merged == {"a": 1, "b": 2}
+
+    def test_mismatched_bucket_bounds_raise(self):
+        from repro.obs import merge_snapshots
+
+        a = MetricsRegistry("t").histogram("h", buckets=(1, 10)).snapshot()
+        b = MetricsRegistry("t").histogram("h", buckets=(1, 100)).snapshot()
+        with pytest.raises(ValueError, match="bucket"):
+            merge_snapshots([a], [b])
+
+    def test_type_conflict_raises(self):
+        from repro.obs import merge_snapshots
+
+        counter = MetricsRegistry("t").counter("x")
+        gauge = MetricsRegistry("t").gauge("x")
+        with pytest.raises(ValueError):
+            merge_snapshots([counter.snapshot()], [gauge.snapshot()])
+
+    def test_empty_and_single_snapshot_identity(self):
+        from repro.obs import merge_snapshots
+
+        assert merge_snapshots() == []
+        snapshot = self._registry(requests=2, depth=1, samples=(3,)).snapshot()
+        merged = merge_snapshots(snapshot)
+        assert {r["name"]: r.get("value") for r in merged} == {
+            r["name"]: r.get("value") for r in snapshot
+        }
+        # Merging must not mutate its inputs (records are copied).
+        assert merged[0] is not snapshot[0]

@@ -1,0 +1,67 @@
+"""The report CLI: single-file summaries and multi-file (cluster) merges."""
+
+import pytest
+
+from repro.obs import JsonlSink, MetricsRegistry, Tracer, use_tracer
+from repro.obs.report import main, summarize
+from repro.obs.export import read_records
+
+
+def _worker_file(path, *, requests: int, trace_name: str) -> None:
+    """One worker's JSONL export: a span plus a metrics snapshot."""
+
+    registry = MetricsRegistry("t")
+    registry.counter("runtime.requests").inc(requests, outcome="ok")
+    registry.gauge("pool.size").set(2)
+    sink = JsonlSink(path)
+    with use_tracer(Tracer(sink=sink)) as tracer:
+        with tracer.span(trace_name):
+            pass
+    sink.emit_metrics(registry)
+    sink.close()
+
+
+class TestSummarizeMultiFile:
+    def test_metric_records_sum_across_files(self, tmp_path):
+        a, b = tmp_path / "w0.jsonl", tmp_path / "w1.jsonl"
+        _worker_file(a, requests=3, trace_name="cluster.run")
+        _worker_file(b, requests=5, trace_name="cluster.run")
+        records = list(read_records(a)) + list(read_records(b))
+        summary = summarize(records)
+        assert summary.counters["runtime.requests"]["value"] == 8
+        assert summary.gauges["pool.size"]["value"] == 4  # per-worker levels add
+        assert summary.spans["cluster.run"].count == 2
+        assert len(summary.traces) == 2
+
+    def test_single_file_values_verbatim(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        _worker_file(path, requests=7, trace_name="service.run")
+        summary = summarize(read_records(path))
+        assert summary.counters["runtime.requests"]["value"] == 7
+
+
+class TestCli:
+    def test_multi_file_invocation(self, tmp_path, capsys):
+        a, b = tmp_path / "w0.jsonl", tmp_path / "w1.jsonl"
+        _worker_file(a, requests=2, trace_name="cluster.run")
+        _worker_file(b, requests=4, trace_name="cluster.run")
+        assert main([str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "aggregated 2 file(s)" in out
+        assert "runtime.requests" in out
+
+    def test_validate_multiple_files(self, tmp_path, capsys):
+        a, b = tmp_path / "w0.jsonl", tmp_path / "w1.jsonl"
+        _worker_file(a, requests=1, trace_name="x")
+        _worker_file(b, requests=1, trace_name="y")
+        assert main(["--validate", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert str(a) in out and str(b) in out
+
+    def test_bad_file_names_the_file(self, tmp_path, capsys):
+        good, bad = tmp_path / "good.jsonl", tmp_path / "bad.jsonl"
+        _worker_file(good, requests=1, trace_name="x")
+        bad.write_text('{"not": "a schema record"}\n')
+        assert main([str(good), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.jsonl" in err
