@@ -51,6 +51,24 @@ def _record_units(diagnostics: Diagnostics, cache: ModuleCache, before: dict, sp
         span.set_attr(units_reused=reused, units_compiled=compiled)
 
 
+def _record_parcompile(diagnostics: Diagnostics, cache: ModuleCache, span=None) -> None:
+    """Surface the parallel-compile report the cache just produced (if any)
+    on ``diagnostics.parcompile`` and the stage's tracing span."""
+
+    report = getattr(cache, "last_parcompile", None)
+    if report is None:
+        return
+    diagnostics.parcompile = report.as_dict()
+    if span is not None:
+        span.set_attr(
+            compile_workers=report.workers,
+            parcompile_worker_deaths=report.worker_deaths,
+            parcompile_units_seeded=sum(report.units_seeded.values()),
+            parcompile_units_warm=sum(report.units_warm.values()),
+            parcompile_per_worker=diagnostics.parcompile["per_worker"],
+        )
+
+
 def compile(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
             cache: Optional[ModuleCache] = None, **overrides) -> CompiledProgram:
     """Compile any mix of sources into one shareable :class:`CompiledProgram`.
@@ -136,6 +154,7 @@ def lower(sources, config: Union[CompileConfig, str, int, dict, None] = None, *,
                 lowered = cache_obj.lower(richwasm, config=config)
                 diagnostics.cache["lower"] = "hit" if cache_obj.stats["lower"].hits > before else "miss"
                 _record_units(diagnostics, cache_obj, units_before, span)
+                _record_parcompile(diagnostics, cache_obj, span)
         diagnostics.engine = lowered.engine
         diagnostics.optimization = lowered.optimization
         lowered.diagnostics = diagnostics
@@ -371,6 +390,8 @@ def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
                     "hit" if cache.stats["translate"].hits > before else "miss"
                 )
                 _record_units(diagnostics, cache, units_before, span)
+                # A disk-warm program retranslates; that may have run the pool.
+                _record_parcompile(diagnostics, cache, span)
         return program
     diagnostics.cache["program"] = "miss"
     _typecheck_cached(richwasm, cache, diagnostics)
@@ -380,6 +401,7 @@ def _compile_cached(modules, config: CompileConfig, cache: ModuleCache,
         lowered = cache.lower(richwasm, config=config)
         diagnostics.cache["lower"] = "hit" if cache.stats["lower"].hits > before else "miss"
         _record_units(diagnostics, cache, units_before, span)
+        _record_parcompile(diagnostics, cache, span)
     with diagnostics.stage("decode") as span:
         before = cache.stats["decode"].hits
         units_before = cache.units.snapshot()

@@ -77,6 +77,13 @@ class DiskCache:
     (another process's eviction), and a corrupt entry degrades to a miss.
     ``max_bytes`` bounds the total entry bytes with mtime-LRU eviction
     (``None`` = unbounded).
+
+    Stage names are free-form directory names.  The module-level stages
+    (``link``/``lower``/``program``/``decode``/``key``) are written by
+    :class:`repro.runtime.ModuleCache`; parallel compiles
+    (:mod:`repro.parcompile`) additionally publish per-function units under
+    ``unit.<stage>`` names (e.g. ``unit.translate``) so workers of later
+    compiles warm-read each other's function-granular work.
     """
 
     def __init__(self, root: Union[str, Path], *, max_bytes: Optional[int] = None) -> None:
@@ -228,6 +235,13 @@ class DiskCache:
                     DiskEntry(stage_dir.name, path.stem, path, stat.st_size, stat.st_mtime)
                 )
         return found
+
+    def keys(self, stage: str) -> set[str]:
+        """The keys currently stored under one stage (race-tolerant like
+        :meth:`entries`) — the determinism tests compare these sets across
+        serial and parallel compiles."""
+
+        return {entry.key for entry in self.entries() if entry.stage == stage}
 
     def total_bytes(self) -> int:
         return sum(entry.size for entry in self.entries())

@@ -41,7 +41,7 @@ import os
 import traceback
 from typing import Optional
 
-__all__ = ["worker_main", "outcome_to_wire", "wire_to_outcome"]
+__all__ = ["worker_main", "outcome_to_wire", "wire_to_outcome", "reset_inherited_telemetry"]
 
 
 def outcome_to_wire(outcome) -> dict:
@@ -101,6 +101,12 @@ def _reset_inherited_telemetry() -> None:
     for cache in caches:
         for stats in cache.stats.values():
             stats.reset()
+
+
+#: Public name for the worker bootstrap other process-fan-out layers reuse
+#: (the parallel-compile pool in :mod:`repro.parcompile` forks with the same
+#: inherited-telemetry problem this solves).
+reset_inherited_telemetry = _reset_inherited_telemetry
 
 
 def _build_service(payload: dict):

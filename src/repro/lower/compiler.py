@@ -253,14 +253,55 @@ class ModuleLowering:
         functions: list[object] = []
         for index, decl in enumerate(self.module.functions):
             if isinstance(decl, ImportedFunction):
-                functype = self._lower_funtype(decl.funtype)
-                functions.append(
-                    WasmImportedFunction(functype, decl.import_ref.module, decl.import_ref.name, decl.exports)
-                )
+                functions.append(self._lower_import(decl))
                 continue
             functions.append(self._lower_function_cached(decl))
             self.stats.functions += 1
 
+        wasm_module = self._compose_module(functions)
+        functions = list(wasm_module.functions)
+        for function in functions:
+            if isinstance(function, WasmFunction):
+                from ..wasm.ast import function_instruction_count
+
+                self.stats.wasm_instructions += function_instruction_count(function)
+        self.stats.richwasm_instructions = self.module.instruction_count()
+        return LoweredModule(wasm_module, self.stats, self.runtime, self.global_map)
+
+    def signature_skeleton(self) -> WasmModule:
+        """A module with the real lowering's declarations but stub bodies.
+
+        Compile workers need a :class:`WasmModule` whose
+        ``compilepipe.wasm_signature_digest`` matches the fully lowered
+        module *before* any function body has been lowered: validate and
+        translate unit keys hash only declaration shapes (function types,
+        global types/mutability, memory presence, table entries), never
+        bodies.  Stubbing every user function with an empty body therefore
+        yields the same digest as :meth:`lower` while costing nothing.
+        """
+
+        functions: list[object] = []
+        for decl in self.module.functions:
+            if isinstance(decl, ImportedFunction):
+                functions.append(self._lower_import(decl))
+                continue
+            functions.append(WasmFunction(self._lower_funtype(decl.funtype), (), (), name=decl.name))
+        return self._compose_module(functions)
+
+    # -- module composition ------------------------------------------------------
+
+    def _lower_import(self, decl: ImportedFunction) -> WasmImportedFunction:
+        functype = self._lower_funtype(decl.funtype)
+        return WasmImportedFunction(functype, decl.import_ref.module, decl.import_ref.name, decl.exports)
+
+    def _compose_module(self, functions: list[object]) -> WasmModule:
+        """Append the runtime and assemble the final :class:`WasmModule`.
+
+        Shared by :meth:`lower` and :meth:`signature_skeleton` so both
+        produce byte-identical declaration sections.
+        """
+
+        functions = list(functions)
         functions.append(build_malloc(self.runtime))
         functions.append(build_free(self.runtime))
 
@@ -280,20 +321,13 @@ class ModuleLowering:
                     init_value = Const(valtype, 0 if valtype.is_integer else 0.0)
                 globals_.append(WasmGlobal(valtype, True, (init_value,), name=global_decl.name))
 
-        wasm_module = WasmModule(
+        return WasmModule(
             functions=tuple(functions),
             globals=tuple(globals_),
             memory=WasmMemory(self.memory_pages),
             table=WasmTable(tuple(self.module.table.entries)),
             name=self.module.name,
         )
-        for function in functions:
-            if isinstance(function, WasmFunction):
-                from ..wasm.ast import function_instruction_count
-
-                self.stats.wasm_instructions += function_instruction_count(function)
-        self.stats.richwasm_instructions = self.module.instruction_count()
-        return LoweredModule(wasm_module, self.stats, self.runtime, self.global_map)
 
     # -- function types ----------------------------------------------------------
 

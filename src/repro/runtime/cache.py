@@ -233,6 +233,11 @@ class ModuleCache:
         #: The durable tier (duck-typed ``get``/``put``/``stats``; see
         #: :class:`repro.cluster.DiskCache`), or ``None`` for memory-only.
         self.disk = disk
+        #: The :class:`repro.parcompile.ParcompileReport` of the most recent
+        #: :meth:`lower` (or warm-program translate) that ran with
+        #: ``compile_workers > 1``; ``None`` after serial compiles.  The
+        #: facade reads this to populate ``Diagnostics.parcompile``.
+        self.last_parcompile = None
         self._memory_stats: dict[str, CacheStats] = {
             stage: CacheStats(stage)
             for stage in ("typecheck", "link", "lower", "decode", "translate", "program")
@@ -378,11 +383,30 @@ class ModuleCache:
             lowered = self.disk.get("lower", key)
             if lowered is not None:
                 self._lowered[key] = lowered
+        self.last_parcompile = None
         if lowered is None:
             self._memory_stats["lower"].record("miss")
+            report = None
+            if getattr(config, "compile_workers", 1) > 1:
+                # Pre-seed the function-unit cache from a worker pool; the
+                # serial pipeline below recomposes from the seeds, so the
+                # result is bit-identical to a serial compile (and any pool
+                # failure just means fewer seeds).
+                from ..parcompile import precompute_function_units
+
+                report = precompute_function_units(
+                    richwasm, config, self.units, disk=self.disk, passes=passes
+                )
             lowered = lower_module(richwasm, config=config, passes=passes, unit_cache=self.units)
             if config.validate_wasm:
                 validate_module(lowered.wasm, unit_cache=self.units)
+            if getattr(config, "compile_workers", 1) > 1 and engine == "compiled":
+                from ..parcompile import precompute_translate_units
+
+                report = precompute_translate_units(
+                    lowered.wasm, config, self.units, disk=self.disk, report=report
+                )
+            self.last_parcompile = report
             self._lowered[key] = lowered
             if self.disk is not None:
                 self.disk.put("lower", key, replace(lowered, engine=None, diagnostics=None))
@@ -486,6 +510,7 @@ class ModuleCache:
         full compile the hit avoids.
         """
 
+        self.last_parcompile = None
         program = self._programs.get(key)
         if program is None and self.disk is not None and richwasm is not None:
             lowered = self.disk.get("program", key)
@@ -496,6 +521,15 @@ class ModuleCache:
                     adopt_decode(lowered.wasm, flat)
                 self.decode(lowered.wasm)
                 if engine == "compiled":
+                    if config is not None and getattr(config, "compile_workers", 1) > 1:
+                        # A disk-warm program still retranslates locally (the
+                        # exec'd callables never persist) — pre-seed those
+                        # units too, from the disk wire entries or the pool.
+                        from ..parcompile import precompute_translate_units
+
+                        self.last_parcompile = precompute_translate_units(
+                            lowered.wasm, config, self.units, disk=self.disk
+                        )
                     self.translate(lowered.wasm)
                 program = CompiledProgram(
                     richwasm=richwasm, lowered=lowered, engine=engine,

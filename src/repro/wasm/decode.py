@@ -172,12 +172,72 @@ class HostEntry:
 
 
 # ---------------------------------------------------------------------------
-# Conversion closures
+# Conversion handlers
 # ---------------------------------------------------------------------------
+#
+# Resolved handlers are ``functools.partial`` over module-level functions —
+# never lambdas or local closures — so a :class:`FlatFunction` pickles: the
+# disk tier persists flat code under its content key, and the parallel
+# compile workers ship decode units back to the parent over a queue.  A
+# partial call is C-level, so the flat VM's per-instruction cost matches the
+# old closures.
+
+from functools import partial
+
+
+def _cvt_wrap(v):
+    return numerics.wrap(int(v), 32)
+
+
+def _cvt_extend(signed, v):
+    value = numerics.to_signed(int(v), 32) if signed else numerics.to_unsigned(int(v), 32)
+    return numerics.wrap(value, 64)
+
+
+def _cvt_trunc(width, signed, v):
+    return numerics.trunc_float_to_int(float(v), width, signed)
+
+
+def _cvt_convert(source_width, signed, target_width, v):
+    return numerics.convert_int_to_float(int(v), source_width, signed, target_width)
+
+
+def _cvt_demote(v):
+    return numerics.float_canon(float(v), 32)
+
+
+def _cvt_reinterpret_i2f(width, v):
+    return numerics.reinterpret_int_to_float(int(v), width)
+
+
+def _cvt_reinterpret_f2i(width, v):
+    return numerics.reinterpret_float_to_int(float(v), width)
+
+
+def _unop_int(fn, width, v):
+    return fn(int(v), width)
+
+
+def _unop_float(op, width, v):
+    return numerics.float_unop(op, float(v), width)
+
+
+# One handler object per distinct operator shape: decode re-emits the same
+# conversion thousands of times across a module, and sharing the instance
+# keeps both the decode allocation count and the pickled flat code small.
+_HANDLER_MEMO: dict[tuple, Callable] = {}
+
+
+def _handler(fn, *args) -> Callable:
+    key = (fn, *args)
+    handler = _HANDLER_MEMO.get(key)
+    if handler is None:
+        handler = _HANDLER_MEMO[key] = partial(fn, *args) if args else fn
+    return handler
 
 
 def _build_cvt(instr: Cvtop) -> Callable:
-    """Resolve a conversion to a single-argument closure at decode time.
+    """Resolve a conversion to a single-argument callable at decode time.
 
     Mirrors the tree walker's ``_cvtop`` case analysis exactly, including the
     ``int()``/``float()`` coercions, so both engines agree bit-for-bit.
@@ -185,44 +245,31 @@ def _build_cvt(instr: Cvtop) -> Callable:
 
     op = instr.op
     if op == "wrap":
-        return lambda v: numerics.wrap(int(v), 32)
+        return _handler(_cvt_wrap)
     if op in ("extend_s", "extend_u"):
-        signed = op == "extend_s"
-
-        def _extend(v, _signed=signed):
-            value = numerics.to_signed(int(v), 32) if _signed else numerics.to_unsigned(int(v), 32)
-            return numerics.wrap(value, 64)
-
-        return _extend
+        return _handler(_cvt_extend, op == "extend_s")
     if op in ("trunc_s", "trunc_u"):
-        width = instr.target.bit_width
-        signed = op == "trunc_s"
-        return lambda v, _w=width, _s=signed: numerics.trunc_float_to_int(float(v), _w, _s)
+        return _handler(_cvt_trunc, instr.target.bit_width, op == "trunc_s")
     if op in ("convert_s", "convert_u"):
-        source_width = instr.source.bit_width
-        signed = op == "convert_s"
-        target_width = instr.target.bit_width
-        return lambda v, _sw=source_width, _s=signed, _tw=target_width: numerics.convert_int_to_float(
-            int(v), _sw, _s, _tw
+        return _handler(
+            _cvt_convert, instr.source.bit_width, op == "convert_s", instr.target.bit_width
         )
     if op == "promote":
         return float
     if op == "demote":
-        return lambda v: numerics.float_canon(float(v), 32)
+        return _handler(_cvt_demote)
     if op == "reinterpret":
-        source_width = instr.source.bit_width
         if instr.source.is_integer:
-            return lambda v, _w=source_width: numerics.reinterpret_int_to_float(int(v), _w)
-        return lambda v, _w=source_width: numerics.reinterpret_float_to_int(float(v), _w)
+            return _handler(_cvt_reinterpret_i2f, instr.source.bit_width)
+        return _handler(_cvt_reinterpret_f2i, instr.source.bit_width)
     raise WasmError(f"unknown conversion {op!r}")
 
 
 def _build_unop(instr: Unop) -> Callable:
     width = instr.valtype.bit_width
     if instr.valtype.is_integer:
-        fn = _INT_UNOPS[instr.op]
-        return lambda v, _fn=fn, _w=width: _fn(int(v), _w)
-    return lambda v, _op=instr.op, _w=width: numerics.float_unop(_op, float(v), _w)
+        return _handler(_unop_int, _INT_UNOPS[instr.op], width)
+    return _handler(_unop_float, instr.op, width)
 
 
 # ---------------------------------------------------------------------------

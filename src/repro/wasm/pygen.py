@@ -900,6 +900,49 @@ def _base_pool_values() -> dict[str, object]:
     )
 
 
+def emit_function_chunk(
+    index: int, slots: list, module: WasmModule, *, force_list: bool = False
+) -> tuple[str, str, dict[str, object]]:
+    """Emit one function's translation unit source without exec'ing it.
+
+    Returns ``(chunk, mode, pool_values)`` — the generated source, the
+    calling-convention mode, and the const-pool namespace the chunk must be
+    exec'd against.  Split out of :func:`_translate_units` so compile
+    workers can do the expensive emission + ``compile()`` in a subprocess
+    and ship the pieces back (``pool_values`` entries are picklable; the
+    code object travels as a ``marshal`` blob).
+    """
+
+    pool = _ConstPool()
+    pool.values.update(_base_pool_values())
+    lines, mode = _emit_function(index, slots[index], slots, module, pool, force_list)
+    return "\n".join(lines), mode, dict(pool.values)
+
+
+def build_translation_unit(
+    index: int,
+    chunk: str,
+    mode: str,
+    pool_values: dict[str, object],
+    *,
+    module_name: str | None = None,
+    code=None,
+) -> tuple[str, str, object]:
+    """Exec a chunk from :func:`emit_function_chunk` into a translate unit.
+
+    ``code`` short-circuits the ``compile()`` step with a pre-compiled code
+    object (e.g. unmarshalled from a compile worker); the exec itself is
+    nearly free.  The returned ``(chunk, mode, callable)`` triple is the
+    exact value ``_translate_units`` caches.
+    """
+
+    if code is None:
+        code = compile(chunk, f"<pygen:{module_name or 'module'}:f{index}>", "exec")
+    namespace = dict(pool_values)
+    exec(code, namespace)
+    return (chunk, mode, namespace[f"_f{index}"])
+
+
 def translate_functions(slots: list, module: WasmModule, *, force_list: bool = False) -> ModuleTranslation:
     """Translate a decoded function table (``FlatFunction``/host per slot)."""
 
@@ -952,13 +995,8 @@ def _translate_units(
         )
         unit = unit_cache.get("translate", key)
         if unit is None:
-            pool = _ConstPool()
-            pool.values.update(_base_pool_values())
-            lines, mode = _emit_function(index, slot, slots, module, pool, force_list)
-            chunk = "\n".join(lines)
-            namespace = dict(pool.values)
-            exec(compile(chunk, f"<pygen:{module.name or 'module'}:f{index}>", "exec"), namespace)
-            unit = (chunk, mode, namespace[f"_f{index}"])
+            chunk, mode, pool_values = emit_function_chunk(index, slots, module, force_list=force_list)
+            unit = build_translation_unit(index, chunk, mode, pool_values, module_name=module.name)
             unit_cache.put("translate", key, unit)
         chunk, mode, compiled = unit
         chunks.append(chunk)
